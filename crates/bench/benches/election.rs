@@ -1,0 +1,68 @@
+//! Criterion benchmark of complete formation runs (end-to-end wall time),
+//! comparing the paper's algorithm with the YY-style baseline.
+
+use apf_baselines::YyStyleFormation;
+use apf_core::SimulationBuilder;
+use apf_scheduler::SchedulerKind;
+use apf_sim::{World, WorldConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_formation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formation");
+    group.sample_size(10);
+    for &n in &[8usize, 12] {
+        group.bench_with_input(BenchmarkId::new("ours_symmetric", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut world = SimulationBuilder::new(
+                    apf_patterns::symmetric_configuration(n, 4, 1),
+                    apf_patterns::random_pattern(n, 2),
+                )
+                .scheduler(SchedulerKind::RoundRobin)
+                .seed(3)
+                .build()
+                .unwrap();
+                let o = world.run(2_000_000);
+                assert!(o.formed);
+                o.metrics.cycles
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("yy_symmetric", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut world = World::new(
+                    apf_patterns::symmetric_configuration(n, 4, 1),
+                    apf_patterns::random_pattern(n, 2),
+                    Box::new(YyStyleFormation::new()),
+                    SchedulerKind::RoundRobin.build(3),
+                    WorldConfig::default(),
+                    3,
+                );
+                let o = world.run(2_000_000);
+                assert!(o.formed);
+                o.metrics.cycles
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ours_asymmetric", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut world = SimulationBuilder::new(
+                    apf_patterns::asymmetric_configuration(n, 1),
+                    apf_patterns::random_pattern(n, 2),
+                )
+                .scheduler(SchedulerKind::RoundRobin)
+                .seed(3)
+                .build()
+                .unwrap();
+                let o = world.run(2_000_000);
+                assert!(o.formed);
+                o.metrics.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_formation
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment harness: regenerates every experiment table (E1–E9).
+//!
+//! ```text
+//! harness [--quick] [e1 e2 ... | all]
+//! ```
+//!
+//! `--quick` shrinks seed counts and sweeps for CI-speed runs; the default
+//! runs the full EXPERIMENTS.md configuration.
+
+use apf_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let picks: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let picks: Vec<&str> = if picks.is_empty() || picks.contains(&"all") {
+        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]
+    } else {
+        picks
+    };
+    println!(
+        "APF experiment harness ({} mode) — experiments: {}",
+        if quick { "quick" } else { "full" },
+        picks.join(", ")
+    );
+    for p in picks {
+        match p {
+            "e1" => experiments::e1(quick),
+            "e2" => experiments::e2(quick),
+            "e3" => experiments::e3(quick),
+            "e4" => experiments::e4(quick),
+            "e5" => experiments::e5(quick),
+            "e6" => experiments::e6(quick),
+            "e7" => experiments::e7(quick),
+            "e8" => experiments::e8(quick),
+            "e9" => experiments::e9(quick),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The E1–E9 experiment suite (see DESIGN.md's experiment index).
+//!
+//! Every experiment regenerates one table of EXPERIMENTS.md; each maps to a
+//! formal claim of the paper. `quick` mode shrinks seeds/sizes for CI.
+
+use crate::{print_table, run_algorithm, run_formation, Aggregate, RunResult};
+use apf_baselines::{DeterministicFormation, YyStyleFormation};
+use apf_core::SimulationBuilder;
+use apf_geometry::{Configuration, Tol};
+use apf_scheduler::{AsyncConfig, SchedulerKind};
+use apf_sim::WorldConfig;
+use std::time::Instant;
+
+fn seeds(quick: bool, full: u64) -> std::ops::Range<u64> {
+    0..(if quick { 8.min(full) } else { full })
+}
+
+/// E1 — Election terminates with probability 1 (Lemmas 1–2): cycles to
+/// completion from worst-case symmetric configurations, sweeping `n`.
+pub fn e1(quick: bool) {
+    let sizes: &[(usize, usize)] =
+        if quick { &[(8, 4), (12, 4)] } else { &[(8, 2), (8, 4), (12, 4), (16, 4), (20, 4)] };
+    let mut rows = Vec::new();
+    for &(n, rho) in sizes {
+        let results: Vec<RunResult> = seeds(quick, 16)
+            .map(|s| {
+                run_formation(
+                    apf_patterns::symmetric_configuration(n, rho, 1000 + s),
+                    apf_patterns::random_pattern(n, 2000 + s),
+                    SchedulerKind::RoundRobin,
+                    s,
+                    2_000_000,
+                )
+            })
+            .collect();
+        let a = Aggregate::of(&results);
+        rows.push(vec![
+            n.to_string(),
+            rho.to_string(),
+            format!("{:.2}", a.success),
+            format!("{:.0}", a.mean_cycles),
+            format!("{:.0}", a.median_cycles),
+            format!("{:.0}", a.p95_cycles),
+            format!("{:.1}", a.mean_bits),
+        ]);
+    }
+    print_table(
+        "E1: formation from symmetric configs (election path), probability-1 termination",
+        &["n", "rho(I)", "success", "mean cyc", "med cyc", "p95 cyc", "mean bits"],
+        &rows,
+    );
+}
+
+/// E2 — Randomness budget: 1 bit/cycle (ours) vs continuous draws (YY-style).
+pub fn e2(quick: bool) {
+    let mut rows = Vec::new();
+    for &n in if quick { &[8usize, 12][..] } else { &[8usize, 12, 16, 24][..] } {
+        let rho = if n % 4 == 0 { 4 } else { 3 };
+        let mut ours = Vec::new();
+        let mut yy = Vec::new();
+        for s in seeds(quick, 16) {
+            let init = apf_patterns::symmetric_configuration(n, rho, 3000 + s);
+            let pat = apf_patterns::random_pattern(n, 4000 + s);
+            ours.push(run_formation(
+                init.clone(),
+                pat.clone(),
+                SchedulerKind::RoundRobin,
+                s,
+                2_000_000,
+            ));
+            yy.push(run_algorithm(
+                Box::new(YyStyleFormation::new()),
+                init,
+                pat,
+                SchedulerKind::RoundRobin,
+                s,
+                2_000_000,
+                WorldConfig::default(),
+            ));
+        }
+        let ao = Aggregate::of(&ours);
+        let ay = Aggregate::of(&yy);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", ao.success),
+            format!("{:.1}", ao.mean_bits),
+            format!("{:.3}", ao.bits_per_cycle),
+            format!("{:.2}", ay.success),
+            format!("{:.1}", ay.mean_bits),
+            format!("{:.3}", ay.bits_per_cycle),
+            format!(
+                "{:.0}x",
+                if ao.mean_bits > 0.0 { ay.mean_bits / ao.mean_bits } else { f64::NAN }
+            ),
+        ]);
+    }
+    print_table(
+        "E2: random bits — ours (1 bit/active election cycle) vs YY-style (64-bit continuous draws)",
+        &["n", "ours ok", "ours bits", "ours b/cyc", "yy ok", "yy bits", "yy b/cyc", "ratio"],
+        &rows,
+    );
+}
+
+/// E3 — Theorem 2: any pattern from any configuration, across schedulers.
+pub fn e3(quick: bool) {
+    let mut rows = Vec::new();
+    let kinds =
+        [SchedulerKind::Fsync, SchedulerKind::Ssync, SchedulerKind::Async, SchedulerKind::RoundRobin];
+    for kind in kinds {
+        for &(n, sym) in if quick {
+            &[(8usize, false), (8, true)][..]
+        } else {
+            &[(8usize, false), (8, true), (16, false), (16, true)][..]
+        } {
+            let results: Vec<RunResult> = seeds(quick, 10)
+                .map(|s| {
+                    let init = if sym {
+                        apf_patterns::symmetric_configuration(n, 4, 5000 + s)
+                    } else {
+                        apf_patterns::asymmetric_configuration(n, 5000 + s)
+                    };
+                    run_formation(
+                        init,
+                        apf_patterns::random_pattern(n, 6000 + s),
+                        kind,
+                        s,
+                        600_000,
+                    )
+                })
+                .collect();
+            let a = Aggregate::of(&results);
+            rows.push(vec![
+                kind.to_string(),
+                n.to_string(),
+                if sym { "ρ=4".into() } else { "ρ=1".to_string() },
+                format!("{:.2}", a.success),
+                format!("{:.0}", a.mean_cycles),
+                format!("{:.0}", a.p95_cycles),
+            ]);
+        }
+    }
+    print_table(
+        "E3: arbitrary pattern formation across execution models (Theorem 2)",
+        &["scheduler", "n", "sym", "success", "mean cyc", "p95 cyc"],
+        &rows,
+    );
+}
+
+/// E4 — Full asynchrony with pauses and tiny δ (non-rigid movement).
+pub fn e4(quick: bool) {
+    let mut rows = Vec::new();
+    let deltas: &[f64] =
+        if quick { &[1e-1, 1e-3] } else { &[1.0, 1e-1, 1e-2, 1e-3, 1e-4] };
+    for &delta in deltas {
+        let results: Vec<RunResult> = seeds(quick, 12)
+            .map(|s| {
+                let init = apf_patterns::symmetric_configuration(8, 4, 7000 + s);
+                let pat = apf_patterns::random_pattern(8, 8000 + s);
+                let mut world = SimulationBuilder::new(init, pat)
+                    .scheduler(SchedulerKind::Async)
+                    .seed(s)
+                    .delta(delta)
+                    .build()
+                    .unwrap();
+                world.run(1_000_000).into()
+            })
+            .collect();
+        let a = Aggregate::of(&results);
+        rows.push(vec![
+            format!("{delta:.0e}"),
+            format!("{:.2}", a.success),
+            format!("{:.0}", a.mean_cycles),
+            format!("{:.0}", a.p95_cycles),
+            format!("{:.1}", a.mean_bits),
+        ]);
+    }
+    print_table(
+        "E4: ASYNC adversary with pauses, sweeping the minimum-progress δ",
+        &["delta", "success", "mean cyc", "p95 cyc", "mean bits"],
+        &rows,
+    );
+}
+
+/// E5 — Chirality independence: random per-robot handedness vs a shared
+/// global frame; identical success for ours.
+pub fn e5(quick: bool) {
+    let mut rows = Vec::new();
+    for (label, randomize) in [("shared frame", false), ("random chirality", true)] {
+        for &sym in &[false, true] {
+            let results: Vec<RunResult> = seeds(quick, 16)
+                .map(|s| {
+                    let init = if sym {
+                        apf_patterns::symmetric_configuration(8, 4, 9000 + s)
+                    } else {
+                        apf_patterns::asymmetric_configuration(8, 9000 + s)
+                    };
+                    let pat = apf_patterns::random_pattern(8, 9500 + s);
+                    let mut world = SimulationBuilder::new(init, pat)
+                        .scheduler(SchedulerKind::RoundRobin)
+                        .seed(s)
+                        .randomize_frames(randomize)
+                        .build()
+                        .unwrap();
+                    world.run(2_000_000).into()
+                })
+                .collect();
+            let a = Aggregate::of(&results);
+            rows.push(vec![
+                label.to_string(),
+                if sym { "ρ=4".into() } else { "ρ=1".to_string() },
+                format!("{:.2}", a.success),
+                format!("{:.0}", a.mean_cycles),
+            ]);
+        }
+    }
+    print_table(
+        "E5: no chirality assumption — identical success with mirrored/rotated frames",
+        &["frames", "sym", "success", "mean cyc"],
+        &rows,
+    );
+}
+
+/// E6 — Forming patterns with `ρ(I) ∤ ρ(F)`: impossible deterministically,
+/// done by the randomized algorithm.
+pub fn e6(quick: bool) {
+    let mut rows = Vec::new();
+    for &(n, rho) in if quick { &[(8usize, 4usize)][..] } else { &[(8usize, 2usize), (8, 4), (9, 3), (12, 6)][..] } {
+        let mut ours = Vec::new();
+        let mut det = Vec::new();
+        for s in seeds(quick, 12) {
+            let init = apf_patterns::symmetric_configuration(n, rho, 11_000 + s);
+            // ρ(F) = 1 targets: ρ(I) does not divide ρ(F).
+            let pat = apf_patterns::random_pattern(n, 12_000 + s);
+            ours.push(run_formation(
+                init.clone(),
+                pat.clone(),
+                SchedulerKind::RoundRobin,
+                s,
+                2_000_000,
+            ));
+            det.push(run_algorithm(
+                Box::new(DeterministicFormation::new()),
+                init,
+                pat,
+                SchedulerKind::RoundRobin,
+                s,
+                5_000, // it stalls by design; a short budget proves it
+                WorldConfig::default(),
+            ));
+        }
+        let ao = Aggregate::of(&ours);
+        let ad = Aggregate::of(&det);
+        rows.push(vec![
+            n.to_string(),
+            rho.to_string(),
+            "1".into(),
+            format!("{:.2}", ao.success),
+            format!("{:.2}", ad.success),
+        ]);
+    }
+    print_table(
+        "E6: ρ(I) ∤ ρ(F) instances — randomized succeeds, deterministic cannot",
+        &["n", "rho(I)", "rho(F)", "ours success", "deterministic success"],
+        &rows,
+    );
+}
+
+/// E7 — Patterns with multiplicity points (Section 5 / Appendix C).
+pub fn e7(quick: bool) {
+    let mut rows = Vec::new();
+    let cases: &[(usize, usize, bool)] = if quick {
+        &[(8, 6, false), (8, 6, true)]
+    } else {
+        &[(8, 6, false), (8, 6, true), (12, 9, false), (12, 8, true)]
+    };
+    for &(n, distinct, center) in cases {
+        let results: Vec<RunResult> = seeds(quick, 12)
+            .map(|s| {
+                let init = apf_patterns::asymmetric_configuration(n, 13_000 + s);
+                let mut pat = apf_patterns::pattern_with_multiplicity(n, distinct, 14_000 + s);
+                if center {
+                    // Relocate the heaviest multiplicity group to the pattern
+                    // center.
+                    let cfg = Configuration::new(pat.clone());
+                    let c = cfg.sec().center;
+                    let groups = cfg.multiplicity_groups(&Tol::default());
+                    let (_, members) =
+                        groups.iter().max_by_key(|(_, m)| m.len()).unwrap().clone();
+                    for i in members {
+                        pat[i] = c;
+                    }
+                }
+                let mut world = SimulationBuilder::new(init, pat)
+                    .scheduler(SchedulerKind::RoundRobin)
+                    .seed(s)
+                    .multiplicity_detection(true)
+                    .build()
+                    .unwrap();
+                world.run(2_000_000).into()
+            })
+            .collect();
+        let a = Aggregate::of(&results);
+        rows.push(vec![
+            n.to_string(),
+            distinct.to_string(),
+            if center { "yes".into() } else { "no".to_string() },
+            format!("{:.2}", a.success),
+            format!("{:.0}", a.mean_cycles),
+        ]);
+    }
+    print_table(
+        "E7: multiplicity-point patterns with multiplicity detection (Appendix C)",
+        &["n", "distinct", "center mult", "success", "mean cyc"],
+        &rows,
+    );
+}
+
+/// E8 — Ablation of the adversary knobs (pause probability, batch size).
+pub fn e8(quick: bool) {
+    let mut rows = Vec::new();
+    let pauses: &[f64] = if quick { &[0.0, 0.5] } else { &[0.0, 0.25, 0.5, 0.75, 0.9] };
+    for &pause in pauses {
+        let results: Vec<RunResult> = seeds(quick, 12)
+            .map(|s| {
+                let cfg = AsyncConfig { pause_prob: pause, ..AsyncConfig::default() };
+                let mut w = apf_sim::World::new(
+                    apf_patterns::symmetric_configuration(8, 4, 15_000 + s),
+                    apf_patterns::random_pattern(8, 16_000 + s),
+                    Box::new(apf_core::FormPattern::new()),
+                    SchedulerKind::Async.build_with_async_config(s, cfg),
+                    WorldConfig::default(),
+                    s,
+                );
+                w.run(3_000_000).into()
+            })
+            .collect();
+        let a = Aggregate::of(&results);
+        rows.push(vec![
+            format!("{pause:.2}"),
+            format!("{:.2}", a.success),
+            format!("{:.0}", a.mean_cycles),
+            format!("{:.0}", a.p95_cycles),
+        ]);
+    }
+    print_table(
+        "E8: adversary ablation — pause probability of the ASYNC scheduler",
+        &["pause prob", "success", "mean cyc", "p95 cyc"],
+        &rows,
+    );
+}
+
+/// E9 — Analysis-kernel scalability: wall time of the geometric kernels.
+pub fn e9(quick: bool) {
+    let mut rows = Vec::new();
+    let sizes: &[usize] = if quick { &[8, 32] } else { &[8, 16, 32, 64, 128, 256] };
+    for &n in sizes {
+        let pts = apf_patterns::asymmetric_configuration(n.max(3), 17_000 + n as u64);
+        let cfg = Configuration::new(pts.clone());
+        let tol = Tol::default();
+        let time = |f: &mut dyn FnMut()| {
+            let reps = if quick { 5 } else { 20 };
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / reps as f64 * 1e6
+        };
+        let t_sec = time(&mut || {
+            let _ = apf_geometry::smallest_enclosing_circle(&pts);
+        });
+        let t_rho = time(&mut || {
+            let _ = apf_geometry::symmetry::symmetricity(&cfg, cfg.sec().center, &tol);
+        });
+        let t_views = time(&mut || {
+            let _ = apf_geometry::symmetry::ViewAnalysis::compute(&cfg, cfg.sec().center, &tol);
+        });
+        let t_reg = time(&mut || {
+            let _ = apf_geometry::symmetry::regular_set_of(&cfg, &tol);
+        });
+        let t_shift = time(&mut || {
+            let _ = apf_geometry::symmetry::find_shifted_regular(&cfg, &tol);
+        });
+        rows.push(vec![
+            n.to_string(),
+            format!("{t_sec:.1}"),
+            format!("{t_rho:.1}"),
+            format!("{t_views:.1}"),
+            format!("{t_reg:.1}"),
+            format!("{t_shift:.1}"),
+        ]);
+    }
+    print_table(
+        "E9: analysis kernel cost (µs per call, asymmetric configs)",
+        &["n", "SEC", "rho", "views", "reg(P)", "shifted"],
+        &rows,
+    );
+}
+
+/// Runs every experiment.
+pub fn all(quick: bool) {
+    e1(quick);
+    e2(quick);
+    e3(quick);
+    e4(quick);
+    e5(quick);
+    e6(quick);
+    e7(quick);
+    e8(quick);
+    e9(quick);
+}

@@ -1,0 +1,187 @@
+//! Experiment plumbing: reproducible formation runs, aggregate statistics,
+//! and the E1–E9 experiment suite behind the `harness` binary.
+//!
+//! The paper is a theory paper with no evaluation section; every experiment
+//! here is derived from one of its formal claims (see DESIGN.md's experiment
+//! index and EXPERIMENTS.md for the claim ↔ measurement mapping).
+
+pub mod experiments;
+
+use apf_core::SimulationBuilder;
+use apf_geometry::Point;
+use apf_scheduler::SchedulerKind;
+use apf_sim::{Outcome, RobotAlgorithm, World, WorldConfig};
+
+/// One simulation run's distilled result.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Whether the pattern was formed within the budget.
+    pub formed: bool,
+    /// Engine steps consumed.
+    pub steps: u64,
+    /// Look events (LCM cycles).
+    pub cycles: u64,
+    /// Random bits drawn.
+    pub bits: u64,
+    /// Total distance traveled.
+    pub distance: f64,
+}
+
+impl From<Outcome> for RunResult {
+    fn from(o: Outcome) -> Self {
+        RunResult {
+            formed: o.formed,
+            steps: o.metrics.steps,
+            cycles: o.metrics.cycles,
+            bits: o.metrics.random_bits,
+            distance: o.metrics.distance,
+        }
+    }
+}
+
+/// Runs the paper's algorithm on an instance.
+///
+/// # Panics
+///
+/// Panics if the instance is invalid (the experiment generators only emit
+/// valid ones).
+pub fn run_formation(
+    initial: Vec<Point>,
+    pattern: Vec<Point>,
+    kind: SchedulerKind,
+    seed: u64,
+    budget: u64,
+) -> RunResult {
+    let mut world = SimulationBuilder::new(initial, pattern)
+        .scheduler(kind)
+        .seed(seed)
+        .build()
+        .expect("experiment instance must be valid");
+    world.run(budget).into()
+}
+
+/// Runs an arbitrary algorithm on an instance with explicit world options.
+pub fn run_algorithm(
+    alg: Box<dyn RobotAlgorithm>,
+    initial: Vec<Point>,
+    pattern: Vec<Point>,
+    kind: SchedulerKind,
+    seed: u64,
+    budget: u64,
+    config: WorldConfig,
+) -> RunResult {
+    let mut world = World::new(initial, pattern, alg, kind.build(seed), config, seed);
+    world.run(budget).into()
+}
+
+/// Aggregate statistics over a set of runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Aggregate {
+    /// Number of runs.
+    pub runs: usize,
+    /// Fraction that formed the pattern in budget.
+    pub success: f64,
+    /// Mean cycles over successful runs.
+    pub mean_cycles: f64,
+    /// Median cycles over successful runs.
+    pub median_cycles: f64,
+    /// 95th-percentile cycles over successful runs.
+    pub p95_cycles: f64,
+    /// Mean random bits over successful runs.
+    pub mean_bits: f64,
+    /// Mean bits per cycle over successful runs.
+    pub bits_per_cycle: f64,
+}
+
+impl Aggregate {
+    /// Summarizes run results.
+    pub fn of(results: &[RunResult]) -> Aggregate {
+        let runs = results.len();
+        let ok: Vec<&RunResult> = results.iter().filter(|r| r.formed).collect();
+        let success = if runs == 0 { 0.0 } else { ok.len() as f64 / runs as f64 };
+        let mut cycles: Vec<f64> = ok.iter().map(|r| r.cycles as f64).collect();
+        cycles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let pct = |v: &[f64], q: f64| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v[((v.len() as f64 - 1.0) * q).round() as usize]
+            }
+        };
+        let mean_cycles = mean(&cycles);
+        let mean_bits = mean(&ok.iter().map(|r| r.bits as f64).collect::<Vec<_>>());
+        let total_cycles: f64 = ok.iter().map(|r| r.cycles as f64).sum();
+        let total_bits: f64 = ok.iter().map(|r| r.bits as f64).sum();
+        Aggregate {
+            runs,
+            success,
+            mean_cycles,
+            median_cycles: pct(&cycles, 0.5),
+            p95_cycles: pct(&cycles, 0.95),
+            mean_bits,
+            bits_per_cycle: if total_cycles == 0.0 { 0.0 } else { total_bits / total_cycles },
+        }
+    }
+}
+
+/// Prints a fixed-width table: header row + data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_of_empty_is_zeroed() {
+        let a = Aggregate::of(&[]);
+        assert_eq!(a.runs, 0);
+        assert_eq!(a.success, 0.0);
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let r = |formed, cycles, bits| RunResult { formed, steps: 0, cycles, bits, distance: 0.0 };
+        let a = Aggregate::of(&[r(true, 10, 5), r(true, 30, 15), r(false, 99, 0)]);
+        assert_eq!(a.runs, 3);
+        assert!((a.success - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.mean_cycles - 20.0).abs() < 1e-12);
+        assert!((a.bits_per_cycle - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formation_run_smoke() {
+        let r = run_formation(
+            apf_patterns::asymmetric_configuration(7, 5),
+            apf_patterns::random_pattern(7, 6),
+            SchedulerKind::RoundRobin,
+            1,
+            100_000,
+        );
+        assert!(r.formed);
+        assert!(r.cycles > 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Glue: build a ready-to-run simulation of the algorithm.
+
+use crate::FormPattern;
+use apf_geometry::{Configuration, Point, Tol};
+use apf_scheduler::SchedulerKind;
+use apf_sim::{World, WorldConfig};
+use std::fmt;
+
+/// Why an instance could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Fewer than 7 robots (Theorem 2's precondition).
+    TooFewRobots(usize),
+    /// `|I| != |F|`.
+    SizeMismatch {
+        /// Number of robots.
+        robots: usize,
+        /// Number of pattern points.
+        pattern: usize,
+    },
+    /// The initial configuration contains a multiplicity point (out of
+    /// scope, as in the paper — ASYNC scattering is open).
+    InitialMultiplicity,
+    /// The pattern contains multiplicity points but multiplicity detection
+    /// was not enabled.
+    NeedsMultiplicityDetection,
+    /// The pattern is a single multiplicity point (the Gathering problem).
+    GatheringUnsupported,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::TooFewRobots(n) => {
+                write!(f, "the algorithm requires at least 7 robots, got {n}")
+            }
+            BuildError::SizeMismatch { robots, pattern } => {
+                write!(f, "{robots} robots cannot form a {pattern}-point pattern")
+            }
+            BuildError::InitialMultiplicity => {
+                write!(f, "initial configurations with multiplicity points are out of scope")
+            }
+            BuildError::NeedsMultiplicityDetection => {
+                write!(f, "pattern has multiplicity points: enable multiplicity detection")
+            }
+            BuildError::GatheringUnsupported => {
+                write!(f, "a single-point pattern is the Gathering problem, out of scope")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for a pattern-formation simulation running [`FormPattern`].
+///
+/// # Example
+///
+/// ```
+/// use apf_core::SimulationBuilder;
+/// use apf_scheduler::SchedulerKind;
+///
+/// let world = SimulationBuilder::new(
+///     apf_patterns::asymmetric_configuration(8, 1),
+///     apf_patterns::random_pattern(8, 2),
+/// )
+/// .scheduler(SchedulerKind::Async)
+/// .seed(99)
+/// .build()
+/// .unwrap();
+/// assert_eq!(world.positions().len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    initial: Vec<Point>,
+    pattern: Vec<Point>,
+    scheduler: SchedulerKind,
+    seed: u64,
+    config: WorldConfig,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder from an initial configuration and a target pattern.
+    pub fn new(initial: Vec<Point>, pattern: Vec<Point>) -> Self {
+        SimulationBuilder {
+            initial,
+            pattern,
+            scheduler: SchedulerKind::Async,
+            seed: 0,
+            config: WorldConfig::default(),
+        }
+    }
+
+    /// Chooses the scheduler (default: ASYNC).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Seeds both the robots' randomness and the scheduler.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the minimum per-Move progress `δ`.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.config.delta = delta;
+        self
+    }
+
+    /// Enables multiplicity detection (required for multiplicity patterns).
+    pub fn multiplicity_detection(mut self, on: bool) -> Self {
+        self.config.multiplicity_detection = on;
+        self
+    }
+
+    /// Whether robots get random (rotated/scaled/mirrored) local frames.
+    pub fn randomize_frames(mut self, on: bool) -> Self {
+        self.config.randomize_frames = on;
+        self
+    }
+
+    /// Records every configuration for rendering.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.config.record_trace = on;
+        self
+    }
+
+    /// Overrides the geometric tolerance.
+    pub fn tol(mut self, tol: Tol) -> Self {
+        self.config.tol = tol;
+        self
+    }
+
+    /// Validates the instance and builds the [`World`].
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildError`].
+    pub fn build(self) -> Result<World, BuildError> {
+        let n = self.initial.len();
+        if n < 7 {
+            return Err(BuildError::TooFewRobots(n));
+        }
+        if n != self.pattern.len() {
+            return Err(BuildError::SizeMismatch { robots: n, pattern: self.pattern.len() });
+        }
+        let tol = self.config.tol;
+        if Configuration::new(self.initial.clone()).has_multiplicity(&tol) {
+            return Err(BuildError::InitialMultiplicity);
+        }
+        let pat = Configuration::new(self.pattern.clone());
+        let groups = pat.multiplicity_groups(&tol);
+        if groups.len() == 1 {
+            return Err(BuildError::GatheringUnsupported);
+        }
+        if pat.has_multiplicity(&tol) && !self.config.multiplicity_detection {
+            return Err(BuildError::NeedsMultiplicityDetection);
+        }
+        Ok(World::new(
+            self.initial,
+            self.pattern,
+            Box::new(FormPattern::new()),
+            self.scheduler.build(self.seed.wrapping_add(0x5EED)),
+            self.config,
+            self.seed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_small_instances() {
+        let e = SimulationBuilder::new(
+            apf_patterns::asymmetric_configuration(5, 1),
+            apf_patterns::random_pattern(5, 2),
+        )
+        .build()
+        .unwrap_err();
+        assert_eq!(e, BuildError::TooFewRobots(5));
+    }
+
+    #[test]
+    fn rejects_size_mismatch() {
+        let e = SimulationBuilder::new(
+            apf_patterns::asymmetric_configuration(8, 1),
+            apf_patterns::random_pattern(7, 2),
+        )
+        .build()
+        .unwrap_err();
+        assert!(matches!(e, BuildError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_initial_multiplicity() {
+        let mut init = apf_patterns::asymmetric_configuration(8, 1);
+        init[1] = init[0];
+        let e = SimulationBuilder::new(init, apf_patterns::random_pattern(8, 2))
+            .build()
+            .unwrap_err();
+        assert_eq!(e, BuildError::InitialMultiplicity);
+    }
+
+    #[test]
+    fn rejects_multiplicity_pattern_without_detection() {
+        let pat = apf_patterns::pattern_with_multiplicity(8, 6, 3);
+        let e = SimulationBuilder::new(apf_patterns::asymmetric_configuration(8, 1), pat.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(e, BuildError::NeedsMultiplicityDetection);
+        // With detection it builds.
+        assert!(SimulationBuilder::new(
+            apf_patterns::asymmetric_configuration(8, 1),
+            pat
+        )
+        .multiplicity_detection(true)
+        .build()
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_gathering() {
+        let pat = vec![Point::new(1.0, 1.0); 8];
+        let e = SimulationBuilder::new(apf_patterns::asymmetric_configuration(8, 1), pat)
+            .multiplicity_detection(true)
+            .build()
+            .unwrap_err();
+        assert_eq!(e, BuildError::GatheringUnsupported);
+    }
+
+    #[test]
+    fn builds_valid_instance() {
+        let w = SimulationBuilder::new(
+            apf_patterns::asymmetric_configuration(9, 4),
+            apf_patterns::random_pattern(9, 5),
+        )
+        .scheduler(SchedulerKind::Fsync)
+        .build()
+        .unwrap();
+        assert_eq!(w.positions().len(), 9);
+    }
+}

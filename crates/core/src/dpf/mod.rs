@@ -1,0 +1,329 @@
+//! `ψ_DPF` — deterministic pattern formation without chirality (Section 4).
+//!
+//! Precondition: the configuration contains a *selected* robot `r_s` (the
+//! output of `ψ_RSB`), or the pattern is one robot move away from complete.
+//! Because a selected robot exists, the symmetricity is 1 and every robot
+//! can derive the same global, *oriented* coordinate system `Z` — without
+//! any chirality assumption — as follows (Phase 1):
+//!
+//! * center: `c(P)` (= the origin of normalized coordinates);
+//! * reference direction: the half-line to `r_max`, the unique robot that is
+//!   both radially minimal in `P − {r_s}` and angularly closest to `r_s`
+//!   (Phase 1 *creates* this configuration when it does not hold);
+//! * orientation: the rotational direction that maximizes `r_s`'s
+//!   coordinates — a convention both mirror images agree on.
+//!
+//! Phases 2 and 3 then populate each target circle with the right number of
+//! robots and rotate them into the exact pattern positions, all while
+//! preserving `C(P)` and the robots' `Z`-order (no two robots ever swap).
+
+mod phase1;
+mod phase2;
+mod phase3;
+
+use crate::analysis::Analysis;
+use apf_geometry::angle::normalize_angle;
+use apf_geometry::symmetry::ViewAnalysis;
+use apf_geometry::{Configuration, Point, PolarPoint, Tol};
+use apf_sim::{ComputeError, Decision};
+
+pub use phase1::ZFrame;
+
+/// Runs one activation of `ψ_DPF` for the observer, given the selected
+/// robot.
+///
+/// # Errors
+///
+/// Returns [`ComputeError`] on configurations that violate the phase
+/// invariants (which would indicate a bug upstream, not a legal input).
+pub fn act(a: &Analysis, rs: usize) -> Result<Decision, ComputeError> {
+    let plan = TargetPlan::new(a, rs)?;
+    let dbg = std::env::var_os("APF_DEBUG").is_some();
+
+    // Phase 1: establish the global coordinate system.
+    match phase1::ensure_frame(a, rs, &plan)? {
+        phase1::FrameStatus::Acting(decision) => {
+            if dbg {
+                eprintln!("[dpf me={} rs={rs}] phase1 acting: {decision:?}", a.me);
+            }
+            Ok(decision)
+        }
+        phase1::FrameStatus::Ready(zf) => {
+            // Pre-phase: no robot other than r_max may sit on the zero ray.
+            if let Some(d) = phase2::clear_zero_ray(a, rs, &zf, &plan) {
+                if dbg {
+                    eprintln!("[dpf me={} rs={rs}] clear_zero_ray: {d:?}", a.me);
+                }
+                return Ok(d);
+            }
+            // Special pre-phase when only two pattern points lie on C(F).
+            if let Some(d) = phase2::fix_enclosing_circle(a, rs, &zf, &plan)? {
+                if dbg {
+                    eprintln!("[dpf me={} rs={rs}] fix_enclosing_circle: {d:?}", a.me);
+                }
+                return Ok(d);
+            }
+            // Phase 2: populate the circles outside-in.
+            if let Some(d) = phase2::populate_circles(a, rs, &zf, &plan)? {
+                if dbg {
+                    eprintln!(
+                        "[dpf me={} rs={rs} rmax={}] populate: {d:?}",
+                        a.me, zf.rmax
+                    );
+                }
+                return Ok(d);
+            }
+            // Phase 3: rotate robots to their final positions.
+            if let Some(d) = phase3::rotate_to_targets(a, rs, &zf, &plan)? {
+                if dbg {
+                    eprintln!(
+                        "[dpf me={} rs={rs} rmax={}] rotate: {d:?}",
+                        a.me, zf.rmax
+                    );
+                }
+                return Ok(d);
+            }
+            Ok(Decision::Stay)
+        }
+    }
+}
+
+/// The pattern decomposition used by every phase: `f_s` (the selected
+/// robot's final destination), `F' = F − {f_s}`, `f_max` (the view-maximal
+/// point of `F'`), the target circles, and `θ_F'`.
+#[derive(Debug)]
+pub struct TargetPlan {
+    /// Index (into the normalized pattern) of `f_s`.
+    pub fs: usize,
+    /// `F'` as points (normalized coordinates, pattern frame).
+    pub f_prime: Vec<Point>,
+    /// Index into [`Self::f_prime`] of `f_max`.
+    pub fmax: usize,
+    /// `|f_max|`.
+    pub fmax_radius: f64,
+    /// `θ_F'`: angular clearance around `f_max` (Phase 1 condition iv).
+    pub theta_f: f64,
+    /// Target circle radii, strictly decreasing; `circles[0]` is `C(F)`.
+    pub circles: Vec<f64>,
+    /// Number of `F'` points on each circle.
+    pub counts: Vec<usize>,
+    /// `F'` in polar form relative to `f_max` (angle measured in `F'`'s
+    /// view-maximizing orientation): the Z-coordinates of every target.
+    pub targets: Vec<PolarPoint>,
+}
+
+impl TargetPlan {
+    /// Computes the plan from the normalized pattern.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pattern has no view-maximal non-holding point (needs
+    /// `|F| ≥ 4`) — rejected at analysis time for valid inputs.
+    pub fn new(a: &Analysis, _rs: usize) -> Result<Self, ComputeError> {
+        let tol = &a.tol;
+        let fs_candidates = a.pattern_max_view_nonholders();
+        let Some(&fs) = fs_candidates.first() else {
+            return Err(ComputeError::new("pattern has no max-view non-holding point"));
+        };
+        let f_prime: Vec<Point> = a
+            .pattern
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != fs)
+            .map(|(_, &p)| p)
+            .collect();
+
+        // f_max anchors the zero ray of Z and is the slot reserved for
+        // r_max. The paper picks a view-maximal point of F'; we pick an
+        // *innermost* point of F' (ties broken by maximal view, then either
+        // mirror partner — their anchored target lists coincide). This keeps
+        // r_max radially minimal (Phase-1 condition i) all the way to its
+        // final slot, which the view-maximal choice does not guarantee (a
+        // view-maximal f_max on C(F) would force the frame anchor onto the
+        // enclosing circle mid-formation). See DESIGN.md.
+        let fp_cfg = Configuration::new(f_prime.clone());
+        let va = ViewAnalysis::compute(&fp_cfg, Point::ORIGIN, tol);
+        let min_radius = f_prime
+            .iter()
+            .map(|p| p.dist(Point::ORIGIN))
+            .filter(|&r| !tol.is_zero(r))
+            .fold(f64::INFINITY, f64::min);
+        // Among the innermost-radius candidates, prefer a location that is
+        // NOT a multiplicity point (a singleton anchor keeps the zero ray
+        // free of stacked targets), then break ties by maximal view.
+        let multiplicity_of = |i: usize| {
+            f_prime.iter().filter(|p| p.approx_eq(f_prime[i], tol)).count()
+        };
+        let fmax = (0..f_prime.len())
+            .filter(|&i| tol.eq(f_prime[i].dist(Point::ORIGIN), min_radius))
+            .max_by(|&x, &y| {
+                multiplicity_of(y)
+                    .cmp(&multiplicity_of(x)) // fewer duplicates wins
+                    .then(va.view(x).cmp(va.view(y)))
+            })
+            .expect("F' is non-empty");
+        let fmax_polar = PolarPoint::from_cartesian(f_prime[fmax], Point::ORIGIN);
+        if tol.is_zero(fmax_polar.radius) {
+            return Err(ComputeError::new("f_max at the pattern center is unsupported"));
+        }
+
+        // θ_F' = min(π, angles between f_max and other same-radius
+        // max-view points). Points on f_max's own ray (its multiplicity
+        // duplicates) do not constrain the wedge — they sit at angular
+        // distance zero by construction, not by accident.
+        let mut theta_f = std::f64::consts::PI;
+        for i in 0..f_prime.len() {
+            if i == fmax || va.view(i) != va.view(fmax) {
+                continue;
+            }
+            let p = PolarPoint::from_cartesian(f_prime[i], Point::ORIGIN);
+            if !tol.eq(p.radius, fmax_polar.radius) {
+                continue;
+            }
+            let ang = apf_geometry::angle::angle_dist(p.angle, fmax_polar.angle);
+            if ang > tol.angle_eps && ang < theta_f {
+                theta_f = ang;
+            }
+        }
+
+        // Orientation of F': the one maximizing f_max's view; mirror images
+        // of the pattern are both acceptable outcomes (the similarity
+        // relation ≈ includes reflections), so either flag works when both
+        // orientations tie.
+        let orient = if va.robots()[fmax].ccw_max { 1.0 } else { -1.0 };
+        let targets: Vec<PolarPoint> = f_prime
+            .iter()
+            .map(|&p| {
+                let pp = PolarPoint::from_cartesian(p, Point::ORIGIN);
+                if tol.is_zero(pp.radius) {
+                    PolarPoint { radius: 0.0, angle: 0.0 }
+                } else {
+                    let mut angle =
+                        normalize_angle(orient * (pp.angle - fmax_polar.angle));
+                    // Canonicalize zero-ray targets: a point collinear with
+                    // f_max computes as 0 or 2π−ε depending on the robot's
+                    // (mirrored/rotated) pattern copy, and the sort order of
+                    // the target list must not differ between robots.
+                    if std::f64::consts::TAU - angle <= 1e-9 {
+                        angle = 0.0;
+                    }
+                    PolarPoint { radius: pp.radius, angle }
+                }
+            })
+            .collect();
+
+        // Distinct circle radii, strictly decreasing.
+        let mut radii: Vec<f64> = targets.iter().map(|t| t.radius).collect();
+        radii.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        let mut circles: Vec<f64> = Vec::new();
+        for r in radii {
+            if tol.is_zero(r) {
+                continue; // center targets are handled by multiplicity mode
+            }
+            if circles.last().is_none_or(|&last| tol.lt(r, last)) {
+                circles.push(r);
+            }
+        }
+        let counts: Vec<usize> = circles
+            .iter()
+            .map(|&c| targets.iter().filter(|t| tol.eq(t.radius, c)).count())
+            .collect();
+
+        Ok(TargetPlan {
+            fs,
+            f_prime,
+            fmax,
+            fmax_radius: fmax_polar.radius,
+            theta_f,
+            circles,
+            counts,
+            targets,
+        })
+    }
+
+    /// Index of the circle whose radius matches `r`, if any.
+    pub fn circle_of_radius(&self, r: f64, tol: &Tol) -> Option<usize> {
+        self.circles.iter().position(|&c| tol.eq(c, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_sim::Snapshot;
+    use std::f64::consts::TAU;
+
+    fn ring(n: usize, r: f64, phase: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let t = TAU * i as f64 / n as f64 + phase;
+                Point::new(r * t.cos(), r * t.sin())
+            })
+            .collect()
+    }
+
+    fn analysis(points: &[Point], me: usize, pattern: Vec<Point>) -> Analysis {
+        let off = points[me];
+        let local: Vec<Point> = points.iter().map(|&p| (p - off).to_point()).collect();
+        let snap = Snapshot::new(local, pattern, false, Tol::default());
+        Analysis::new(&snap).unwrap()
+    }
+
+    #[test]
+    fn target_plan_counts_circles() {
+        // Pattern: 4 points on the unit circle, 3 on an inner circle.
+        let mut pattern = ring(4, 1.0, 0.1);
+        pattern.extend(ring(3, 0.5, 0.7));
+        let robots = ring(7, 1.0, 0.0);
+        let a = analysis(&robots, 0, pattern);
+        let plan = TargetPlan::new(&a, 0).unwrap();
+        // F' = F − {fs}: fs is a non-holder, so it comes from a circle that
+        // keeps at least 2 points... total targets = 6.
+        assert_eq!(plan.f_prime.len(), 6);
+        assert_eq!(plan.circles.len(), 2);
+        assert!(plan.circles[0] > plan.circles[1]);
+        assert_eq!(plan.counts.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn targets_are_fmax_anchored() {
+        let mut pattern = ring(5, 1.0, 0.3);
+        pattern.extend(ring(3, 0.4, 0.9));
+        let robots = ring(8, 1.0, 0.0);
+        let a = analysis(&robots, 0, pattern);
+        let plan = TargetPlan::new(&a, 0).unwrap();
+        // f_max itself maps to angle 0.
+        let t = &plan.targets[plan.fmax];
+        assert!(t.angle.abs() < 1e-9 || (TAU - t.angle) < 1e-9);
+        assert!((t.radius - plan.fmax_radius).abs() < 1e-9);
+        assert!(plan.theta_f > 0.0 && plan.theta_f <= std::f64::consts::PI);
+    }
+
+    #[test]
+    fn plan_is_mirror_invariant_in_shape() {
+        // Mirroring the pattern must give the same multiset of target polar
+        // coordinates (the plan is chirality-free).
+        let mut pattern = ring(5, 1.0, 0.3);
+        pattern.push(Point::new(0.4, 0.2));
+        pattern.push(Point::new(-0.3, 0.6));
+        let mirrored: Vec<Point> = pattern.iter().map(|p| Point::new(p.x, -p.y)).collect();
+        let robots = ring(7, 1.0, 0.0);
+        let a1 = analysis(&robots, 0, pattern);
+        let a2 = analysis(&robots, 0, mirrored);
+        let p1 = TargetPlan::new(&a1, 0).unwrap();
+        let p2 = TargetPlan::new(&a2, 0).unwrap();
+        let mut k1: Vec<(i64, i64)> = p1
+            .targets
+            .iter()
+            .map(|t| ((t.radius * 1e6).round() as i64, (t.angle * 1e6).round() as i64))
+            .collect();
+        let mut k2: Vec<(i64, i64)> = p2
+            .targets
+            .iter()
+            .map(|t| ((t.radius * 1e6).round() as i64, (t.angle * 1e6).round() as i64))
+            .collect();
+        k1.sort_unstable();
+        k2.sort_unstable();
+        assert_eq!(k1, k2);
+    }
+}

@@ -1,0 +1,157 @@
+//! The multiplicity extension (Section 5, Appendix C).
+//!
+//! With multiplicity detection, the algorithm forms patterns that contain
+//! multiplicity points: robots sharing a destination are simply allowed to
+//! land on the same spot (the phase-3 blocking rule exempts robots standing
+//! exactly on one's own destination).
+//!
+//! The one case needing surgery is a pattern point at `c(F)` itself (with
+//! any count `m ≥ 1`): no robot can be *placed* at the center without
+//! destroying every center-anchored predicate. Following Appendix C, the
+//! algorithm first forms `F̃` — `F` with the center points relocated to
+//! `g_F`, the midpoint between `c(F)` and the off-center point with maximal
+//! view — and finishes with a *gather step*: when the `m` closest robots
+//! stand on a single half-line from the center and everyone else forms
+//! `F − {(c(F), m)}`, those `m` robots walk to the center.
+
+use crate::analysis::Analysis;
+use apf_geometry::symmetry::ViewAnalysis;
+use apf_geometry::{are_similar, Configuration, Path, Point};
+use apf_sim::{ComputeError, Decision};
+
+/// What the multiplicity preprocessing decided.
+#[derive(Debug)]
+pub enum MultiStep {
+    /// No center point in `F`: continue with the (possibly multiset)
+    /// pattern as-is.
+    Proceed,
+    /// `F` had center points: continue with the transformed pattern `F̃`
+    /// (already swapped into the analysis).
+    Transformed,
+    /// The gather condition holds: this is the observer's decision.
+    Gather(Decision),
+}
+
+/// Applies the Appendix C transformation when `F` contains `c(F)`.
+///
+/// # Errors
+///
+/// * the pattern has multiplicity but the snapshot does not expose
+///   multiplicities;
+/// * the pattern is a single multiplicity point (the Gathering problem —
+///   out of scope, as in the paper).
+pub fn preprocess(a: &mut Analysis) -> Result<MultiStep, ComputeError> {
+    let tol = a.tol;
+    let pat_cfg = Configuration::new(a.pattern.clone());
+    let groups = pat_cfg.multiplicity_groups(&tol);
+    let has_multiplicity = groups.iter().any(|(_, m)| m.len() > 1);
+    if has_multiplicity && !a.multiplicity_detection {
+        return Err(ComputeError::new(
+            "pattern contains multiplicity points but multiplicity detection is off",
+        ));
+    }
+    if groups.len() == 1 {
+        return Err(ComputeError::new(
+            "pattern is a single multiplicity point: that is the Gathering problem, out of scope",
+        ));
+    }
+    // Center group: pattern points at c(F) (the normalized origin).
+    let center_group: Vec<usize> = groups
+        .iter()
+        .find(|(rep, _)| rep.approx_eq(Point::ORIGIN, &tol))
+        .map(|(_, members)| members.clone())
+        .unwrap_or_default();
+    if center_group.is_empty() {
+        return Ok(MultiStep::Proceed);
+    }
+    let m = center_group.len();
+
+    // g_F: on the half-line toward the off-center max-view point, at half
+    // the smallest off-center pattern radius. (The paper uses the midpoint
+    // of [c(F), f_max]; we halve the *innermost* radius instead so the
+    // relocated group is guaranteed to be the m closest robots, which is
+    // what the gather-step detection keys on.)
+    let va = ViewAnalysis::compute(&pat_cfg, Point::ORIGIN, &tol);
+    let fmax = (0..a.pattern.len())
+        .filter(|&i| !tol.is_zero(a.pattern[i].dist(Point::ORIGIN)))
+        .max_by(|&x, &y| va.view(x).cmp(va.view(y)))
+        .expect("more than one distinct pattern location");
+    let r_min = a
+        .pattern
+        .iter()
+        .map(|p| p.dist(Point::ORIGIN))
+        .filter(|&r| !tol.is_zero(r))
+        .fold(f64::INFINITY, f64::min);
+    let dir = (a.pattern[fmax] - Point::ORIGIN)
+        .normalized()
+        .expect("f_max is off-center");
+    let g_f = Point::ORIGIN + dir * (r_min / 2.0);
+
+    // Gather condition: the m closest robots are on one half-line from the
+    // center (or already at it) and the rest form F − {(c, m)}.
+    if let Some(d) = gather_step(a, m, &center_group) {
+        return Ok(MultiStep::Gather(d));
+    }
+
+    // Swap in F̃.
+    let mut f_tilde = a.pattern.clone();
+    for &i in &center_group {
+        f_tilde[i] = g_f;
+    }
+    a.override_pattern(f_tilde);
+    Ok(MultiStep::Transformed)
+}
+
+/// Checks the gather condition and, when it holds, returns the observer's
+/// decision (inner robots walk to the center, everyone else stays).
+fn gather_step(a: &Analysis, m: usize, center_group: &[usize]) -> Option<Decision> {
+    let tol = a.tol;
+    let n = a.n();
+    if m >= n {
+        return None;
+    }
+    // The m closest robots.
+    let mut by_radius: Vec<usize> = (0..n).collect();
+    by_radius.sort_by(|&x, &y| a.radius(x).partial_cmp(&a.radius(y)).unwrap());
+    let inner = &by_radius[..m];
+    let rest = &by_radius[m..];
+    // The boundary must be unambiguous.
+    if m > 0 && !tol.lt(a.radius(inner[m - 1]), a.radius(rest[0])) {
+        return None;
+    }
+    // Inner robots on one half-line from the origin (robots at the origin
+    // are trivially on it).
+    let mut angle: Option<f64> = None;
+    for &i in inner {
+        let p = a.polar(i);
+        if tol.is_zero(p.radius) {
+            continue;
+        }
+        match angle {
+            None => angle = Some(p.angle),
+            Some(ang) => {
+                if apf_geometry::angle::angle_dist(ang, p.angle) > tol.angle_eps.max(1e-6) {
+                    return None;
+                }
+            }
+        }
+    }
+    // Rest forms F minus the center points.
+    let rest_pts: Vec<Point> = rest.iter().map(|&i| a.config.point(i)).collect();
+    let f_rest: Vec<Point> = a
+        .pattern
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !center_group.contains(&i))
+        .map(|(_, &p)| p)
+        .collect();
+    if !are_similar(&rest_pts, &f_rest, &tol) {
+        return None;
+    }
+    // Gather: inner robots not yet at the center walk straight to it.
+    if inner.contains(&a.me) && !tol.is_zero(a.radius(a.me)) {
+        let p = Path::straight(a.my_pos(), Point::ORIGIN);
+        return Some(Decision::Move(a.denormalize_path(&p)));
+    }
+    Some(Decision::Stay)
+}

@@ -1,0 +1,181 @@
+//! Angle arithmetic on the circle `[0, 2π)`.
+//!
+//! The paper manipulates three kinds of angular quantities:
+//!
+//! * `ang(u, v, w)` — the oriented angle at vertex `v` from `u` to `w`,
+//!   in `[0, 2π)`, for a chosen [`Orientation`];
+//! * `angmin(u, v, w)` — the minimum angle over both orientations, in
+//!   `[0, π]`;
+//! * angular *gaps* between consecutive half-lines around a center, used by
+//!   the regularity detectors.
+
+use crate::point::Point;
+use std::f64::consts::TAU;
+
+/// Rotational orientation of an angle measurement or an arc.
+///
+/// `Ccw` is the mathematically positive direction in the global frame. Local
+/// robot frames may be mirrored, so no algorithm in this workspace may assume
+/// that all robots agree on which direction is `Ccw` — that is precisely the
+/// "no chirality" property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Counter-clockwise (positive) in the frame at hand.
+    Ccw,
+    /// Clockwise (negative) in the frame at hand.
+    Cw,
+}
+
+impl Orientation {
+    /// The opposite orientation.
+    pub fn reversed(self) -> Orientation {
+        match self {
+            Orientation::Ccw => Orientation::Cw,
+            Orientation::Cw => Orientation::Ccw,
+        }
+    }
+
+    /// `+1.0` for `Ccw`, `-1.0` for `Cw`.
+    pub fn sign(self) -> f64 {
+        match self {
+            Orientation::Ccw => 1.0,
+            Orientation::Cw => -1.0,
+        }
+    }
+}
+
+/// Normalizes an angle to `[0, 2π)`.
+///
+/// # Example
+///
+/// ```
+/// use apf_geometry::normalize_angle;
+/// use std::f64::consts::{PI, TAU};
+/// assert!((normalize_angle(-PI) - PI).abs() < 1e-12);
+/// assert!(normalize_angle(TAU) < 1e-12);
+/// ```
+pub fn normalize_angle(a: f64) -> f64 {
+    let mut r = a % TAU;
+    if r < 0.0 {
+        r += TAU;
+    }
+    // Guard against r == TAU after the addition due to rounding.
+    if r >= TAU {
+        r = 0.0;
+    }
+    r
+}
+
+/// The oriented angle `ang(u, v, w) ∈ [0, 2π)` at vertex `v`, measured from
+/// ray `v→u` to ray `v→w` in the given orientation.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `u == v` or `w == v`, where the rays are
+/// undefined.
+pub fn ang(u: Point, v: Point, w: Point, orientation: Orientation) -> f64 {
+    let a = (u - v).angle();
+    let b = (w - v).angle();
+    debug_assert!((u - v).norm_sq() > 0.0 && (w - v).norm_sq() > 0.0);
+    match orientation {
+        Orientation::Ccw => normalize_angle(b - a),
+        Orientation::Cw => normalize_angle(a - b),
+    }
+}
+
+/// The minimum angle `angmin(u, v, w) ∈ [0, π]` over both orientations.
+pub fn ang_min(u: Point, v: Point, w: Point) -> f64 {
+    let a = ang(u, v, w, Orientation::Ccw);
+    a.min(TAU - a)
+}
+
+/// Signed shortest angular difference `b − a`, normalized to `(-π, π]`.
+pub fn signed_angle_diff(a: f64, b: f64) -> f64 {
+    let d = normalize_angle(b - a);
+    if d > std::f64::consts::PI {
+        d - TAU
+    } else {
+        d
+    }
+}
+
+/// Absolute shortest angular distance between two angles, in `[0, π]`.
+pub fn angle_dist(a: f64, b: f64) -> f64 {
+    signed_angle_diff(a, b).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn normalize_wraps_both_directions() {
+        assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-FRAC_PI_2) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+        assert!(normalize_angle(0.0) == 0.0);
+        assert!(normalize_angle(TAU - 1e-15) < TAU);
+    }
+
+    #[test]
+    fn oriented_angle_at_vertex() {
+        let v = Point::ORIGIN;
+        let u = Point::new(1.0, 0.0);
+        let w = Point::new(0.0, 1.0);
+        assert!((ang(u, v, w, Orientation::Ccw) - FRAC_PI_2).abs() < 1e-12);
+        assert!((ang(u, v, w, Orientation::Cw) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ang_min_is_symmetric_and_bounded() {
+        let v = Point::new(1.0, 1.0);
+        let u = Point::new(2.0, 1.0);
+        let w = Point::new(1.0, -3.0);
+        let m = ang_min(u, v, w);
+        assert!((m - FRAC_PI_2).abs() < 1e-12);
+        assert!((ang_min(w, v, u) - m).abs() < 1e-12);
+        assert!(m <= PI);
+    }
+
+    #[test]
+    fn ang_min_collinear_opposite_is_pi() {
+        let v = Point::ORIGIN;
+        let u = Point::new(1.0, 0.0);
+        let w = Point::new(-2.0, 0.0);
+        assert!((ang_min(u, v, w) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_diff_shortest_path() {
+        assert!((signed_angle_diff(0.1, 0.3) - 0.2).abs() < 1e-12);
+        assert!((signed_angle_diff(0.3, 0.1) + 0.2).abs() < 1e-12);
+        // Wraps around 2π.
+        assert!((signed_angle_diff(TAU - 0.1, 0.1) - 0.2).abs() < 1e-12);
+        assert!((signed_angle_diff(0.1, TAU - 0.1) + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_dist_is_metric_like() {
+        assert!((angle_dist(0.0, PI) - PI).abs() < 1e-12);
+        assert!(angle_dist(1.0, 1.0) == 0.0);
+        assert!((angle_dist(FRAC_PI_4, TAU - FRAC_PI_4) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orientation_reversal() {
+        assert_eq!(Orientation::Ccw.reversed(), Orientation::Cw);
+        assert_eq!(Orientation::Cw.reversed(), Orientation::Ccw);
+        assert_eq!(Orientation::Ccw.sign(), 1.0);
+        assert_eq!(Orientation::Cw.sign(), -1.0);
+    }
+
+    #[test]
+    fn oriented_angles_sum_to_tau() {
+        let v = Point::ORIGIN;
+        let u = Point::new(0.3, 0.8);
+        let w = Point::new(-0.5, 0.2);
+        let c = ang(u, v, w, Orientation::Ccw);
+        let k = ang(u, v, w, Orientation::Cw);
+        assert!((c + k - TAU).abs() < 1e-12 || (c == 0.0 && k == 0.0));
+    }
+}

@@ -1,0 +1,264 @@
+//! Local coordinate systems (similarity transforms, possibly mirrored).
+//!
+//! Each robot sees the world through its own ego-centered frame with an
+//! arbitrary origin, rotation, uniform scale and — crucially — an arbitrary
+//! *handedness*. The algorithm under study assumes **no common North and no
+//! common chirality**, so the simulator gives every robot an independent
+//! random [`Frame`] and the algorithm must produce the same global behavior
+//! regardless.
+
+use crate::angle::Orientation;
+use crate::path::{Path, PathSegment};
+use crate::point::{Point, Vector};
+
+/// A similarity transform `global → local`: rotation (+ optional reflection),
+/// uniform scaling, then translation.
+///
+/// `local = S · R · global + t` where `R` is a rotation possibly composed
+/// with a reflection across the x-axis.
+///
+/// # Example
+///
+/// ```
+/// use apf_geometry::{Frame, Point};
+/// let f = Frame::new(Point::new(1.0, 0.0), std::f64::consts::FRAC_PI_2, 2.0, false);
+/// let local = f.to_local(Point::new(2.0, 0.0));
+/// let back = f.to_global(local);
+/// assert!((back.x - 2.0).abs() < 1e-12 && back.y.abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frame {
+    /// Global position of the local origin.
+    pub origin: Point,
+    /// Rotation from global axes to local axes, radians.
+    pub rotation: f64,
+    /// Uniform scale factor (local units per global unit), > 0.
+    pub scale: f64,
+    /// Whether the frame is mirrored (left-handed w.r.t. the global frame).
+    pub mirrored: bool,
+}
+
+impl Frame {
+    /// Identity frame: local coordinates equal global coordinates.
+    pub fn identity() -> Self {
+        Frame { origin: Point::ORIGIN, rotation: 0.0, scale: 1.0, mirrored: false }
+    }
+
+    /// Creates a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    pub fn new(origin: Point, rotation: f64, scale: f64, mirrored: bool) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "invalid frame scale {scale}");
+        Frame { origin, rotation, scale, mirrored }
+    }
+
+    /// Maps a global point to local coordinates.
+    pub fn to_local(&self, p: Point) -> Point {
+        let v = p - self.origin;
+        let mut w = v.rotate(-self.rotation);
+        if self.mirrored {
+            w = Vector::new(w.x, -w.y);
+        }
+        (w * self.scale).to_point()
+    }
+
+    /// Maps a local point back to global coordinates.
+    pub fn to_global(&self, p: Point) -> Point {
+        let mut w = p.to_vector() / self.scale;
+        if self.mirrored {
+            w = Vector::new(w.x, -w.y);
+        }
+        self.origin + w.rotate(self.rotation)
+    }
+
+    /// Maps a global direction/displacement to local coordinates (no
+    /// translation).
+    pub fn dir_to_local(&self, v: Vector) -> Vector {
+        let mut w = v.rotate(-self.rotation);
+        if self.mirrored {
+            w = Vector::new(w.x, -w.y);
+        }
+        w * self.scale
+    }
+
+    /// Maps a local direction/displacement back to global coordinates.
+    pub fn dir_to_global(&self, v: Vector) -> Vector {
+        let mut w = v / self.scale;
+        if self.mirrored {
+            w = Vector::new(w.x, -w.y);
+        }
+        w.rotate(self.rotation)
+    }
+
+    /// Maps an entire path from local to global coordinates.
+    ///
+    /// Arcs flip orientation when the frame is mirrored — this is exactly the
+    /// mechanism by which a chirality assumption would leak into an
+    /// algorithm, and why the simulator routes all robot output through this
+    /// method.
+    pub fn path_to_global(&self, path: &Path) -> Path {
+        let segs = path
+            .segments()
+            .iter()
+            .map(|seg| match *seg {
+                PathSegment::Line { from, to } => {
+                    PathSegment::line(self.to_global(from), self.to_global(to))
+                }
+                PathSegment::Arc { center, radius, start_angle, sweep, orientation } => {
+                    let gcenter = self.to_global(center);
+                    let start_pt = Point::new(
+                        center.x + radius * start_angle.cos(),
+                        center.y + radius * start_angle.sin(),
+                    );
+                    let gstart = self.to_global(start_pt);
+                    let gstart_angle = (gstart - gcenter).angle();
+                    let gorientation = if self.mirrored {
+                        flip(orientation)
+                    } else {
+                        orientation
+                    };
+                    PathSegment::arc(gcenter, radius / self.scale, gstart_angle, sweep, gorientation)
+                }
+            })
+            .collect();
+        Path::from_segments(segs)
+    }
+
+    /// Maps an entire path from global to local coordinates.
+    pub fn path_to_local(&self, path: &Path) -> Path {
+        let segs = path
+            .segments()
+            .iter()
+            .map(|seg| match *seg {
+                PathSegment::Line { from, to } => {
+                    PathSegment::line(self.to_local(from), self.to_local(to))
+                }
+                PathSegment::Arc { center, radius, start_angle, sweep, orientation } => {
+                    let lcenter = self.to_local(center);
+                    let start_pt = Point::new(
+                        center.x + radius * start_angle.cos(),
+                        center.y + radius * start_angle.sin(),
+                    );
+                    let lstart = self.to_local(start_pt);
+                    let lstart_angle = (lstart - lcenter).angle();
+                    let lorientation = if self.mirrored {
+                        flip(orientation)
+                    } else {
+                        orientation
+                    };
+                    PathSegment::arc(lcenter, radius * self.scale, lstart_angle, sweep, lorientation)
+                }
+            })
+            .collect();
+        Path::from_segments(segs)
+    }
+}
+
+fn flip(o: Orientation) -> Orientation {
+    o.reversed()
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tol::Tol;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const T: Tol = Tol { eps: 1e-9, angle_eps: 1e-9 };
+
+    #[test]
+    fn identity_roundtrip() {
+        let f = Frame::identity();
+        let p = Point::new(3.0, -2.0);
+        assert!(f.to_local(p).approx_eq(p, &T));
+        assert!(f.to_global(p).approx_eq(p, &T));
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_frame() {
+        let f = Frame::new(Point::new(2.0, 1.0), 0.7, 3.0, true);
+        for &(x, y) in &[(0.0, 0.0), (1.0, 2.0), (-5.0, 3.3)] {
+            let p = Point::new(x, y);
+            assert!(f.to_global(f.to_local(p)).approx_eq(p, &T));
+            assert!(f.to_local(f.to_global(p)).approx_eq(p, &T));
+        }
+    }
+
+    #[test]
+    fn translation_only() {
+        let f = Frame::new(Point::new(1.0, 1.0), 0.0, 1.0, false);
+        assert!(f.to_local(Point::new(1.0, 1.0)).approx_eq(Point::ORIGIN, &T));
+        assert!(f.to_local(Point::new(2.0, 1.0)).approx_eq(Point::new(1.0, 0.0), &T));
+    }
+
+    #[test]
+    fn rotation_only() {
+        let f = Frame::new(Point::ORIGIN, FRAC_PI_2, 1.0, false);
+        // Global +y axis is the local +x axis.
+        assert!(f.to_local(Point::new(0.0, 1.0)).approx_eq(Point::new(1.0, 0.0), &T));
+    }
+
+    #[test]
+    fn mirrored_frame_flips_y() {
+        let f = Frame::new(Point::ORIGIN, 0.0, 1.0, true);
+        assert!(f.to_local(Point::new(1.0, 1.0)).approx_eq(Point::new(1.0, -1.0), &T));
+        // Distances are preserved (scale 1) even when mirrored.
+        let a = f.to_local(Point::new(0.0, 0.0));
+        let b = f.to_local(Point::new(3.0, 4.0));
+        assert!(T.eq(a.dist(b), 5.0));
+    }
+
+    #[test]
+    fn scale_scales_distances() {
+        let f = Frame::new(Point::ORIGIN, 0.3, 2.0, false);
+        let a = f.to_local(Point::new(0.0, 0.0));
+        let b = f.to_local(Point::new(1.0, 0.0));
+        assert!(T.eq(a.dist(b), 2.0));
+    }
+
+    #[test]
+    fn direction_mapping_ignores_translation() {
+        let f = Frame::new(Point::new(10.0, 10.0), PI, 1.0, false);
+        let v = f.dir_to_local(Vector::new(1.0, 0.0));
+        assert!(T.eq(v.x, -1.0) && T.is_zero(v.y));
+        let w = f.dir_to_global(v);
+        assert!(T.eq(w.x, 1.0) && T.is_zero(w.y));
+    }
+
+    #[test]
+    fn path_roundtrip_with_arcs() {
+        let f = Frame::new(Point::new(1.0, -1.0), 1.1, 2.5, true);
+        let gpath = crate::path::rotate_on_circle(Point::new(2.0, 2.0), Point::new(3.0, 2.0), 1.0);
+        let lpath = f.path_to_local(&gpath);
+        let back = f.path_to_global(&lpath);
+        for i in 0..=16 {
+            let d = gpath.length() * i as f64 / 16.0;
+            let d2 = back.length() * i as f64 / 16.0;
+            assert!(gpath.point_at(d).approx_eq(back.point_at(d2), &Tol::new(1e-6)));
+        }
+    }
+
+    #[test]
+    fn mirrored_path_flips_arc_orientation() {
+        let f = Frame::new(Point::ORIGIN, 0.0, 1.0, true);
+        let local = crate::path::rotate_on_circle(Point::ORIGIN, Point::new(1.0, 0.0), FRAC_PI_2);
+        // In local coordinates this ends at (0, 1); a mirrored robot's global
+        // effect ends at (0, -1).
+        let global = f.path_to_global(&local);
+        assert!(global.destination().approx_eq(Point::new(0.0, -1.0), &T));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid frame scale")]
+    fn zero_scale_panics() {
+        Frame::new(Point::ORIGIN, 0.0, 0.0, false);
+    }
+}

@@ -1,0 +1,335 @@
+//! Movement paths: polylines mixing straight segments and circular arcs.
+//!
+//! In the ASYNC model a robot *Computes a path* and then *Moves* along it; the
+//! adversary may stop it anywhere after a progress of at least `δ`, and may
+//! pause it arbitrarily long mid-path. The Bramas–Tixeuil algorithm issues
+//! compound movements ("move a little toward the center, then along the
+//! circle, then radially out"), so paths are sequences of [`PathSegment`]s.
+
+use crate::angle::{normalize_angle, Orientation};
+use crate::point::Point;
+use crate::tol::Tol;
+use std::f64::consts::TAU;
+
+/// One leg of a movement path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathSegment {
+    /// Straight-line movement from `from` to `to`.
+    Line {
+        /// Start point.
+        from: Point,
+        /// End point.
+        to: Point,
+    },
+    /// Circular-arc movement around `center` at distance `radius`, from
+    /// `start_angle` sweeping `sweep ≥ 0` radians in the given orientation.
+    Arc {
+        /// Arc center.
+        center: Point,
+        /// Arc radius.
+        radius: f64,
+        /// Starting angle in `[0, 2π)`.
+        start_angle: f64,
+        /// Non-negative sweep in radians (may exceed 2π only by caller error;
+        /// the algorithm never issues sweeps ≥ 2π).
+        sweep: f64,
+        /// Direction of travel along the arc.
+        orientation: Orientation,
+    },
+}
+
+impl PathSegment {
+    /// A straight segment.
+    pub fn line(from: Point, to: Point) -> Self {
+        PathSegment::Line { from, to }
+    }
+
+    /// An arc from `start_angle`, sweeping `sweep` radians around `center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative/non-finite or `sweep` is negative.
+    pub fn arc(
+        center: Point,
+        radius: f64,
+        start_angle: f64,
+        sweep: f64,
+        orientation: Orientation,
+    ) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "invalid arc radius {radius}");
+        assert!(sweep.is_finite() && sweep >= 0.0, "invalid arc sweep {sweep}");
+        PathSegment::Arc {
+            center,
+            radius,
+            start_angle: normalize_angle(start_angle),
+            sweep,
+            orientation,
+        }
+    }
+
+    /// Arc length of the segment.
+    pub fn length(&self) -> f64 {
+        match *self {
+            PathSegment::Line { from, to } => from.dist(to),
+            PathSegment::Arc { radius, sweep, .. } => radius * sweep,
+        }
+    }
+
+    /// Start point of the segment.
+    pub fn start(&self) -> Point {
+        match *self {
+            PathSegment::Line { from, .. } => from,
+            PathSegment::Arc { center, radius, start_angle, .. } => Point::new(
+                center.x + radius * start_angle.cos(),
+                center.y + radius * start_angle.sin(),
+            ),
+        }
+    }
+
+    /// End point of the segment.
+    pub fn end(&self) -> Point {
+        self.point_at(self.length())
+    }
+
+    /// Point at curvilinear distance `d` from the start (clamped to the
+    /// segment).
+    pub fn point_at(&self, d: f64) -> Point {
+        let d = d.clamp(0.0, self.length());
+        match *self {
+            PathSegment::Line { from, to } => {
+                let len = from.dist(to);
+                if len == 0.0 {
+                    from
+                } else {
+                    from.lerp(to, d / len)
+                }
+            }
+            PathSegment::Arc { center, radius, start_angle, orientation, .. } => {
+                if radius == 0.0 {
+                    return center;
+                }
+                let a = start_angle + orientation.sign() * d / radius;
+                Point::new(center.x + radius * a.cos(), center.y + radius * a.sin())
+            }
+        }
+    }
+}
+
+/// A movement path: a chain of segments, each starting where the previous one
+/// ended.
+///
+/// # Example
+///
+/// ```
+/// use apf_geometry::{Path, PathSegment, Point};
+/// let p = Path::from_segments(vec![
+///     PathSegment::line(Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+///     PathSegment::line(Point::new(1.0, 0.0), Point::new(1.0, 2.0)),
+/// ]);
+/// assert_eq!(p.length(), 3.0);
+/// assert_eq!(p.point_at(2.0), Point::new(1.0, 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    segments: Vec<PathSegment>,
+}
+
+impl Path {
+    /// An empty path anchored at `at` (a robot that decides not to move).
+    pub fn stay(at: Point) -> Self {
+        Path { segments: vec![PathSegment::line(at, at)] }
+    }
+
+    /// A single straight-line path.
+    pub fn straight(from: Point, to: Point) -> Self {
+        Path { segments: vec![PathSegment::line(from, to)] }
+    }
+
+    /// Builds a path from segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or consecutive segments are not
+    /// (approximately) contiguous.
+    pub fn from_segments(segments: Vec<PathSegment>) -> Self {
+        assert!(!segments.is_empty(), "a path needs at least one segment");
+        for w in segments.windows(2) {
+            let gap = w[0].end().dist(w[1].start());
+            assert!(gap < 1e-6, "path segments are not contiguous (gap {gap})");
+        }
+        Path { segments }
+    }
+
+    /// The segments of the path.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Total curvilinear length.
+    pub fn length(&self) -> f64 {
+        self.segments.iter().map(PathSegment::length).sum()
+    }
+
+    /// Start point.
+    pub fn start(&self) -> Point {
+        self.segments[0].start()
+    }
+
+    /// Final destination.
+    pub fn destination(&self) -> Point {
+        self.segments.last().unwrap().end()
+    }
+
+    /// Point at curvilinear distance `d` from the start (clamped to the
+    /// path).
+    pub fn point_at(&self, d: f64) -> Point {
+        let mut remaining = d.max(0.0);
+        for seg in &self.segments {
+            let len = seg.length();
+            if remaining <= len {
+                return seg.point_at(remaining);
+            }
+            remaining -= len;
+        }
+        self.destination()
+    }
+
+    /// Whether the path never leaves the closed disc of radius `r` around
+    /// `center` (checked by sampling; used by safety invariants in tests).
+    pub fn within_disc(&self, center: Point, r: f64, tol: &Tol) -> bool {
+        let total = self.length();
+        let steps = 64;
+        (0..=steps).all(|i| {
+            let p = self.point_at(total * i as f64 / steps as f64);
+            tol.le(center.dist(p), r)
+        })
+    }
+}
+
+/// Convenience: an arc path along the circle of `p` around `center`, rotating
+/// by `delta` radians (sign selects direction: positive = CCW).
+pub fn rotate_on_circle(center: Point, p: Point, delta: f64) -> Path {
+    let v = p - center;
+    let radius = v.norm();
+    let start_angle = normalize_angle(v.angle());
+    let (sweep, orientation) = if delta >= 0.0 {
+        (delta % TAU, Orientation::Ccw)
+    } else {
+        ((-delta) % TAU, Orientation::Cw)
+    };
+    Path { segments: vec![PathSegment::arc(center, radius, start_angle, sweep, orientation)] }
+}
+
+/// Convenience: a radial path moving `p` to distance `target_radius` from
+/// `center` along its half-line.
+///
+/// # Panics
+///
+/// Panics if `p` coincides with `center` (the half-line is undefined) while
+/// `target_radius > 0`.
+pub fn radial_to(center: Point, p: Point, target_radius: f64) -> Path {
+    let v = p - center;
+    if target_radius == 0.0 {
+        return Path::straight(p, center);
+    }
+    let u = v.normalized().expect("radial movement from the center is undefined");
+    Path::straight(p, center + u * target_radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const T: Tol = Tol { eps: 1e-9, angle_eps: 1e-9 };
+
+    #[test]
+    fn line_segment_basics() {
+        let s = PathSegment::line(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert!(T.eq(s.length(), 5.0));
+        assert!(s.point_at(2.5).approx_eq(Point::new(1.5, 2.0), &T));
+        assert!(s.point_at(99.0).approx_eq(Point::new(3.0, 4.0), &T));
+        assert!(s.point_at(-1.0).approx_eq(Point::new(0.0, 0.0), &T));
+    }
+
+    #[test]
+    fn arc_segment_quarter_circle() {
+        let s = PathSegment::arc(Point::ORIGIN, 2.0, 0.0, FRAC_PI_2, Orientation::Ccw);
+        assert!(T.eq(s.length(), PI));
+        assert!(s.start().approx_eq(Point::new(2.0, 0.0), &T));
+        assert!(s.end().approx_eq(Point::new(0.0, 2.0), &T));
+        assert!(s.point_at(PI / 2.0).approx_eq(
+            Point::new(2.0 * (FRAC_PI_2 / 2.0).cos(), 2.0 * (FRAC_PI_2 / 2.0).sin()),
+            &T
+        ));
+    }
+
+    #[test]
+    fn arc_clockwise_goes_negative() {
+        let s = PathSegment::arc(Point::ORIGIN, 1.0, 0.0, FRAC_PI_2, Orientation::Cw);
+        assert!(s.end().approx_eq(Point::new(0.0, -1.0), &T));
+    }
+
+    #[test]
+    fn path_concatenation_and_interpolation() {
+        let p = Path::from_segments(vec![
+            PathSegment::line(Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            PathSegment::arc(Point::new(1.0, 1.0), 1.0, -FRAC_PI_2, FRAC_PI_2, Orientation::Ccw),
+        ]);
+        assert!(T.eq(p.length(), 1.0 + FRAC_PI_2));
+        assert!(p.start().approx_eq(Point::new(0.0, 0.0), &T));
+        assert!(p.destination().approx_eq(Point::new(2.0, 1.0), &T));
+        assert!(p.point_at(0.5).approx_eq(Point::new(0.5, 0.0), &T));
+        // Past the end clamps.
+        assert!(p.point_at(10.0).approx_eq(p.destination(), &T));
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn discontiguous_path_panics() {
+        Path::from_segments(vec![
+            PathSegment::line(Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            PathSegment::line(Point::new(2.0, 0.0), Point::new(3.0, 0.0)),
+        ]);
+    }
+
+    #[test]
+    fn stay_path_has_zero_length() {
+        let p = Path::stay(Point::new(1.0, 1.0));
+        assert_eq!(p.length(), 0.0);
+        assert!(p.destination().approx_eq(Point::new(1.0, 1.0), &T));
+    }
+
+    #[test]
+    fn rotate_on_circle_both_directions() {
+        let c = Point::new(1.0, 0.0);
+        let p = Point::new(2.0, 0.0);
+        let ccw = rotate_on_circle(c, p, FRAC_PI_2);
+        assert!(ccw.destination().approx_eq(Point::new(1.0, 1.0), &T));
+        let cw = rotate_on_circle(c, p, -FRAC_PI_2);
+        assert!(cw.destination().approx_eq(Point::new(1.0, -1.0), &T));
+        // Radius is preserved along the way.
+        assert!(T.eq(c.dist(ccw.point_at(0.3)), 1.0));
+    }
+
+    #[test]
+    fn radial_movement() {
+        let c = Point::ORIGIN;
+        let p = Point::new(0.0, 4.0);
+        let inward = radial_to(c, p, 1.0);
+        assert!(inward.destination().approx_eq(Point::new(0.0, 1.0), &T));
+        let outward = radial_to(c, p, 6.0);
+        assert!(outward.destination().approx_eq(Point::new(0.0, 6.0), &T));
+        let to_center = radial_to(c, p, 0.0);
+        assert!(to_center.destination().approx_eq(c, &T));
+    }
+
+    #[test]
+    fn within_disc_detects_escapes() {
+        let tol = Tol::default();
+        let inside = rotate_on_circle(Point::ORIGIN, Point::new(1.0, 0.0), PI);
+        assert!(inside.within_disc(Point::ORIGIN, 1.0 + 1e-6, &tol));
+        let escape = Path::straight(Point::new(0.0, 0.0), Point::new(3.0, 0.0));
+        assert!(!escape.within_disc(Point::ORIGIN, 1.0, &tol));
+    }
+}

@@ -1,0 +1,348 @@
+//! Points and vectors in the Euclidean plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::tol::Tol;
+
+/// A point in the global (or a local) 2-D Euclidean coordinate system.
+///
+/// # Example
+///
+/// ```
+/// use apf_geometry::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.dist(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vector {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root).
+    pub fn dist_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// The midpoint of `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// Whether the two points coincide within the tolerance.
+    pub fn approx_eq(self, other: Point, tol: &Tol) -> bool {
+        tol.is_zero(self.dist(other))
+    }
+
+    /// Rotates the point around `center` by `angle` radians
+    /// (counter-clockwise for positive angles).
+    pub fn rotate_around(self, center: Point, angle: f64) -> Point {
+        center + (self - center).rotate(angle)
+    }
+
+    /// Reflects the point across the line through `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` exactly (the line is undefined).
+    pub fn reflect_across(self, a: Point, b: Point) -> Point {
+        let d = b - a;
+        assert!(d.norm_sq() > 0.0, "reflection axis requires two distinct points");
+        let u = d / d.norm();
+        let v = self - a;
+        let proj = u * v.dot(u);
+        let perp = v - proj;
+        a + proj - perp
+    }
+
+    /// Converts to a vector from the origin.
+    pub fn to_vector(self) -> Vector {
+        Vector { x: self.x, y: self.y }
+    }
+}
+
+impl Vector {
+    /// The zero vector.
+    pub const ZERO: Vector = Vector { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vector { x, y }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (`z` component of the 3-D cross product).
+    /// Positive when `other` is counter-clockwise from `self`.
+    pub fn cross(self, other: Vector) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The angle of the vector in `(-π, π]`, as given by `atan2`.
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotates the vector by `angle` radians counter-clockwise.
+    pub fn rotate(self, angle: f64) -> Vector {
+        let (s, c) = angle.sin_cos();
+        Vector::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// The unit vector in the same direction.
+    ///
+    /// Returns `None` when the vector is (numerically) zero.
+    pub fn normalized(self) -> Option<Vector> {
+        let n = self.norm();
+        if n <= f64::EPSILON * 4.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// A vector perpendicular to `self`, rotated +90° (counter-clockwise).
+    pub fn perp(self) -> Vector {
+        Vector::new(-self.y, self.x)
+    }
+
+    /// Converts to the point at this displacement from the origin.
+    pub fn to_point(self) -> Point {
+        Point { x: self.x, y: self.y }
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    fn add_assign(&mut self, v: Vector) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.x, self.y - v.y)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    fn sub_assign(&mut self, v: Vector) {
+        self.x -= v.x;
+        self.y -= v.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    fn sub(self, other: Point) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    fn add(self, other: Vector) -> Vector {
+        Vector::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    fn sub(self, other: Vector) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    fn mul(self, s: f64) -> Vector {
+        Vector::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    fn div(self, s: f64) -> Vector {
+        Vector::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.6}, {:.6}>", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<(f64, f64)> for Vector {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vector::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const T: Tol = Tol { eps: 1e-9, angle_eps: 1e-9 };
+
+    #[test]
+    fn distance_and_midpoint() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert!(T.eq(a.dist(b), 5.0));
+        assert!(T.eq(a.dist_sq(b), 25.0));
+        assert!(a.midpoint(b).approx_eq(Point::new(2.5, 3.0), &T));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, -2.0);
+        assert!(a.lerp(b, 0.0).approx_eq(a, &T));
+        assert!(a.lerp(b, 1.0).approx_eq(b, &T));
+        assert!(a.lerp(b, 0.5).approx_eq(Point::new(1.0, -1.0), &T));
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let p = Point::new(1.0, 0.0);
+        let q = p.rotate_around(Point::ORIGIN, FRAC_PI_2);
+        assert!(q.approx_eq(Point::new(0.0, 1.0), &T));
+        let r = p.rotate_around(Point::new(1.0, 1.0), PI);
+        assert!(r.approx_eq(Point::new(1.0, 2.0), &T));
+    }
+
+    #[test]
+    fn reflection_across_axis() {
+        let p = Point::new(1.0, 2.0);
+        // Reflect across the x-axis.
+        let q = p.reflect_across(Point::ORIGIN, Point::new(1.0, 0.0));
+        assert!(q.approx_eq(Point::new(1.0, -2.0), &T));
+        // Reflect across the diagonal y = x swaps coordinates.
+        let r = p.reflect_across(Point::ORIGIN, Point::new(1.0, 1.0));
+        assert!(r.approx_eq(Point::new(2.0, 1.0), &T));
+    }
+
+    #[test]
+    fn reflection_fixes_points_on_axis() {
+        let a = Point::new(-3.0, 1.0);
+        let b = Point::new(5.0, 1.0);
+        let p = Point::new(2.0, 1.0);
+        assert!(p.reflect_across(a, b).approx_eq(p, &T));
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let u = Vector::new(1.0, 2.0);
+        let v = Vector::new(3.0, -1.0);
+        assert!(T.eq(u.dot(v), 1.0));
+        assert!(T.eq(u.cross(v), -7.0));
+        assert!(T.eq((u + v).x, 4.0));
+        assert!(T.eq((u - v).y, 3.0));
+        assert!(T.eq((u * 2.0).norm(), 2.0 * u.norm()));
+        assert!(T.eq((-u).x, -1.0));
+    }
+
+    #[test]
+    fn angle_and_perp() {
+        assert!(T.ang_eq(Vector::new(1.0, 0.0).angle(), 0.0));
+        assert!(T.ang_eq(Vector::new(0.0, 2.0).angle(), FRAC_PI_2));
+        let u = Vector::new(1.0, 0.0);
+        assert!(T.ang_eq(u.perp().angle(), FRAC_PI_2));
+        assert!(T.eq(u.perp().dot(u), 0.0));
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Vector::ZERO.normalized().is_none());
+        let n = Vector::new(0.0, 5.0).normalized().unwrap();
+        assert!(T.eq(n.norm(), 1.0));
+    }
+
+    #[test]
+    fn rotate_composes() {
+        let v = Vector::new(1.0, 0.5);
+        let w = v.rotate(0.3).rotate(0.7);
+        let z = v.rotate(1.0);
+        assert!(T.eq(w.x, z.x) && T.eq(w.y, z.y));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+        assert!(!format!("{}", Vector::ZERO).is_empty());
+    }
+}

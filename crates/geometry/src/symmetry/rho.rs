@@ -1,0 +1,297 @@
+//! Symmetricity `ρ(P)` and axes of symmetry.
+//!
+//! `ρ(P)` is the largest `m` such that rotating the configuration by `2π/m`
+//! around its center maps it onto itself. The paper's key deterministic
+//! impossibility result (Yamauchi & Yamashita) is phrased in terms of `ρ`:
+//! deterministic oblivious robots can form `F` from `I` iff `ρ(I) | ρ(F)`,
+//! which is exactly the restriction the probabilistic algorithm removes.
+
+use crate::angle::{angle_dist, normalize_angle};
+use crate::config::Configuration;
+use crate::point::Point;
+use crate::polar::PolarPoint;
+use crate::tol::Tol;
+use std::f64::consts::TAU;
+
+/// The symmetricity `ρ(P)` of the configuration around `center`.
+///
+/// A robot located at the center (if any) is rotation-invariant and does not
+/// constrain `ρ`; the paper computes `ρ` of configurations with
+/// `c(P) ∉ P`, and when `c(P) ∈ P` the result here is the symmetricity of
+/// the remaining robots (the standard convention).
+///
+/// # Example
+///
+/// ```
+/// use apf_geometry::{Configuration, Point, Tol};
+/// use apf_geometry::symmetry::symmetricity;
+/// use std::f64::consts::TAU;
+///
+/// let square: Vec<Point> = (0..4).map(|i| {
+///     let a = TAU * i as f64 / 4.0;
+///     Point::new(a.cos(), a.sin())
+/// }).collect();
+/// let cfg = Configuration::new(square);
+/// assert_eq!(symmetricity(&cfg, Point::new(0.0, 0.0), &Tol::default()), 4);
+/// ```
+pub fn symmetricity(config: &Configuration, center: Point, tol: &Tol) -> usize {
+    let polar: Vec<PolarPoint> = config
+        .polar_around(center)
+        .into_iter()
+        .filter(|p| !tol.is_zero(p.radius))
+        .collect();
+    let n = polar.len();
+    if n == 0 {
+        return 1;
+    }
+    // Try divisors of n from largest to smallest.
+    let mut best = 1;
+    for m in (1..=n).rev() {
+        if !n.is_multiple_of(m) {
+            continue;
+        }
+        if rotation_maps_to_self(&polar, TAU / m as f64, tol) {
+            best = m;
+            break;
+        }
+    }
+    best
+}
+
+/// Whether the configuration has at least one axis of (mirror) symmetry
+/// through `center`.
+pub fn has_axis_of_symmetry(config: &Configuration, center: Point, tol: &Tol) -> bool {
+    !axes_of_symmetry(config, center, tol).is_empty()
+}
+
+/// All axes of mirror symmetry through `center`, as axis angles in `[0, π)`.
+///
+/// If the configuration has any axis, it has exactly `ρ(P)` of them (or
+/// `2ρ(P)` counting each line once — we return each *line* once).
+pub fn axes_of_symmetry(config: &Configuration, center: Point, tol: &Tol) -> Vec<f64> {
+    let polar: Vec<PolarPoint> = config
+        .polar_around(center)
+        .into_iter()
+        .filter(|p| !tol.is_zero(p.radius))
+        .collect();
+    if polar.is_empty() {
+        return vec![];
+    }
+
+    // Candidate axes: through each robot, and through the angular midpoint of
+    // each pair of robots. Reflection across axis angle φ maps (r, θ) to
+    // (r, 2φ − θ); for the set to be invariant, some robot must map to a
+    // robot, so φ = (θ_i + θ_j)/2 (mod π) for some i, j (possibly i = j).
+    let mut candidates: Vec<f64> = Vec::new();
+    for i in 0..polar.len() {
+        for j in i..polar.len() {
+            let phi = normalize_angle((polar[i].angle + polar[j].angle) / 2.0);
+            candidates.push(phi % std::f64::consts::PI);
+            candidates.push((phi + std::f64::consts::PI / 2.0) % std::f64::consts::PI);
+        }
+    }
+    // Values within tolerance of π wrap to 0 (same line).
+    for c in &mut candidates {
+        if *c >= std::f64::consts::PI - tol.angle_eps {
+            *c -= std::f64::consts::PI;
+        }
+    }
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    candidates.dedup_by(|a, b| (*a - *b).abs() <= tol.angle_eps);
+
+    candidates
+        .into_iter()
+        .filter(|&phi| reflection_maps_to_self(&polar, phi, tol))
+        .collect()
+}
+
+/// Whether rotating all polar points by `angle` yields the same multiset.
+pub(crate) fn rotation_maps_to_self(polar: &[PolarPoint], angle: f64, tol: &Tol) -> bool {
+    if tol.ang_is_zero(angle) || tol.ang_is_zero(TAU - angle) {
+        return true;
+    }
+    let rotated: Vec<PolarPoint> = polar
+        .iter()
+        .map(|p| PolarPoint { radius: p.radius, angle: normalize_angle(p.angle + angle) })
+        .collect();
+    polar_multiset_eq(&rotated, polar, tol)
+}
+
+/// Whether reflecting all polar points across the axis at angle `phi` yields
+/// the same multiset.
+pub(crate) fn reflection_maps_to_self(polar: &[PolarPoint], phi: f64, tol: &Tol) -> bool {
+    let reflected: Vec<PolarPoint> = polar
+        .iter()
+        .map(|p| PolarPoint { radius: p.radius, angle: normalize_angle(2.0 * phi - p.angle) })
+        .collect();
+    polar_multiset_eq(&reflected, polar, tol)
+}
+
+/// Multiset equality of polar point sets with tolerance (greedy matching —
+/// adequate because matches are unambiguous at simulation tolerances).
+pub(crate) fn polar_multiset_eq(a: &[PolarPoint], b: &[PolarPoint], tol: &Tol) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut used = vec![false; b.len()];
+    'outer: for pa in a {
+        for (j, pb) in b.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            if tol.eq(pa.radius, pb.radius)
+                && (tol.is_zero(pa.radius)
+                    || angle_dist(pa.angle, pb.angle) <= tol.angle_eps.max(tol.eps / pa.radius))
+            {
+                used[j] = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tol() -> Tol {
+        Tol::default()
+    }
+
+    fn ring(n: usize, r: f64, phase: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = TAU * i as f64 / n as f64 + phase;
+                Point::new(r * a.cos(), r * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ngon_symmetricity_is_n() {
+        for n in [3usize, 4, 5, 6, 7, 12] {
+            let cfg = Configuration::new(ring(n, 1.0, 0.3));
+            assert_eq!(symmetricity(&cfg, Point::ORIGIN, &tol()), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn two_rings_gcd_symmetricity() {
+        // Ring of 6 and ring of 4 share rotational symmetry gcd(6,4) = 2.
+        let mut pts = ring(6, 1.0, 0.0);
+        pts.extend(ring(4, 0.5, 0.0));
+        let cfg = Configuration::new(pts);
+        assert_eq!(symmetricity(&cfg, Point::ORIGIN, &tol()), 2);
+    }
+
+    #[test]
+    fn asymmetric_config_rho_one() {
+        let cfg = Configuration::new(vec![
+            Point::new(1.0, 0.0),
+            Point::new(0.3, 0.9),
+            Point::new(-0.8, 0.1),
+            Point::new(-0.2, -0.7),
+            Point::new(0.5, -0.4),
+        ]);
+        assert_eq!(symmetricity(&cfg, cfg.sec().center, &tol()), 1);
+    }
+
+    #[test]
+    fn center_robot_does_not_block_rho() {
+        let mut pts = ring(5, 1.0, 0.0);
+        pts.push(Point::ORIGIN);
+        let cfg = Configuration::new(pts);
+        assert_eq!(symmetricity(&cfg, Point::ORIGIN, &tol()), 5);
+    }
+
+    #[test]
+    fn ngon_has_n_axes() {
+        let cfg = Configuration::new(ring(5, 1.0, 0.1));
+        let axes = axes_of_symmetry(&cfg, Point::ORIGIN, &tol());
+        assert_eq!(axes.len(), 5);
+        assert!(has_axis_of_symmetry(&cfg, Point::ORIGIN, &tol()));
+    }
+
+    #[test]
+    fn even_ngon_axes() {
+        // A hexagon has 6 axes (3 through vertices, 3 through edges).
+        let cfg = Configuration::new(ring(6, 1.0, 0.0));
+        assert_eq!(axes_of_symmetry(&cfg, Point::ORIGIN, &tol()).len(), 6);
+    }
+
+    #[test]
+    fn axial_but_not_rotational() {
+        let cfg = Configuration::new(vec![
+            Point::new(0.0, 1.0),
+            Point::new(0.7, -0.2),
+            Point::new(-0.7, -0.2),
+            Point::new(0.0, -0.8),
+        ]);
+        assert_eq!(symmetricity(&cfg, cfg.sec().center, &tol()), 1);
+        let axes = axes_of_symmetry(&cfg, cfg.sec().center, &tol());
+        assert_eq!(axes.len(), 1);
+        // The axis is vertical (angle π/2).
+        assert!(angle_dist(axes[0], std::f64::consts::FRAC_PI_2) <= 1e-6);
+    }
+
+    #[test]
+    fn rotational_without_axis() {
+        // A "pinwheel": ρ = 3 but no mirror axis. Three pairs, each pair
+        // rotated by 2π/3, with chiral offsets.
+        let mut pts = Vec::new();
+        for k in 0..3 {
+            let base = TAU * k as f64 / 3.0;
+            pts.push(Point::new((base).cos(), (base).sin()));
+            pts.push(Point::new(0.6 * (base + 0.4).cos(), 0.6 * (base + 0.4).sin()));
+        }
+        let cfg = Configuration::new(pts);
+        assert_eq!(symmetricity(&cfg, Point::ORIGIN, &tol()), 3);
+        assert!(!has_axis_of_symmetry(&cfg, Point::ORIGIN, &tol()));
+    }
+
+    #[test]
+    fn asymmetric_has_no_axis() {
+        let cfg = Configuration::new(vec![
+            Point::new(1.0, 0.0),
+            Point::new(0.3, 0.9),
+            Point::new(-0.8, 0.1),
+            Point::new(-0.2, -0.7),
+            Point::new(0.5, -0.4),
+        ]);
+        assert!(!has_axis_of_symmetry(&cfg, cfg.sec().center, &tol()));
+    }
+
+    #[test]
+    fn biangular_config_rho_and_axes() {
+        // Biangular set of 6 (alternating gaps 0.4 / (2π/3 − 0.4), equal
+        // radii): ρ = 3, axes exist through the gap bisectors.
+        let alpha = 0.4;
+        let beta = TAU / 3.0 - alpha;
+        let mut angle: f64 = 0.0;
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            pts.push(Point::new(angle.cos(), angle.sin()));
+            angle += if i % 2 == 0 { alpha } else { beta };
+        }
+        let cfg = Configuration::new(pts);
+        assert_eq!(symmetricity(&cfg, Point::ORIGIN, &tol()), 3);
+        assert!(has_axis_of_symmetry(&cfg, Point::ORIGIN, &tol()));
+    }
+
+    #[test]
+    fn rho_agrees_with_view_equivalence_classes() {
+        use crate::symmetry::views::ViewAnalysis;
+        let mut pts = ring(4, 1.0, 0.0);
+        pts.extend(ring(4, 0.6, 0.5));
+        pts.extend(ring(4, 0.3, 0.9));
+        let cfg = Configuration::new(pts);
+        let rho = symmetricity(&cfg, Point::ORIGIN, &tol());
+        assert_eq!(rho, 4);
+        let va = ViewAnalysis::compute(&cfg, Point::ORIGIN, &tol());
+        for class in va.equivalence_classes() {
+            assert_eq!(class.len() % rho, 0);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Weber point (geometric median) via Weiszfeld iteration.
+//!
+//! The Weber point of a point set minimizes the sum of distances to the
+//! points. The paper relies on two of its properties:
+//!
+//! * the Weber point of an equiangular or biangular ("(bi)regular")
+//!   configuration is the center of regularity (Anderegg, Cieliebak &
+//!   Prencipe 2003), and
+//! * it is invariant under straight-line movement of any point *toward* it —
+//!   which is why radial election movements preserve the regular center.
+//!
+//! The paper cites a linear-time exact construction for biangular
+//! configurations; a simulator does not need linear time, so we use the
+//! classical Weiszfeld fixed-point iteration with a standard singularity
+//! guard, followed by verification in the callers (the regularity detectors
+//! re-check angular gaps around the returned center).
+
+use crate::point::{Point, Vector};
+
+/// Result of a Weber point computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeberResult {
+    /// The computed geometric median.
+    pub point: Point,
+    /// Number of iterations used.
+    pub iterations: usize,
+    /// Final step size (convergence indicator).
+    pub residual: f64,
+}
+
+/// Computes the Weber point (geometric median) of `points`.
+///
+/// Uses Weiszfeld iteration from the centroid with the Vardi–Zhang guard for
+/// iterates that land on an input point. Converges to `tolerance` movement per
+/// step or stops after `max_iter` iterations.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn weber_point(points: &[Point]) -> Point {
+    weber_point_detailed(points, 1e-12, 10_000).point
+}
+
+/// Like [`weber_point`] but exposing convergence details.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn weber_point_detailed(points: &[Point], tolerance: f64, max_iter: usize) -> WeberResult {
+    assert!(!points.is_empty(), "weber point of an empty set is undefined");
+    if points.len() == 1 {
+        return WeberResult { point: points[0], iterations: 0, residual: 0.0 };
+    }
+    if points.len() == 2 {
+        // Any point on the segment minimizes; take the midpoint (it is also
+        // the center used elsewhere for two-point sets).
+        return WeberResult { point: points[0].midpoint(points[1]), iterations: 0, residual: 0.0 };
+    }
+
+    // Start from the centroid.
+    let mut x = centroid(points);
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+
+    for it in 0..max_iter {
+        iterations = it + 1;
+        let next = weiszfeld_step(points, x);
+        residual = x.dist(next);
+        x = next;
+        if residual <= tolerance {
+            break;
+        }
+    }
+    WeberResult { point: x, iterations, residual }
+}
+
+/// Arithmetic mean of the points.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn centroid(points: &[Point]) -> Point {
+    assert!(!points.is_empty(), "centroid of an empty set is undefined");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.x).sum();
+    let sy: f64 = points.iter().map(|p| p.y).sum();
+    Point::new(sx / n, sy / n)
+}
+
+fn weiszfeld_step(points: &[Point], x: Point) -> Point {
+    let mut num = Vector::ZERO;
+    let mut den = 0.0;
+    let mut at_vertex: Option<Point> = None;
+    let mut pull = Vector::ZERO; // sum of unit vectors from coincident vertex
+
+    for &p in points {
+        let d = x.dist(p);
+        if d < 1e-13 {
+            at_vertex = Some(p);
+            continue;
+        }
+        let w = 1.0 / d;
+        num = num + (p - Point::ORIGIN) * w;
+        den += w;
+        pull = pull + (p - x) / d;
+    }
+
+    match at_vertex {
+        None => {
+            if den == 0.0 {
+                x
+            } else {
+                (num / den).to_point()
+            }
+        }
+        Some(v) => {
+            // Vardi–Zhang: if the pull of the other points exceeds 1 (the
+            // vertex's own subgradient bound), step off the vertex in the
+            // pull direction; otherwise the vertex is the median.
+            let r = pull.norm();
+            if r <= 1.0 {
+                v
+            } else {
+                let t = weiszfeld_step_excluding(points, x, v);
+                let d = 1.0 - 1.0 / r;
+                x.lerp(t, d.clamp(0.0, 1.0))
+            }
+        }
+    }
+}
+
+fn weiszfeld_step_excluding(points: &[Point], x: Point, excl: Point) -> Point {
+    let mut num = Vector::ZERO;
+    let mut den = 0.0;
+    for &p in points {
+        if p == excl {
+            continue;
+        }
+        let d = x.dist(p).max(1e-13);
+        let w = 1.0 / d;
+        num = num + (p - Point::ORIGIN) * w;
+        den += w;
+    }
+    if den == 0.0 {
+        x
+    } else {
+        (num / den).to_point()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tol::Tol;
+    use std::f64::consts::TAU;
+
+    fn tol() -> Tol {
+        Tol::new(1e-6)
+    }
+
+    #[test]
+    fn single_and_pair() {
+        let p = Point::new(1.0, 2.0);
+        assert!(weber_point(&[p]).approx_eq(p, &tol()));
+        let q = Point::new(3.0, 2.0);
+        assert!(weber_point(&[p, q]).approx_eq(Point::new(2.0, 2.0), &tol()));
+    }
+
+    #[test]
+    fn symmetric_square_median_is_center() {
+        let pts = [
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.0, -1.0),
+        ];
+        assert!(weber_point(&pts).approx_eq(Point::ORIGIN, &tol()));
+    }
+
+    #[test]
+    fn equiangular_with_unequal_radii_center_is_weber() {
+        // 5 half-lines at equal angles from (2, -1), robots at distinct radii:
+        // the Weber point must be the equiangular center.
+        let c = Point::new(2.0, -1.0);
+        let radii = [1.0, 2.0, 0.7, 1.5, 3.0];
+        let pts: Vec<Point> = (0..5)
+            .map(|i| {
+                let a = TAU * i as f64 / 5.0 + 0.3;
+                Point::new(c.x + radii[i] * a.cos(), c.y + radii[i] * a.sin())
+            })
+            .collect();
+        let w = weber_point(&pts);
+        assert!(w.approx_eq(c, &Tol::new(1e-5)), "weber {w} vs center {c}");
+    }
+
+    #[test]
+    fn biangular_center_is_weber() {
+        // Biangular: gaps alternate alpha, beta around center, radii vary in
+        // symmetric pairs so the pulls cancel at the center.
+        let c = Point::new(0.5, 0.5);
+        let alpha = 0.4;
+        let beta = TAU / 3.0 - alpha;
+        let mut angle: f64 = 0.1;
+        let mut pts = Vec::new();
+        let radii = [1.0, 2.0, 1.0, 2.0, 1.0, 2.0];
+        for (i, &r) in radii.iter().enumerate() {
+            pts.push(Point::new(c.x + r * angle.cos(), c.y + r * angle.sin()));
+            angle += if i % 2 == 0 { alpha } else { beta };
+        }
+        let w = weber_point(&pts);
+        assert!(w.approx_eq(c, &Tol::new(1e-5)), "weber {w} vs center {c}");
+    }
+
+    #[test]
+    fn median_is_robust_to_outlier() {
+        // Geometric median barely moves with one far outlier, unlike the
+        // centroid.
+        let mut pts: Vec<Point> = (0..7)
+            .map(|i| {
+                let a = TAU * i as f64 / 7.0;
+                Point::new(a.cos(), a.sin())
+            })
+            .collect();
+        let w0 = weber_point(&pts);
+        pts.push(Point::new(100.0, 0.0));
+        let w1 = weber_point(&pts);
+        assert!(w0.dist(w1) < 0.5);
+        assert!(centroid(&pts).dist(w0) > 5.0);
+    }
+
+    #[test]
+    fn vertex_can_be_the_median() {
+        // Three points where the middle one is the median (collinear set).
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        assert!(weber_point(&pts).approx_eq(Point::new(1.0, 0.0), &tol()));
+    }
+
+    #[test]
+    fn invariance_under_radial_move_toward_weber() {
+        // Move one point of an equiangular set straight toward the center:
+        // the Weber point stays put (paper's Property: radial moves preserve
+        // the regular center).
+        let c = Point::ORIGIN;
+        let mut pts: Vec<Point> = (0..7)
+            .map(|i| {
+                let a = TAU * i as f64 / 7.0;
+                Point::new(2.0 * a.cos(), 2.0 * a.sin())
+            })
+            .collect();
+        let before = weber_point(&pts);
+        assert!(before.approx_eq(c, &tol()));
+        // Pull one point inward along its ray.
+        pts[3] = Point::new(pts[3].x * 0.25, pts[3].y * 0.25);
+        let after = weber_point(&pts);
+        assert!(after.approx_eq(c, &Tol::new(1e-5)), "after = {after}");
+    }
+
+    #[test]
+    fn detailed_reports_convergence() {
+        let pts: Vec<Point> = (0..9)
+            .map(|i| {
+                let a = TAU * i as f64 / 9.0;
+                Point::new(a.cos() * (1.0 + 0.1 * i as f64), a.sin() * (1.0 + 0.1 * i as f64))
+            })
+            .collect();
+        let r = weber_point_detailed(&pts, 1e-12, 10_000);
+        assert!(r.residual <= 1e-10);
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        weber_point(&[]);
+    }
+}

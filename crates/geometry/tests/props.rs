@@ -1,0 +1,248 @@
+//! Property-based tests of the geometric substrate: the invariants every
+//! downstream phase relies on, exercised over randomized inputs.
+
+use apf_geometry::angle::{ang_min, normalize_angle, signed_angle_diff};
+use apf_geometry::symmetry::{
+    check_regular_around, find_regular_center, find_shifted_regular, symmetricity,
+    ViewAnalysis,
+};
+use apf_geometry::{
+    are_similar, smallest_enclosing_circle, weber_point, Configuration, Frame, Path, Point,
+    PolarPoint, Tol,
+};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn pts(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(pt(), n)
+}
+
+/// Random points, min pairwise separation enforced (tolerance decisions are
+/// well-posed).
+fn separated_pts(n: usize) -> impl Strategy<Value = Vec<Point>> {
+    pts(n..n + 1).prop_filter("separated", |v| {
+        v.iter()
+            .enumerate()
+            .all(|(i, p)| v[i + 1..].iter().all(|q| p.dist(*q) > 0.05))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn normalize_angle_in_range(a in -100.0..100.0f64) {
+        let r = normalize_angle(a);
+        prop_assert!((0.0..TAU).contains(&r));
+        // Same direction: sin/cos agree.
+        prop_assert!((r.sin() - a.sin()).abs() < 1e-9);
+        prop_assert!((r.cos() - a.cos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_diff_is_shortest(a in 0.0..TAU, b in 0.0..TAU) {
+        let d = signed_angle_diff(a, b);
+        prop_assert!(d.abs() <= std::f64::consts::PI + 1e-12);
+        prop_assert!((normalize_angle(a + d) - normalize_angle(b)).abs() < 1e-9
+            || (normalize_angle(a + d) - normalize_angle(b)).abs() > TAU - 1e-9);
+    }
+
+    #[test]
+    fn ang_min_bounds(u in pt(), v in pt(), w in pt()) {
+        prop_assume!(u.dist(v) > 1e-6 && w.dist(v) > 1e-6);
+        let m = ang_min(u, v, w);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&m));
+        // Symmetric in its outer arguments.
+        prop_assert!((ang_min(w, v, u) - m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sec_contains_everything(v in pts(1..24)) {
+        let c = smallest_enclosing_circle(&v);
+        let tol = Tol::new(1e-7);
+        for p in &v {
+            prop_assert!(c.contains(*p, &tol));
+        }
+        // Not larger than half the diameter bound: radius <= max pairwise
+        // distance (loose sanity bound).
+        let maxd = v.iter().flat_map(|p| v.iter().map(move |q| p.dist(*q)))
+            .fold(0.0, f64::max);
+        prop_assert!(c.radius <= maxd + 1e-9);
+    }
+
+    #[test]
+    fn sec_permutation_invariant(v in pts(2..16), seed in 0..5u64) {
+        let mut w = v.clone();
+        // Deterministic permutation.
+        let n = w.len();
+        for i in 0..n {
+            let j = ((i as u64 * 7 + seed * 13) % n as u64) as usize;
+            w.swap(i, j);
+        }
+        let a = smallest_enclosing_circle(&v);
+        let b = smallest_enclosing_circle(&w);
+        prop_assert!(a.center.dist(b.center) < 1e-7);
+        prop_assert!((a.radius - b.radius).abs() < 1e-7);
+    }
+
+    #[test]
+    fn frame_roundtrip(p in pt(), ox in -5.0..5.0f64, oy in -5.0..5.0f64,
+                       rot in 0.0..TAU, scale in 0.1..5.0f64, mirror in any::<bool>()) {
+        let f = Frame::new(Point::new(ox, oy), rot, scale, mirror);
+        let back = f.to_global(f.to_local(p));
+        prop_assert!(back.approx_eq(p, &Tol::new(1e-8)));
+    }
+
+    #[test]
+    fn frames_preserve_relative_distances(a in pt(), b in pt(),
+                                          rot in 0.0..TAU, scale in 0.1..5.0f64,
+                                          mirror in any::<bool>()) {
+        let f = Frame::new(Point::new(1.0, -1.0), rot, scale, mirror);
+        let d_local = f.to_local(a).dist(f.to_local(b));
+        prop_assert!((d_local - a.dist(b) * scale).abs() < 1e-7 * (1.0 + d_local));
+    }
+
+    #[test]
+    fn polar_roundtrip(p in pt(), c in pt()) {
+        prop_assume!(p.dist(c) > 1e-6);
+        let pp = PolarPoint::from_cartesian(p, c);
+        prop_assert!(pp.to_cartesian(c).approx_eq(p, &Tol::new(1e-8)));
+    }
+
+    #[test]
+    fn path_endpoints(a in pt(), b in pt()) {
+        let p = Path::straight(a, b);
+        prop_assert!(p.point_at(0.0).approx_eq(a, &Tol::new(1e-12)));
+        prop_assert!(p.point_at(p.length()).approx_eq(b, &Tol::new(1e-9)));
+        // Monotone progress: distances from start are nondecreasing.
+        let mut last = 0.0;
+        for k in 0..=10 {
+            let d = p.length() * k as f64 / 10.0;
+            let travelled = p.point_at(d).dist(a);
+            prop_assert!(travelled + 1e-9 >= last);
+            last = travelled;
+        }
+    }
+
+    #[test]
+    fn similarity_under_random_transform(v in separated_pts(6),
+                                         rot in 0.0..TAU, scale in 0.2..4.0f64,
+                                         dx in -5.0..5.0f64, dy in -5.0..5.0f64,
+                                         mirror in any::<bool>()) {
+        let w: Vec<Point> = v.iter().map(|p| {
+            let mut q = p.to_vector();
+            if mirror { q.y = -q.y; }
+            (q.rotate(rot) * scale).to_point() + apf_geometry::Vector::new(dx, dy)
+        }).collect();
+        prop_assert!(are_similar(&v, &w, &Tol::default()));
+    }
+
+    #[test]
+    fn similarity_rejects_distortion(v in separated_pts(6), k in 0..6usize) {
+        // Move one point by a macroscopic amount: no longer similar
+        // (separation ensures the move cannot be a symmetry of the set).
+        let mut w = v.clone();
+        let sec = smallest_enclosing_circle(&v);
+        w[k] = Point::new(w[k].x + sec.radius * 2.5, w[k].y + sec.radius * 1.7);
+        prop_assert!(!are_similar(&v, &w, &Tol::default()));
+    }
+
+    #[test]
+    fn weber_equivariant_under_rotation(v in pts(3..12), rot in 0.0..TAU) {
+        let w0 = weber_point(&v);
+        let rotated: Vec<Point> = v.iter().map(|p| p.rotate_around(Point::ORIGIN, rot)).collect();
+        let w1 = weber_point(&rotated);
+        prop_assert!(w1.approx_eq(w0.rotate_around(Point::ORIGIN, rot), &Tol::new(1e-5)));
+    }
+
+    #[test]
+    fn equiangular_sets_are_detected(m in 3..10usize, phase in 0.0..TAU,
+                                     cx in -3.0..3.0f64, cy in -3.0..3.0f64,
+                                     radii_seed in 1..1000u32) {
+        let c = Point::new(cx, cy);
+        let v: Vec<Point> = (0..m).map(|i| {
+            let a = TAU * i as f64 / m as f64 + phase;
+            let r = 0.5 + ((radii_seed as usize * (i + 3)) % 17) as f64 / 10.0;
+            Point::new(c.x + r * a.cos(), c.y + r * a.sin())
+        }).collect();
+        // Known center: always detected.
+        prop_assert!(check_regular_around(&v, c, &Tol::default()).is_some());
+        // Unknown center: recovered numerically.
+        let found = find_regular_center(&v, &Tol::default());
+        prop_assert!(found.is_some());
+        prop_assert!(found.unwrap().0.approx_eq(c, &Tol::new(1e-5)));
+    }
+
+    #[test]
+    fn perturbed_equiangular_rejected(m in 4..9usize, eps in 0.05..0.3f64) {
+        // Perturb one angle well beyond the tolerance: not regular.
+        let c = Point::ORIGIN;
+        let v: Vec<Point> = (0..m).map(|i| {
+            let mut a = TAU * i as f64 / m as f64;
+            if i == 1 { a += eps; }
+            Point::new(a.cos(), a.sin())
+        }).collect();
+        prop_assert!(check_regular_around(&v, c, &Tol::default()).is_none());
+    }
+
+    #[test]
+    fn symmetricity_of_orbits(rho in 2..7usize, orbits in 1..4usize, seed in 1..500u32) {
+        // Union of rotation orbits with distinct radii/angles: ρ is a
+        // multiple of `rho` (usually exactly rho).
+        let mut v = Vec::new();
+        for o in 0..orbits {
+            let r = 1.0 + o as f64 * 0.5 + (seed % 7) as f64 * 0.01;
+            let base = (seed as f64 * 0.013 + o as f64 * 0.41) % (TAU / rho as f64);
+            for k in 0..rho {
+                let a = base + TAU * k as f64 / rho as f64;
+                v.push(Point::new(r * a.cos(), r * a.sin()));
+            }
+        }
+        let cfg = Configuration::new(v);
+        let s = symmetricity(&cfg, Point::ORIGIN, &Tol::default());
+        prop_assert!(s % rho == 0, "rho = {rho}, measured = {s}");
+    }
+
+    #[test]
+    fn views_rank_consistently_across_observers(v in separated_pts(7)) {
+        // Every robot computes the same view ranking (agreement): the
+        // ranking from the configuration is observer-independent by
+        // construction; check stability under rotation+mirror of the input.
+        let cfg = Configuration::new(v.clone());
+        let c = cfg.sec().center;
+        let va = ViewAnalysis::compute(&cfg, c, &Tol::default());
+        let order = va.indices_by_view_desc();
+
+        let turned: Vec<Point> = v.iter()
+            .map(|p| Point::new(p.x.mul_add(0.6, -p.y * 0.8), p.x.mul_add(0.8, p.y * 0.6)))
+            .collect(); // rotation by atan2(0.8, 0.6)
+        let cfg2 = Configuration::new(turned);
+        let va2 = ViewAnalysis::compute(&cfg2, cfg2.sec().center, &Tol::default());
+        prop_assert_eq!(order, va2.indices_by_view_desc());
+    }
+
+    #[test]
+    fn shifted_set_roundtrip(m in 7..11usize, eps_frac in 0.03..0.24f64,
+                             shift_idx in 0..7usize, phase in 0.0..TAU) {
+        // Build an exact shifted regular set and verify detection recovers
+        // the shifted robot and ε.
+        let idx = shift_idx % m;
+        let alpha = TAU / m as f64;
+        let v: Vec<Point> = (0..m).map(|i| {
+            let mut a = alpha * i as f64 + phase;
+            if i == idx { a += eps_frac * alpha; }
+            Point::new(a.cos(), a.sin())
+        }).collect();
+        let cfg = Configuration::new(v);
+        let sh = find_shifted_regular(&cfg, &Tol::default());
+        prop_assert!(sh.is_some(), "shifted set must be detected");
+        let sh = sh.unwrap();
+        prop_assert_eq!(sh.shifted_robot, idx);
+        prop_assert!((sh.epsilon - eps_frac).abs() < 5e-3,
+            "epsilon {} vs {}", sh.epsilon, eps_frac);
+    }
+}

@@ -1,0 +1,84 @@
+//! Terminal-friendly ASCII plots of configurations.
+
+use apf_geometry::Point;
+
+/// Renders points into a `width × height` character grid. Robots are `o`,
+/// the grid origin is `+` (if visible), overlapping robots render `@`.
+///
+/// # Example
+///
+/// ```
+/// use apf_render::ascii_plot;
+/// use apf_geometry::Point;
+/// let art = ascii_plot(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)], 21, 11);
+/// assert!(art.contains('o'));
+/// ```
+pub fn ascii_plot(points: &[Point], width: usize, height: usize) -> String {
+    assert!(width >= 3 && height >= 3, "grid too small");
+    if points.is_empty() {
+        return String::new();
+    }
+    let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let max_x = points.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+    let min_y = points.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let max_y = points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    // Mark the origin if inside the bounding box.
+    if (min_x..=max_x).contains(&0.0) && (min_y..=max_y).contains(&0.0) {
+        let cx = ((0.0 - min_x) / span_x * (width - 1) as f64).round() as usize;
+        let cy = ((max_y - 0.0) / span_y * (height - 1) as f64).round() as usize;
+        grid[cy][cx] = '+';
+    }
+    for p in points {
+        let cx = ((p.x - min_x) / span_x * (width - 1) as f64).round() as usize;
+        let cy = ((max_y - p.y) / span_y * (height - 1) as f64).round() as usize;
+        grid[cy][cx] = match grid[cy][cx] {
+            'o' | '@' => '@',
+            _ => 'o',
+        };
+    }
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_correct_dimensions() {
+        let art = ascii_plot(&[Point::new(0.0, 0.0), Point::new(2.0, 1.0)], 20, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 20));
+    }
+
+    #[test]
+    fn overlap_renders_at_sign() {
+        let art = ascii_plot(
+            &[Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(5.0, 5.0)],
+            11,
+            11,
+        );
+        assert!(art.contains('@'));
+        assert!(art.contains('o'));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(ascii_plot(&[], 10, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn tiny_grid_panics() {
+        ascii_plot(&[Point::ORIGIN], 2, 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! SVG and ASCII rendering of robot configurations and execution traces.
+//!
+//! Used by the examples to regenerate the paper's illustrative figures
+//! (regular sets, shifted sets, the selected robot) and to visualize
+//! simulation traces.
+
+pub mod ascii;
+pub mod svg;
+
+pub use ascii::ascii_plot;
+pub use svg::{SvgScene, Style};

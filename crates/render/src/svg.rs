@@ -1,0 +1,214 @@
+//! Minimal SVG scene builder (no external dependencies).
+
+use apf_geometry::{Circle, Point};
+use std::fmt::Write as _;
+
+/// Visual style of a rendered element.
+#[derive(Debug, Clone)]
+pub struct Style {
+    /// Stroke color (CSS color string).
+    pub stroke: String,
+    /// Fill color (CSS color string, or "none").
+    pub fill: String,
+    /// Stroke width in user units.
+    pub stroke_width: f64,
+    /// Opacity in `[0, 1]`.
+    pub opacity: f64,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style { stroke: "#333".into(), fill: "none".into(), stroke_width: 0.01, opacity: 1.0 }
+    }
+}
+
+impl Style {
+    /// A filled dot style with the given color.
+    pub fn dot(color: &str) -> Self {
+        Style { stroke: "none".into(), fill: color.into(), stroke_width: 0.0, opacity: 1.0 }
+    }
+
+    /// A thin outline style with the given color.
+    pub fn outline(color: &str) -> Self {
+        Style { stroke: color.into(), ..Style::default() }
+    }
+}
+
+/// An SVG document accumulating shapes in *world* coordinates; the viewport
+/// is fitted at [`SvgScene::finish`].
+///
+/// # Example
+///
+/// ```
+/// use apf_render::{SvgScene, Style};
+/// use apf_geometry::Point;
+///
+/// let mut scene = SvgScene::new();
+/// scene.point(Point::new(0.0, 0.0), 0.05, &Style::dot("#d33"));
+/// scene.segment(Point::new(0.0, 0.0), Point::new(1.0, 1.0), &Style::default());
+/// let svg = scene.finish();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("circle"));
+/// ```
+#[derive(Debug, Default)]
+pub struct SvgScene {
+    body: String,
+    min: Option<Point>,
+    max: Option<Point>,
+}
+
+impl SvgScene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        SvgScene::default()
+    }
+
+    fn grow(&mut self, p: Point, pad: f64) {
+        let lo = Point::new(p.x - pad, p.y - pad);
+        let hi = Point::new(p.x + pad, p.y + pad);
+        self.min = Some(match self.min {
+            None => lo,
+            Some(m) => Point::new(m.x.min(lo.x), m.y.min(lo.y)),
+        });
+        self.max = Some(match self.max {
+            None => hi,
+            Some(m) => Point::new(m.x.max(hi.x), m.y.max(hi.y)),
+        });
+    }
+
+    /// Draws a dot of the given radius at `p`.
+    pub fn point(&mut self, p: Point, radius: f64, style: &Style) {
+        self.grow(p, radius * 2.0);
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{:.6}" cy="{:.6}" r="{:.6}" fill="{}" stroke="{}" stroke-width="{:.6}" opacity="{}"/>"#,
+            p.x, -p.y, radius, style.fill, style.stroke, style.stroke_width, style.opacity
+        );
+        self.body.push('\n');
+    }
+
+    /// Draws a circle outline.
+    pub fn circle(&mut self, c: &Circle, style: &Style) {
+        self.grow(c.center, c.radius * 1.1);
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{:.6}" cy="{:.6}" r="{:.6}" fill="none" stroke="{}" stroke-width="{:.6}" opacity="{}"/>"#,
+            c.center.x, -c.center.y, c.radius, style.stroke, style.stroke_width, style.opacity
+        );
+        self.body.push('\n');
+    }
+
+    /// Draws a line segment.
+    pub fn segment(&mut self, a: Point, b: Point, style: &Style) {
+        self.grow(a, 0.02);
+        self.grow(b, 0.02);
+        let _ = write!(
+            self.body,
+            r#"<line x1="{:.6}" y1="{:.6}" x2="{:.6}" y2="{:.6}" stroke="{}" stroke-width="{:.6}" opacity="{}"/>"#,
+            a.x, -a.y, b.x, -b.y, style.stroke, style.stroke_width, style.opacity
+        );
+        self.body.push('\n');
+    }
+
+    /// Draws a text label at `p`.
+    pub fn label(&mut self, p: Point, text: &str, size: f64) {
+        self.grow(p, size * 2.0);
+        let escaped = text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
+        let _ = write!(
+            self.body,
+            r##"<text x="{:.6}" y="{:.6}" font-size="{:.6}" font-family="sans-serif" fill="#222">{}</text>"##,
+            p.x, -p.y, size, escaped
+        );
+        self.body.push('\n');
+    }
+
+    /// Draws a whole configuration: robots as dots plus the smallest
+    /// enclosing circle.
+    pub fn configuration(&mut self, points: &[Point], robot_color: &str) {
+        if points.is_empty() {
+            return;
+        }
+        let sec = apf_geometry::smallest_enclosing_circle(points);
+        self.circle(&sec, &Style::outline("#bbb"));
+        let r = (sec.radius * 0.02).max(1e-3);
+        for &p in points {
+            self.point(p, r, &Style::dot(robot_color));
+        }
+    }
+
+    /// Draws a faded trajectory (polyline through the given points).
+    pub fn trajectory(&mut self, points: &[Point], color: &str) {
+        for w in points.windows(2) {
+            self.segment(
+                w[0],
+                w[1],
+                &Style { stroke: color.into(), opacity: 0.5, ..Style::default() },
+            );
+        }
+    }
+
+    /// Fits the viewport and returns the SVG document.
+    pub fn finish(self) -> String {
+        let (min, max) = match (self.min, self.max) {
+            (Some(a), Some(b)) => (a, b),
+            _ => (Point::new(-1.0, -1.0), Point::new(1.0, 1.0)),
+        };
+        let w = (max.x - min.x).max(1e-6);
+        let h = (max.y - min.y).max(1e-6);
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{:.6} {:.6} {:.6} {:.6}\" width=\"640\" height=\"640\">\n{}</svg>\n",
+            min.x,
+            -max.y,
+            w,
+            h,
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_scene_has_default_viewport() {
+        let svg = SvgScene::new().finish();
+        assert!(svg.contains("viewBox"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn configuration_renders_all_robots() {
+        let pts: Vec<Point> =
+            (0..5).map(|i| Point::new(i as f64, (i % 2) as f64)).collect();
+        let mut s = SvgScene::new();
+        s.configuration(&pts, "#d33");
+        let svg = s.finish();
+        // 5 robot dots + 1 SEC circle.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut s = SvgScene::new();
+        s.label(Point::ORIGIN, "a<b&c>", 0.1);
+        let svg = s.finish();
+        assert!(svg.contains("a&lt;b&amp;c&gt;"));
+    }
+
+    #[test]
+    fn trajectory_draws_segments() {
+        let pts: Vec<Point> = (0..4).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mut s = SvgScene::new();
+        s.trajectory(&pts, "#00f");
+        assert_eq!(s.finish().matches("<line").count(), 3);
+    }
+
+    #[test]
+    fn y_axis_is_flipped_for_svg() {
+        let mut s = SvgScene::new();
+        s.point(Point::new(0.0, 2.0), 0.01, &Style::dot("#000"));
+        let svg = s.finish();
+        assert!(svg.contains(r#"cy="-2.000000""#));
+    }
+}

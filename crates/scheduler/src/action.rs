@@ -1,0 +1,85 @@
+//! Scheduler ↔ engine interface types.
+
+/// The engine's view of one robot's phase, passed to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseView {
+    /// The robot is idle: its next activation is a Look.
+    Idle,
+    /// The robot has a pending computed path (it is between Look and the end
+    /// of its Move phase).
+    Pending {
+        /// Total curvilinear length of the computed path.
+        length: f64,
+        /// Distance already traveled along the path in this Move phase.
+        traveled: f64,
+    },
+}
+
+impl PhaseView {
+    /// Whether the robot is idle.
+    pub fn is_idle(&self) -> bool {
+        matches!(self, PhaseView::Idle)
+    }
+
+    /// Remaining distance of the pending path (0 for idle robots).
+    pub fn remaining(&self) -> f64 {
+        match *self {
+            PhaseView::Idle => 0.0,
+            PhaseView::Pending { length, traveled } => (length - traveled).max(0.0),
+        }
+    }
+}
+
+/// One scheduled action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// The robot takes a snapshot and computes its path (entering the
+    /// Pending phase). Legal only for idle robots.
+    Look {
+        /// The robot to activate.
+        robot: usize,
+    },
+    /// The robot travels `distance` along its pending path. If `end_phase`
+    /// is set, its Move phase ends afterwards (the engine enforces the
+    /// minimum-progress rule `δ` before honoring it). Legal only for robots
+    /// in the Pending phase.
+    Move {
+        /// The robot to advance.
+        robot: usize,
+        /// Requested travel distance for this slice (clamped by the engine).
+        distance: f64,
+        /// Whether the Move phase should end after this slice.
+        end_phase: bool,
+    },
+}
+
+impl Action {
+    /// The robot this action addresses.
+    pub fn robot(&self) -> usize {
+        match *self {
+            Action::Look { robot } => robot,
+            Action::Move { robot, .. } => robot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_view_remaining() {
+        assert_eq!(PhaseView::Idle.remaining(), 0.0);
+        let p = PhaseView::Pending { length: 3.0, traveled: 1.0 };
+        assert_eq!(p.remaining(), 2.0);
+        assert!(!p.is_idle());
+        let done = PhaseView::Pending { length: 1.0, traveled: 2.0 };
+        assert_eq!(done.remaining(), 0.0);
+    }
+
+    #[test]
+    fn action_robot_accessor() {
+        assert_eq!(Action::Look { robot: 3 }.robot(), 3);
+        assert_eq!(Action::Move { robot: 5, distance: 0.1, end_phase: true }.robot(), 5);
+    }
+}

@@ -1,0 +1,58 @@
+//! Adversarial schedulers for Look-Compute-Move robot simulations.
+//!
+//! The ASYNC model quantifies over *all* fair activation schedules: the
+//! adversary decides when each robot Looks, how long it Computes, how far it
+//! travels in each slice of its Move phase, and when it pauses — subject to
+//! (i) fairness (every robot is activated infinitely often) and (ii) the
+//! minimum-progress rule (a Move phase ends only after the robot traveled at
+//! least `δ` toward its destination, unless it arrived).
+//!
+//! The simulation engine (`apf-sim`) is event-driven: at every step it asks
+//! the [`Scheduler`] for a batch of [`Action`]s given a view of each robot's
+//! phase. Staleness arises naturally: a robot Looks at one step and Moves at
+//! later steps, with other robots acting in between — and a paused robot is
+//! observed mid-move exactly like a static one.
+//!
+//! Provided schedulers:
+//!
+//! * [`FsyncScheduler`] — lock-step rounds: everyone Looks, then everyone
+//!   Moves to completion;
+//! * [`SsyncScheduler`] — a random non-empty subset per round, each
+//!   performing an atomic Look + full Move;
+//! * [`AsyncScheduler`] — the full adversary: random interleavings, partial
+//!   moves, pauses (with an aging bonus that enforces fairness);
+//! * [`RoundRobinScheduler`] — a deterministic ASYNC schedule for
+//!   reproducible unit tests.
+
+pub mod action;
+pub mod asynchronous;
+pub mod fsync;
+pub mod kind;
+pub mod round_robin;
+pub mod ssync;
+
+pub use action::{Action, PhaseView};
+pub use asynchronous::{AsyncConfig, AsyncScheduler};
+pub use fsync::FsyncScheduler;
+pub use kind::SchedulerKind;
+pub use round_robin::RoundRobinScheduler;
+pub use ssync::SsyncScheduler;
+
+/// A scheduling adversary: decides which robots act, and how far moving
+/// robots travel, at each engine step.
+///
+/// Implementations must be *fair*: every robot is scheduled infinitely often
+/// in an infinite execution (deterministically or with probability 1).
+pub trait Scheduler {
+    /// Returns the actions for the next engine step.
+    ///
+    /// `phases[i]` describes robot `i`'s current phase. The returned batch
+    /// must be non-empty whenever at least one robot exists, and must only
+    /// reference legal transitions (Look for idle robots, Move for robots
+    /// with a pending path); the engine validates and panics on violations,
+    /// since a buggy scheduler would silently invalidate every experiment.
+    fn next(&mut self, phases: &[PhaseView]) -> Vec<Action>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}

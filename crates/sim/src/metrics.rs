@@ -1,0 +1,64 @@
+//! Execution metrics: cycles, randomness, distance.
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Engine steps executed.
+    pub steps: u64,
+    /// Look events (= LCM cycles started) across all robots.
+    pub cycles: u64,
+    /// Cycles in which the robot decided to move.
+    pub active_cycles: u64,
+    /// Random bits drawn by the algorithm across all robots.
+    pub random_bits: u64,
+    /// Total distance traveled by all robots.
+    pub distance: f64,
+    /// Move phases cut short by the adversary (traveled ≥ δ but < full path).
+    pub interrupted_moves: u64,
+}
+
+impl Metrics {
+    /// Random bits per cycle — the paper's headline randomness measure.
+    ///
+    /// Returns 0 when no cycle has run.
+    pub fn bits_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.random_bits as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps={} cycles={} active={} bits={} ({:.3}/cycle) dist={:.3} interrupted={}",
+            self.steps,
+            self.cycles,
+            self.active_cycles,
+            self.random_bits,
+            self.bits_per_cycle(),
+            self.distance,
+            self.interrupted_moves
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_cycle_handles_zero() {
+        assert_eq!(Metrics::default().bits_per_cycle(), 0.0);
+        let m = Metrics { cycles: 4, random_bits: 2, ..Metrics::default() };
+        assert!((m.bits_per_cycle() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Metrics::default().to_string().is_empty());
+    }
+}

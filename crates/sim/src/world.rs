@@ -1,0 +1,675 @@
+//! The simulation engine: global state, event application, invariants.
+
+use crate::algorithm::{BitSource, ComputeError, CountingBits, Decision, NullBits, RobotAlgorithm};
+use crate::metrics::Metrics;
+use crate::snapshot::Snapshot;
+use apf_geometry::{are_similar, Configuration, Frame, Path, Point, Tol};
+use apf_scheduler::{Action, PhaseView, Scheduler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Model parameters of a simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Minimum progress per Move phase: the adversary cannot end a phase
+    /// before the robot traveled `delta`, unless it reached its destination.
+    pub delta: f64,
+    /// Geometric tolerance of the simulated sensors/actuators.
+    pub tol: Tol,
+    /// Whether snapshots expose multiplicities (Section 5 extension).
+    pub multiplicity_detection: bool,
+    /// Whether robots get random local frames (rotation, scale, handedness).
+    /// Disable to give all robots the global frame (useful to demonstrate
+    /// *baseline* algorithms that require chirality).
+    pub randomize_frames: bool,
+    /// Whether to record every configuration for later rendering.
+    pub record_trace: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            delta: 1e-3,
+            tol: Tol::default(),
+            multiplicity_detection: false,
+            randomize_frames: true,
+            record_trace: false,
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StopReason {
+    /// The target pattern is formed and all robots are idle.
+    Formed,
+    /// The step budget was exhausted first.
+    StepBudget,
+    /// The algorithm rejected a snapshot.
+    AlgorithmError(ComputeError),
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Whether the pattern was formed (stationarily).
+    pub formed: bool,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Accumulated metrics.
+    pub metrics: Metrics,
+    /// Final robot positions (global frame).
+    pub final_positions: Vec<Point>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingMove {
+    path: Path, // global frame
+    traveled: f64,
+}
+
+/// The global simulation state: robot positions, in-flight moves, frames,
+/// randomness, and the adversary.
+pub struct World {
+    positions: Vec<Point>,
+    frames: Vec<Frame>,
+    pending: Vec<Option<PendingMove>>,
+    algorithm: Box<dyn RobotAlgorithm>,
+    pattern_global: Vec<Point>,
+    pattern_local: Vec<Vec<Point>>,
+    scheduler: Box<dyn Scheduler>,
+    bits: Vec<CountingBits>,
+    config: WorldConfig,
+    metrics: Metrics,
+    trace: Vec<Vec<Point>>,
+}
+
+impl World {
+    /// Creates a simulation.
+    ///
+    /// `seed` drives the robots' random bits and (when
+    /// [`WorldConfig::randomize_frames`] is set) the random local frames;
+    /// the scheduler carries its own seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `pattern` size differs from the robot
+    /// count.
+    pub fn new(
+        initial: Vec<Point>,
+        pattern: Vec<Point>,
+        algorithm: Box<dyn RobotAlgorithm>,
+        scheduler: Box<dyn Scheduler>,
+        config: WorldConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!initial.is_empty(), "a simulation needs at least one robot");
+        assert_eq!(
+            initial.len(),
+            pattern.len(),
+            "pattern must have exactly one point per robot"
+        );
+        let n = initial.len();
+        let mut frame_rng = StdRng::seed_from_u64(seed ^ 0xF0F0_F0F0_F0F0_F0F0);
+        let frames: Vec<Frame> = (0..n)
+            .map(|_| {
+                if config.randomize_frames {
+                    Frame::new(
+                        Point::ORIGIN, // origin tracks the robot at Look time
+                        frame_rng.gen_range(0.0..std::f64::consts::TAU),
+                        frame_rng.gen_range(0.5..2.0),
+                        frame_rng.gen(),
+                    )
+                } else {
+                    Frame::identity()
+                }
+            })
+            .collect();
+        // Per-robot local copy of the pattern: an independent random
+        // similarity image (rotation, scale, mirror, translation), exercising
+        // the algorithm's similarity-invariance for real.
+        let pattern_local: Vec<Vec<Point>> = (0..n)
+            .map(|_| {
+                if config.randomize_frames {
+                    let rot = frame_rng.gen_range(0.0..std::f64::consts::TAU);
+                    let scale = frame_rng.gen_range(0.5..2.0);
+                    let mirror: bool = frame_rng.gen();
+                    let dx = frame_rng.gen_range(-1.0..1.0);
+                    let dy = frame_rng.gen_range(-1.0..1.0);
+                    pattern
+                        .iter()
+                        .map(|&p| {
+                            let mut v = p.to_vector();
+                            if mirror {
+                                v.y = -v.y;
+                            }
+                            (v.rotate(rot) * scale).to_point()
+                                + apf_geometry::Vector::new(dx, dy)
+                        })
+                        .collect()
+                } else {
+                    pattern.clone()
+                }
+            })
+            .collect();
+        let bits = (0..n).map(|i| CountingBits::new(seed.wrapping_add(i as u64 * 7919))).collect();
+        let trace = if config.record_trace { vec![initial.clone()] } else { Vec::new() };
+        World {
+            positions: initial,
+            frames,
+            pending: vec![None; n],
+            algorithm,
+            pattern_global: pattern,
+            pattern_local,
+            scheduler,
+            bits,
+            config,
+            metrics: Metrics::default(),
+            trace,
+        }
+    }
+
+    /// Current robot positions (global frame).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Current configuration.
+    pub fn configuration(&self) -> Configuration {
+        Configuration::new(self.positions.clone())
+    }
+
+    /// The target pattern in the global frame (canonical copy).
+    pub fn pattern(&self) -> &[Point] {
+        &self.pattern_global
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = self.metrics;
+        m.random_bits = self.bits.iter().map(|b| b.bits_drawn()).sum();
+        m
+    }
+
+    /// Recorded configurations (empty unless
+    /// [`WorldConfig::record_trace`] was set).
+    pub fn trace(&self) -> &[Vec<Point>] {
+        &self.trace
+    }
+
+    /// The robots' local frames (test/diagnostic use).
+    #[doc(hidden)]
+    pub fn debug_frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The robots' local pattern copies (test/diagnostic use).
+    #[doc(hidden)]
+    pub fn debug_patterns(&self) -> &[Vec<Point>] {
+        &self.pattern_local
+    }
+
+    /// Whether some robot is mid-cycle (pending path).
+    pub fn any_pending(&self) -> bool {
+        self.pending.iter().any(Option::is_some)
+    }
+
+    /// Whether the configuration is similar to the pattern and every robot
+    /// is idle — the run's success condition.
+    pub fn is_formed(&self) -> bool {
+        !self.any_pending()
+            && are_similar(&self.positions, &self.pattern_global, &self.config.tol)
+    }
+
+    /// Probes whether any robot would move from the current configuration
+    /// (deterministic, side-effect-free: randomness is stubbed with
+    /// [`NullBits`]). Used by stationarity assertions in tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the algorithm's [`ComputeError`].
+    pub fn would_any_move(&mut self) -> Result<bool, ComputeError> {
+        for r in 0..self.positions.len() {
+            let snapshot = self.snapshot_for(r);
+            let mut null = NullBits;
+            match self.algorithm.compute(&snapshot, &mut null)? {
+                Decision::Stay => {}
+                Decision::Move(path) => {
+                    if path.length() > self.config.tol.eps {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Executes one engine step (one scheduler batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns the algorithm's error if a Compute fails; the world is left
+    /// consistent (the failing robot simply stays idle).
+    pub fn step(&mut self) -> Result<(), ComputeError> {
+        self.metrics.steps += 1;
+        let phases: Vec<PhaseView> = self
+            .pending
+            .iter()
+            .map(|p| match p {
+                None => PhaseView::Idle,
+                Some(pm) => {
+                    PhaseView::Pending { length: pm.path.length(), traveled: pm.traveled }
+                }
+            })
+            .collect();
+        let actions = self.scheduler.next(&phases);
+        assert!(!actions.is_empty(), "scheduler returned an empty step");
+
+        // Look actions observe the step's initial configuration; collect the
+        // snapshot positions once.
+        let observed = self.positions.clone();
+
+        // Apply Looks first, then Moves (any serialization of a batch is a
+        // legal ASYNC behavior; this one makes FSYNC rounds exact).
+        for action in &actions {
+            if let Action::Look { robot } = *action {
+                assert!(
+                    self.pending[robot].is_none(),
+                    "scheduler issued Look for a non-idle robot {robot}"
+                );
+                self.apply_look(robot, &observed)?;
+            }
+        }
+        for action in &actions {
+            if let Action::Move { robot, distance, end_phase } = *action {
+                assert!(
+                    self.pending[robot].is_some(),
+                    "scheduler issued Move for an idle robot {robot}"
+                );
+                self.apply_move(robot, distance, end_phase);
+            }
+        }
+        if self.config.record_trace {
+            self.trace.push(self.positions.clone());
+        }
+        Ok(())
+    }
+
+    /// Runs until the pattern is formed or the step budget is exhausted.
+    pub fn run(&mut self, max_steps: u64) -> Outcome {
+        for _ in 0..max_steps {
+            if self.is_formed() {
+                return self.outcome(StopReason::Formed);
+            }
+            if let Err(e) = self.step() {
+                return self.outcome(StopReason::AlgorithmError(e));
+            }
+        }
+        if self.is_formed() {
+            self.outcome(StopReason::Formed)
+        } else {
+            self.outcome(StopReason::StepBudget)
+        }
+    }
+
+    fn outcome(&self, reason: StopReason) -> Outcome {
+        Outcome {
+            formed: matches!(reason, StopReason::Formed),
+            reason,
+            metrics: self.metrics(),
+            final_positions: self.positions.clone(),
+        }
+    }
+
+    fn snapshot_for(&self, robot: usize) -> Snapshot {
+        self.snapshot_at(robot, &self.positions)
+    }
+
+    fn snapshot_at(&self, robot: usize, observed: &[Point]) -> Snapshot {
+        let mut frame = self.frames[robot];
+        frame.origin = observed[robot];
+        let local: Vec<Point> = observed.iter().map(|&p| frame.to_local(p)).collect();
+        Snapshot::new(
+            local,
+            self.pattern_local[robot].clone(),
+            self.config.multiplicity_detection,
+            self.config.tol,
+        )
+    }
+
+    fn apply_look(&mut self, robot: usize, observed: &[Point]) -> Result<(), ComputeError> {
+        self.metrics.cycles += 1;
+        let snapshot = self.snapshot_at(robot, observed);
+        let decision = self.algorithm.compute(&snapshot, &mut self.bits[robot])?;
+        match decision {
+            Decision::Stay => {}
+            Decision::Move(local_path) => {
+                let mut frame = self.frames[robot];
+                frame.origin = observed[robot];
+                debug_assert!(
+                    local_path.start().dist(Point::ORIGIN) < 1e-6,
+                    "computed paths must start at the robot (local origin)"
+                );
+                let global = frame.path_to_global(&local_path);
+                if global.length() > self.config.tol.eps {
+                    self.metrics.active_cycles += 1;
+                    self.pending[robot] = Some(PendingMove { path: global, traveled: 0.0 });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_move(&mut self, robot: usize, distance: f64, end_phase: bool) {
+        let pm = self.pending[robot].as_mut().expect("validated by step()");
+        let length = pm.path.length();
+        let mut target = (pm.traveled + distance.max(0.0)).min(length);
+        if end_phase {
+            // Minimum-progress rule: the phase cannot end before δ progress
+            // unless the destination is reached.
+            let floor = self.config.delta.min(length);
+            if target < floor {
+                target = floor;
+            }
+        }
+        let advanced = target - pm.traveled;
+        pm.traveled = target;
+        let new_pos = pm.path.point_at(target);
+        self.metrics.distance += advanced;
+        let arrived = target >= length - 1e-12;
+        if end_phase && !arrived {
+            self.metrics.interrupted_moves += 1;
+        }
+        self.positions[robot] = new_pos;
+        if end_phase || arrived {
+            self.pending[robot] = None;
+        }
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("robots", &self.positions.len())
+            .field("algorithm", &self.algorithm.name())
+            .field("scheduler", &self.scheduler.name())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_scheduler::{FsyncScheduler, RoundRobinScheduler};
+
+    /// Toy algorithm: walk toward the centroid of the observed points (stops
+    /// when within tol). Frame-agnostic by construction.
+    struct ToCentroid;
+
+    impl RobotAlgorithm for ToCentroid {
+        fn compute(
+            &self,
+            snapshot: &Snapshot,
+            _bits: &mut dyn BitSource,
+        ) -> Result<Decision, ComputeError> {
+            let c = apf_geometry::weber::centroid(snapshot.robots());
+            if c.dist(Point::ORIGIN) <= 1e-6 {
+                Ok(Decision::Stay)
+            } else {
+                Ok(Decision::Move(Path::straight(Point::ORIGIN, c)))
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "to-centroid"
+        }
+    }
+
+    /// Toy algorithm that draws one bit per cycle and never moves.
+    struct BitBurner;
+
+    impl RobotAlgorithm for BitBurner {
+        fn compute(
+            &self,
+            _snapshot: &Snapshot,
+            bits: &mut dyn BitSource,
+        ) -> Result<Decision, ComputeError> {
+            let _ = bits.bit();
+            Ok(Decision::Stay)
+        }
+
+        fn name(&self) -> &'static str {
+            "bit-burner"
+        }
+    }
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, -1.0),
+        ]
+    }
+
+    fn world_with(alg: Box<dyn RobotAlgorithm>, sched: Box<dyn Scheduler>) -> World {
+        let init = square();
+        let pattern = init.clone();
+        World::new(init, pattern, alg, sched, WorldConfig::default(), 42)
+    }
+
+    #[test]
+    fn centroid_convergence_under_fsync() {
+        // Robots converge toward the centroid; positions contract.
+        let mut w = world_with(Box::new(ToCentroid), Box::new(FsyncScheduler::new()));
+        let before: f64 = w.positions().iter().map(|p| p.dist(Point::ORIGIN)).sum();
+        for _ in 0..20 {
+            w.step().unwrap();
+        }
+        let after: f64 = w.positions().iter().map(|p| p.dist(Point::ORIGIN)).sum();
+        assert!(after < before * 0.5, "no contraction: {before} -> {after}");
+    }
+
+    #[test]
+    fn frames_do_not_change_global_behavior() {
+        // The same algorithm with and without randomized frames must follow
+        // the same global trajectory under a deterministic scheduler.
+        let init = square();
+        let run = |randomize: bool| {
+            let cfg = WorldConfig { randomize_frames: randomize, ..WorldConfig::default() };
+            let mut w = World::new(
+                init.clone(),
+                init.clone(),
+                Box::new(ToCentroid),
+                Box::new(RoundRobinScheduler::new(2)),
+                cfg,
+                7,
+            );
+            for _ in 0..40 {
+                w.step().unwrap();
+            }
+            w.positions().to_vec()
+        };
+        let a = run(false);
+        let b = run(true);
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            assert!(pa.approx_eq(*pb, &Tol::new(1e-6)), "{pa} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn delta_progress_is_enforced() {
+        // A scheduler that tries to end phases with zero progress still
+        // yields >= delta movement.
+        struct StingyScheduler;
+        impl Scheduler for StingyScheduler {
+            fn next(&mut self, phases: &[PhaseView]) -> Vec<Action> {
+                if let Some((robot, _)) =
+                    phases.iter().enumerate().find(|(_, p)| !p.is_idle())
+                {
+                    vec![Action::Move { robot, distance: 0.0, end_phase: true }]
+                } else {
+                    vec![Action::Look { robot: 0 }]
+                }
+            }
+            fn name(&self) -> &'static str {
+                "stingy"
+            }
+        }
+        let cfg = WorldConfig { delta: 0.05, ..WorldConfig::default() };
+        let init = square();
+        let mut w = World::new(
+            init.clone(),
+            init.clone(),
+            Box::new(ToCentroid),
+            Box::new(StingyScheduler),
+            cfg,
+            1,
+        );
+        w.step().unwrap(); // Look by robot 0
+        let before = w.positions()[0];
+        w.step().unwrap(); // Move with distance 0 but end_phase
+        let after = w.positions()[0];
+        assert!(before.dist(after) >= 0.05 - 1e-9, "delta violated: {}", before.dist(after));
+        assert!(!w.any_pending());
+    }
+
+    #[test]
+    fn cycles_and_bits_are_counted() {
+        let mut w = world_with(Box::new(BitBurner), Box::new(FsyncScheduler::new()));
+        for _ in 0..6 {
+            w.step().unwrap();
+        }
+        let m = w.metrics();
+        // FSYNC: every step with all-idle robots performs 4 looks; BitBurner
+        // never moves so every step is a Look round.
+        assert_eq!(m.cycles, 24);
+        assert_eq!(m.random_bits, 24);
+        assert!((m.bits_per_cycle() - 1.0).abs() < 1e-12);
+        assert_eq!(m.active_cycles, 0);
+    }
+
+    #[test]
+    fn formed_detection_is_similarity_based() {
+        // Robots already form the (rotated, scaled) pattern: formed
+        // immediately.
+        let init = square();
+        let pattern: Vec<Point> =
+            init.iter().map(|p| Point::new(3.0 * p.y + 1.0, -3.0 * p.x)).collect();
+        let w = World::new(
+            init,
+            pattern,
+            Box::new(ToCentroid),
+            Box::new(FsyncScheduler::new()),
+            WorldConfig::default(),
+            9,
+        );
+        assert!(w.is_formed());
+    }
+
+    #[test]
+    fn run_stops_on_budget() {
+        let mut w = world_with(Box::new(BitBurner), Box::new(FsyncScheduler::new()));
+        // BitBurner never moves; initial config == pattern so it is formed.
+        let outcome = w.run(10);
+        assert!(outcome.formed);
+
+        // Now with a pattern that can never be formed by staying put.
+        let init = square();
+        let pattern = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.1, 0.0),
+        ];
+        let mut w2 = World::new(
+            init,
+            pattern,
+            Box::new(BitBurner),
+            Box::new(FsyncScheduler::new()),
+            WorldConfig::default(),
+            3,
+        );
+        let o2 = w2.run(25);
+        assert!(!o2.formed);
+        assert_eq!(o2.reason, StopReason::StepBudget);
+        assert_eq!(o2.metrics.steps, 25);
+    }
+
+    #[test]
+    fn trace_records_configurations() {
+        let cfg = WorldConfig { record_trace: true, ..WorldConfig::default() };
+        let init = square();
+        let mut w = World::new(
+            init.clone(),
+            init,
+            Box::new(ToCentroid),
+            Box::new(FsyncScheduler::new()),
+            cfg,
+            5,
+        );
+        for _ in 0..4 {
+            w.step().unwrap();
+        }
+        assert_eq!(w.trace().len(), 5); // initial + 4 steps
+    }
+
+    #[test]
+    fn pause_keeps_robot_mid_move_observable() {
+        // Advance a robot partway without ending the phase: its observed
+        // position is strictly between start and destination.
+        struct OneSlice;
+        impl Scheduler for OneSlice {
+            fn next(&mut self, phases: &[PhaseView]) -> Vec<Action> {
+                if let Some((robot, p)) =
+                    phases.iter().enumerate().find(|(_, p)| !p.is_idle())
+                {
+                    vec![Action::Move { robot, distance: p.remaining() * 0.5, end_phase: false }]
+                } else {
+                    vec![Action::Look { robot: 0 }]
+                }
+            }
+            fn name(&self) -> &'static str {
+                "one-slice"
+            }
+        }
+        let init = square();
+        let mut w = World::new(
+            init.clone(),
+            init.clone(),
+            Box::new(ToCentroid),
+            Box::new(OneSlice),
+            WorldConfig::default(),
+            2,
+        );
+        w.step().unwrap(); // Look
+        w.step().unwrap(); // half move
+        let mid = w.positions()[0];
+        assert!(mid.dist(init[0]) > 1e-6);
+        assert!(w.any_pending());
+    }
+
+    #[test]
+    fn would_any_move_is_side_effect_free() {
+        let mut w = world_with(Box::new(ToCentroid), Box::new(FsyncScheduler::new()));
+        let bits_before = w.metrics().random_bits;
+        let moved = w.would_any_move().unwrap();
+        assert!(moved);
+        assert_eq!(w.metrics().random_bits, bits_before);
+        assert!(!w.any_pending());
+    }
+
+    #[test]
+    #[should_panic(expected = "one point per robot")]
+    fn mismatched_pattern_size_panics() {
+        World::new(
+            square(),
+            vec![Point::ORIGIN],
+            Box::new(ToCentroid),
+            Box::new(FsyncScheduler::new()),
+            WorldConfig::default(),
+            0,
+        );
+    }
+}

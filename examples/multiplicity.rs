@@ -1,0 +1,68 @@
+//! Multiplicity-point patterns (Section 5 / Appendix C): with multiplicity
+//! detection, robots may share destinations — including the pattern center,
+//! which is formed via the `F̃` detour and a final gather step.
+//!
+//! ```text
+//! cargo run --release --example multiplicity
+//! ```
+
+use apf::geometry::{Configuration, Point, Tol};
+use apf::prelude::*;
+
+fn main() {
+    let n = 8;
+    let tol = Tol::default();
+
+    // Case 1: doubled points away from the center.
+    let initial = apf::patterns::asymmetric_configuration(n, 3);
+    let target = apf::patterns::pattern_with_multiplicity(n, 6, 17);
+    let mut world = SimulationBuilder::new(initial, target)
+        .scheduler(SchedulerKind::RoundRobin)
+        .seed(2)
+        .multiplicity_detection(true)
+        .build()
+        .expect("valid instance");
+    let o = world.run(2_000_000);
+    let groups = Configuration::new(o.final_positions.clone()).multiplicity_groups(&tol);
+    println!(
+        "off-center multiplicity: formed={} ({} robots on {} distinct points)",
+        o.formed,
+        n,
+        groups.len()
+    );
+    assert!(o.formed);
+
+    // Case 2: a multiplicity point at the pattern center.
+    let initial = apf::patterns::asymmetric_configuration(n, 5);
+    let mut target = apf::patterns::random_pattern(n, 23);
+    // Send two pattern points to the center of the pattern's enclosing
+    // circle.
+    let c = Configuration::new(target.clone()).sec().center;
+    // Pick two non-extremal points to relocate.
+    let mut by_r: Vec<usize> = (0..n).collect();
+    by_r.sort_by(|&a, &b| target[a].dist(c).partial_cmp(&target[b].dist(c)).unwrap());
+    target[by_r[0]] = c;
+    target[by_r[1]] = c;
+
+    let mut world = SimulationBuilder::new(initial, target)
+        .scheduler(SchedulerKind::RoundRobin)
+        .seed(4)
+        .multiplicity_detection(true)
+        .build()
+        .expect("valid instance");
+    let o = world.run(3_000_000);
+    let final_cfg = Configuration::new(o.final_positions.clone());
+    let center = final_cfg.sec().center;
+    let at_center = o
+        .final_positions
+        .iter()
+        .filter(|p| p.dist(center) < 1e-4)
+        .count();
+    println!(
+        "center multiplicity: formed={} ({} robots gathered at c(F))",
+        o.formed, at_center
+    );
+    assert!(o.formed);
+    assert_eq!(at_center, 2, "two robots must share the center");
+    let _ = Point::ORIGIN;
+}

@@ -1,0 +1,41 @@
+//! Quickstart: seven oblivious robots with no common North, no common
+//! chirality, and one random bit per cycle form an arbitrary pattern under
+//! the fully asynchronous scheduler.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use apf::prelude::*;
+use apf::render::ascii_plot;
+
+fn main() {
+    // An arbitrary asymmetric starting configuration and an arbitrary
+    // 7-point target pattern (both deterministic in their seeds).
+    let initial = apf::patterns::asymmetric_configuration(7, 42);
+    let target = apf::patterns::random_pattern(7, 7);
+
+    println!("initial configuration:");
+    println!("{}", ascii_plot(&initial, 49, 17));
+    println!("target pattern (up to translation/rotation/scaling/reflection):");
+    println!("{}", ascii_plot(&target, 49, 17));
+
+    let mut world = SimulationBuilder::new(initial, target)
+        .scheduler(SchedulerKind::Async)
+        .seed(1)
+        .build()
+        .expect("valid instance");
+
+    let outcome = world.run(2_000_000);
+
+    println!("final configuration:");
+    println!("{}", ascii_plot(&outcome.final_positions, 49, 17));
+    println!(
+        "formed = {} | {} LCM cycles, {} random bits, total distance {:.2}",
+        outcome.formed,
+        outcome.metrics.cycles,
+        outcome.metrics.random_bits,
+        outcome.metrics.distance
+    );
+    assert!(outcome.formed, "the pattern must be formed with probability 1");
+}

@@ -1,0 +1,129 @@
+//! Regenerates the paper's illustrative figures as SVGs, plus an execution
+//! trace rendering, into `target/figures/`.
+//!
+//! * `fig1a_selected.svg` — a configuration with a selected robot;
+//! * `fig1b_regular.svg` — a 5-regular (equiangular) set;
+//! * `fig1c_biangular.svg` — a bi-angled 4-pair set;
+//! * `fig1d_shifted.svg` — a shifted regular set (shift ε = 1/8);
+//! * `trace_formation.svg` — trajectories of a full formation run.
+//!
+//! ```text
+//! cargo run --release --example render_figures
+//! ```
+
+use apf::geometry::symmetry::find_shifted_regular;
+use apf::geometry::{Circle, Configuration, Point, Tol};
+use apf::prelude::*;
+use apf::render::{Style, SvgScene};
+use std::f64::consts::TAU;
+use std::fs;
+
+fn save(name: &str, svg: String) {
+    let dir = std::path::Path::new("target/figures");
+    fs::create_dir_all(dir).expect("create target/figures");
+    let path = dir.join(name);
+    fs::write(&path, svg).expect("write figure");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let tol = Tol::default();
+
+    // Figure 1a: a selected robot (inside D(l_F/2), alone in D(2|r|)).
+    {
+        let mut scene = SvgScene::new();
+        let mut pts = apf::patterns::regular_polygon(6, 1.0, 0.2);
+        pts.push(Point::new(0.12, 0.05));
+        scene.configuration(&pts, "#d33");
+        let r = pts[6].dist(Point::ORIGIN);
+        scene.circle(&Circle::new(Point::ORIGIN, 2.0 * r), &Style::outline("#3a3"));
+        scene.label(Point::new(0.0, -1.15), "selected robot: alone in D(2|r|)", 0.08);
+        save("fig1a_selected.svg", scene.finish());
+    }
+
+    // Figure 1b: a 5-regular set (equal angles, arbitrary radii).
+    {
+        let mut scene = SvgScene::new();
+        let radii = [1.0, 0.7, 1.2, 0.55, 0.9];
+        let pts: Vec<Point> = (0..5)
+            .map(|i| {
+                let a = TAU * i as f64 / 5.0 + 0.4;
+                Point::new(radii[i] * a.cos(), radii[i] * a.sin())
+            })
+            .collect();
+        for &p in &pts {
+            scene.segment(Point::ORIGIN, p, &Style::outline("#99c"));
+        }
+        scene.configuration(&pts, "#d33");
+        scene.label(Point::new(-0.6, -1.3), "5-regular set (equal angles)", 0.08);
+        save("fig1b_regular.svg", scene.finish());
+    }
+
+    // Figure 1c: a bi-angled set (alternating angles α, β).
+    {
+        let mut scene = SvgScene::new();
+        let pts = apf::patterns::biangular(4, 1.0, 0.35, 0.1);
+        for &p in &pts {
+            scene.segment(Point::ORIGIN, p, &Style::outline("#99c"));
+        }
+        scene.configuration(&pts, "#d33");
+        scene.label(Point::new(-0.7, -1.3), "bi-angled set (angles alternate)", 0.08);
+        save("fig1c_biangular.svg", scene.finish());
+    }
+
+    // Figure 1d: a shifted regular set, detected by the symmetry engine.
+    {
+        let mut scene = SvgScene::new();
+        let alpha = TAU / 8.0;
+        let pts: Vec<Point> = (0..8)
+            .map(|i| {
+                let mut a = alpha * i as f64 + 0.3;
+                if i == 2 {
+                    a += alpha / 8.0; // the ε = 1/8 shift
+                }
+                Point::new(a.cos(), a.sin())
+            })
+            .collect();
+        let cfg = Configuration::new(pts.clone());
+        let sh = find_shifted_regular(&cfg, &tol).expect("shifted set");
+        for &p in &pts {
+            scene.segment(sh.center, p, &Style::outline("#99c"));
+        }
+        scene.configuration(&pts, "#d33");
+        // Mark the shifted robot and its associated regular position.
+        scene.point(pts[sh.shifted_robot], 0.035, &Style::dot("#33d"));
+        scene.point(sh.associated_position, 0.025, &Style::outline("#33d"));
+        scene.label(
+            Point::new(-0.9, -1.3),
+            &format!("shifted regular set, eps = {:.3}", sh.epsilon),
+            0.08,
+        );
+        save("fig1d_shifted.svg", scene.finish());
+    }
+
+    // A full formation run: initial (red), trajectories (blue), final (green).
+    {
+        let initial = apf::patterns::asymmetric_configuration(8, 42);
+        let target = apf::patterns::star(4, 1.0, 0.45);
+        let mut world = SimulationBuilder::new(initial.clone(), target)
+            .scheduler(SchedulerKind::RoundRobin)
+            .seed(3)
+            .record_trace(true)
+            .build()
+            .expect("valid instance");
+        let o = world.run(2_000_000);
+        assert!(o.formed);
+        let mut scene = SvgScene::new();
+        let trace = world.trace();
+        for robot in 0..8 {
+            let path: Vec<Point> = trace.iter().map(|cfg| cfg[robot]).collect();
+            scene.trajectory(&path, "#88f");
+        }
+        scene.configuration(&initial, "#d33");
+        for &p in &o.final_positions {
+            scene.point(p, 0.03, &Style::dot("#3a3"));
+        }
+        scene.label(Point::new(-1.0, -1.4), "red: initial, green: final (a 4-star)", 0.07);
+        save("trace_formation.svg", scene.finish());
+    }
+}

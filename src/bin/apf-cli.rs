@@ -1,0 +1,175 @@
+//! Command-line simulation runner.
+//!
+//! ```text
+//! apf-cli [--n 8] [--sym RHO | --asym] [--pattern random|line|grid|star|polygon]
+//!         [--scheduler fsync|ssync|async|rr] [--seed S] [--budget STEPS]
+//!         [--delta D] [--multiplicity] [--svg PATH] [--quiet]
+//! ```
+//!
+//! Runs one pattern-formation simulation and reports the outcome; with
+//! `--svg` it also renders the trajectories.
+
+use apf::prelude::*;
+use apf::render::{Style, SvgScene};
+use apf::scheduler::SchedulerKind;
+
+struct Args {
+    n: usize,
+    rho: Option<usize>,
+    pattern: String,
+    scheduler: SchedulerKind,
+    seed: u64,
+    budget: u64,
+    delta: f64,
+    multiplicity: bool,
+    svg: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 8,
+        rho: None,
+        pattern: "random".into(),
+        scheduler: SchedulerKind::Async,
+        seed: 0,
+        budget: 2_000_000,
+        delta: 1e-3,
+        multiplicity: false,
+        svg: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |it: &mut dyn Iterator<Item = String>| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = value(&mut it)?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--sym" => args.rho = Some(value(&mut it)?.parse().map_err(|e| format!("--sym: {e}"))?),
+            "--asym" => args.rho = None,
+            "--pattern" => args.pattern = value(&mut it)?,
+            "--scheduler" => {
+                args.scheduler = match value(&mut it)?.as_str() {
+                    "fsync" => SchedulerKind::Fsync,
+                    "ssync" => SchedulerKind::Ssync,
+                    "async" => SchedulerKind::Async,
+                    "rr" | "round-robin" => SchedulerKind::RoundRobin,
+                    other => return Err(format!("unknown scheduler {other}")),
+                }
+            }
+            "--seed" => args.seed = value(&mut it)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--budget" => {
+                args.budget = value(&mut it)?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--delta" => args.delta = value(&mut it)?.parse().map_err(|e| format!("--delta: {e}"))?,
+            "--multiplicity" => args.multiplicity = true,
+            "--svg" => args.svg = Some(value(&mut it)?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "apf-cli: run one pattern-formation simulation\n\
+                     flags: --n N --sym RHO|--asym --pattern random|line|grid|star|polygon\n\
+                     \x20      --scheduler fsync|ssync|async|rr --seed S --budget STEPS\n\
+                     \x20      --delta D --multiplicity --svg PATH --quiet"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn pattern_for(args: &Args) -> Result<Vec<apf::geometry::Point>, String> {
+    Ok(match args.pattern.as_str() {
+        "random" => apf::patterns::random_pattern(args.n, args.seed ^ 0xBEEF),
+        "line" => apf::patterns::line(args.n),
+        "grid" => {
+            let cols = (args.n as f64).sqrt().ceil() as usize;
+            let rows = args.n.div_ceil(cols);
+            let mut g = apf::patterns::grid(rows, cols);
+            g.truncate(args.n);
+            if g.len() != args.n {
+                return Err("grid cannot realize this n".into());
+            }
+            g
+        }
+        "star" => {
+            if args.n % 2 != 0 || args.n < 4 {
+                return Err("star needs an even n >= 4".into());
+            }
+            apf::patterns::star(args.n / 2, 2.0, 1.0)
+        }
+        "polygon" => apf::patterns::regular_polygon(args.n, 1.0, 0.1),
+        "multiplicity" => {
+            apf::patterns::pattern_with_multiplicity(args.n, args.n - 2, args.seed ^ 0xF00D)
+        }
+        other => return Err(format!("unknown pattern {other}")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let initial = match args.rho {
+        Some(rho) => apf::patterns::symmetric_configuration(args.n, rho, args.seed ^ 0xAB),
+        None => apf::patterns::asymmetric_configuration(args.n, args.seed ^ 0xAB),
+    };
+    let pattern = match pattern_for(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut world = match SimulationBuilder::new(initial.clone(), pattern)
+        .scheduler(args.scheduler)
+        .seed(args.seed)
+        .delta(args.delta)
+        .multiplicity_detection(args.multiplicity)
+        .record_trace(args.svg.is_some())
+        .build()
+    {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let outcome = world.run(args.budget);
+    if !args.quiet {
+        println!(
+            "formed = {} ({:?})\nmetrics: {}",
+            outcome.formed,
+            outcome.reason,
+            outcome.metrics
+        );
+    }
+    if let Some(path) = &args.svg {
+        let mut scene = SvgScene::new();
+        for robot in 0..args.n {
+            let traj: Vec<apf::geometry::Point> =
+                world.trace().iter().map(|cfg| cfg[robot]).collect();
+            scene.trajectory(&traj, "#88f");
+        }
+        scene.configuration(&initial, "#d33");
+        for &p in &outcome.final_positions {
+            scene.point(p, 0.03, &Style::dot("#3a3"));
+        }
+        if let Err(e) = std::fs::write(path, scene.finish()) {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+        if !args.quiet {
+            println!("wrote {path}");
+        }
+    }
+    std::process::exit(if outcome.formed { 0 } else { 1 });
+}

@@ -1,0 +1,56 @@
+//! # APF — Probabilistic Asynchronous Arbitrary Pattern Formation
+//!
+//! A complete Rust reproduction of *"Brief Announcement: Probabilistic
+//! Asynchronous Arbitrary Pattern Formation"* (Bramas & Tixeuil, PODC 2016;
+//! full version: "Asynchronous Pattern Formation without Chirality",
+//! arXiv:1508.03714): oblivious, anonymous mobile robots in the fully
+//! asynchronous Look-Compute-Move model form **any** pattern with
+//! probability 1, with **no common North, no common chirality**, and **one
+//! random bit per robot per cycle**.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`geometry`] — points, circles, paths, frames, smallest enclosing
+//!   circle, Weber points, and the symmetry engine (views, ρ, regular and
+//!   shifted-regular sets);
+//! * [`scheduler`] — adversarial FSYNC / SSYNC / ASYNC schedulers;
+//! * [`sim`] — the Look-Compute-Move robot simulator;
+//! * [`core`] — the paper's algorithm (`ψ_RSB` + `ψ_DPF`);
+//! * [`patterns`] — pattern and initial-configuration generators;
+//! * [`baselines`] — comparison algorithms;
+//! * [`render`] — SVG/ASCII rendering of configurations and traces.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use apf::prelude::*;
+//!
+//! // Seven robots in an arbitrary asymmetric configuration...
+//! let initial = apf::patterns::asymmetric_configuration(7, 42);
+//! // ...must form an arbitrary 7-point pattern.
+//! let target = apf::patterns::random_pattern(7, 7);
+//!
+//! let mut runner = SimulationBuilder::new(initial, target)
+//!     .scheduler(SchedulerKind::Async)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid instance");
+//! let outcome = runner.run(200_000);
+//! assert!(outcome.formed, "pattern must be formed");
+//! ```
+
+pub use apf_baselines as baselines;
+pub use apf_core as core;
+pub use apf_geometry as geometry;
+pub use apf_patterns as patterns;
+pub use apf_render as render;
+pub use apf_scheduler as scheduler;
+pub use apf_sim as sim;
+
+/// Convenient re-exports for examples and downstream users.
+pub mod prelude {
+    pub use apf_core::{FormPattern, SimulationBuilder};
+    pub use apf_geometry::{Configuration, Point, Tol};
+    pub use apf_scheduler::SchedulerKind;
+    pub use apf_sim::{Outcome, World};
+}

@@ -1,0 +1,206 @@
+//! End-to-end integration: the paper's headline theorem exercised across
+//! schedulers, initial symmetries, pattern shapes, and sizes — with safety
+//! invariants checked along the entire execution, not just at the end.
+
+use apf::geometry::{Configuration, Point, Tol};
+use apf::prelude::*;
+
+fn run_checked(
+    initial: Vec<Point>,
+    pattern: Vec<Point>,
+    kind: SchedulerKind,
+    seed: u64,
+    budget: u64,
+) -> Outcome {
+    let n = initial.len();
+    let mut world = SimulationBuilder::new(initial, pattern)
+        .scheduler(kind)
+        .seed(seed)
+        .record_trace(true)
+        .build()
+        .expect("valid instance");
+    let outcome = world.run(budget);
+    // Safety invariants over the whole trace:
+    let tol = Tol::default();
+    for (t, cfg) in world.trace().iter().enumerate() {
+        assert_eq!(cfg.len(), n, "robot count changed at step {t}");
+        // No two robots may ever collide (the pattern here has no
+        // multiplicity, so any coincidence is a bug).
+        let c = Configuration::new(cfg.clone());
+        assert!(
+            !c.has_multiplicity(&tol),
+            "robots collided at step {t} (seed {seed}, {kind})"
+        );
+    }
+    outcome
+}
+
+#[test]
+fn forms_from_asymmetric_under_every_scheduler() {
+    for kind in [
+        SchedulerKind::Fsync,
+        SchedulerKind::Ssync,
+        SchedulerKind::Async,
+        SchedulerKind::RoundRobin,
+    ] {
+        let o = run_checked(
+            apf::patterns::asymmetric_configuration(8, 10),
+            apf::patterns::random_pattern(8, 20),
+            kind,
+            3,
+            2_000_000,
+        );
+        assert!(o.formed, "{kind}: {:?}", o.reason);
+    }
+}
+
+#[test]
+fn forms_from_symmetric_under_every_scheduler() {
+    for kind in [
+        SchedulerKind::Fsync,
+        SchedulerKind::Ssync,
+        SchedulerKind::Async,
+        SchedulerKind::RoundRobin,
+    ] {
+        let o = run_checked(
+            apf::patterns::symmetric_configuration(8, 4, 30),
+            apf::patterns::random_pattern(8, 40),
+            kind,
+            5,
+            3_000_000,
+        );
+        assert!(o.formed, "{kind}: {:?}", o.reason);
+        assert!(o.metrics.random_bits > 0, "{kind}: the election must flip coins");
+    }
+}
+
+#[test]
+fn forms_structured_patterns() {
+    // Line, grid-row subset, star — structured (non-random) target shapes.
+    let shapes: Vec<(&str, Vec<Point>)> = vec![
+        ("line", apf::patterns::line(8)),
+        ("grid", apf::patterns::grid(2, 4)),
+        ("star", apf::patterns::star(4, 2.0, 1.0)),
+    ];
+    for (name, pattern) in shapes {
+        let o = run_checked(
+            apf::patterns::asymmetric_configuration(8, 50),
+            pattern,
+            SchedulerKind::RoundRobin,
+            7,
+            3_000_000,
+        );
+        assert!(o.formed, "pattern {name}: {:?}", o.reason);
+    }
+}
+
+#[test]
+fn forms_symmetric_target_from_asymmetric_start() {
+    // ρ(F) = 8 target (regular polygon) from a ρ(I) = 1 start.
+    let o = run_checked(
+        apf::patterns::asymmetric_configuration(8, 60),
+        apf::patterns::regular_polygon(8, 1.0, 0.3),
+        SchedulerKind::RoundRobin,
+        9,
+        3_000_000,
+    );
+    assert!(o.formed, "{:?}", o.reason);
+}
+
+#[test]
+fn forms_when_rho_i_does_not_divide_rho_f() {
+    // ρ(I) = 4, ρ(F) = 1: impossible deterministically, done here.
+    let o = run_checked(
+        apf::patterns::symmetric_configuration(8, 4, 70),
+        apf::patterns::random_pattern(8, 80),
+        SchedulerKind::RoundRobin,
+        11,
+        3_000_000,
+    );
+    assert!(o.formed, "{:?}", o.reason);
+}
+
+#[test]
+fn biangular_initial_configuration() {
+    let o = run_checked(
+        apf::patterns::biangular(4, 1.0, 0.4, 0.15),
+        apf::patterns::random_pattern(8, 90),
+        SchedulerKind::RoundRobin,
+        13,
+        3_000_000,
+    );
+    assert!(o.formed, "{:?}", o.reason);
+}
+
+#[test]
+fn regular_polygon_initial_configuration() {
+    // Maximal symmetry: ρ(I) = n.
+    let o = run_checked(
+        apf::patterns::regular_polygon(8, 1.0, 0.1),
+        apf::patterns::random_pattern(8, 100),
+        SchedulerKind::RoundRobin,
+        17,
+        3_000_000,
+    );
+    assert!(o.formed, "{:?}", o.reason);
+}
+
+#[test]
+fn larger_instance_forms() {
+    let o = run_checked(
+        apf::patterns::asymmetric_configuration(16, 110),
+        apf::patterns::random_pattern(16, 120),
+        SchedulerKind::RoundRobin,
+        19,
+        4_000_000,
+    );
+    assert!(o.formed, "{:?}", o.reason);
+}
+
+#[test]
+fn formed_configuration_is_stationary() {
+    // Termination awareness: after forming, no robot would move.
+    let mut world = SimulationBuilder::new(
+        apf::patterns::asymmetric_configuration(8, 130),
+        apf::patterns::random_pattern(8, 140),
+    )
+    .scheduler(SchedulerKind::RoundRobin)
+    .seed(21)
+    .build()
+    .unwrap();
+    let o = world.run(2_000_000);
+    assert!(o.formed);
+    assert!(
+        !world.would_any_move().expect("compute must succeed"),
+        "a formed configuration must be terminal"
+    );
+    // And it stays formed under further scheduling.
+    for _ in 0..200 {
+        world.step().unwrap();
+    }
+    assert!(world.is_formed());
+}
+
+#[test]
+fn seeds_are_reproducible() {
+    let run = || {
+        let mut w = SimulationBuilder::new(
+            apf::patterns::symmetric_configuration(8, 2, 150),
+            apf::patterns::random_pattern(8, 160),
+        )
+        .scheduler(SchedulerKind::Async)
+        .seed(23)
+        .build()
+        .unwrap();
+        let o = w.run(2_000_000);
+        (o.formed, o.metrics.steps, o.metrics.random_bits, o.final_positions)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    for (p, q) in a.3.iter().zip(b.3.iter()) {
+        assert!(p.approx_eq(*q, &Tol::new(1e-12)));
+    }
+}
