@@ -73,10 +73,8 @@ fn yy_select(a: &Analysis, bits: &mut dyn BitSource) -> Decision {
     let tol = &a.tol;
     let my_r = a.radius(a.me);
     let min_r = (0..a.n()).map(|i| a.radius(i)).fold(f64::INFINITY, f64::min);
-    let others_min = (0..a.n())
-        .filter(|&i| i != a.me)
-        .map(|i| a.radius(i))
-        .fold(f64::INFINITY, f64::min);
+    let others_min =
+        (0..a.n()).filter(|&i| i != a.me).map(|i| a.radius(i)).fold(f64::INFINITY, f64::min);
 
     if tol.lt(my_r, others_min) {
         // Unique closest: descend deterministically to the selected radius.

@@ -2,9 +2,7 @@
 //! precision companion): smallest enclosing circle, symmetricity, views,
 //! regular-set detection, shifted-set detection, similarity testing.
 
-use apf_geometry::symmetry::{
-    find_shifted_regular, regular_set_of, symmetricity, ViewAnalysis,
-};
+use apf_geometry::symmetry::{find_shifted_regular, regular_set_of, symmetricity, ViewAnalysis};
 use apf_geometry::{are_similar, smallest_enclosing_circle, Configuration, Point, Tol};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::f64::consts::TAU;

@@ -1,44 +1,135 @@
 //! Experiment harness: regenerates every experiment table (E1–E9).
 //!
 //! ```text
-//! harness [--quick] [e1 e2 ... | all]
+//! harness [--quick] [--jobs N] [--json PATH] [--list] [e1 e2 ... | all]
 //! ```
 //!
-//! `--quick` shrinks seed counts and sweeps for CI-speed runs; the default
-//! runs the full EXPERIMENTS.md configuration.
+//! * `--quick` shrinks seed counts and sweeps for CI-speed runs; the
+//!   default runs the full EXPERIMENTS.md configuration.
+//! * `--jobs N` sets the trial engine's worker threads (0 or omitted =
+//!   auto-detect). Output is bit-identical for every `N`.
+//! * `--json PATH` additionally writes the suite as a JSON document.
+//! * `--list` prints the experiment registry and exits.
+//!
+//! Unknown experiments or flags are errors (exit code 2) — a typo must not
+//! silently run the wrong subset.
 
-use apf_bench::experiments;
+use apf_bench::experiments::{self, ExpCtx, REGISTRY};
+use apf_bench::report;
+use std::process::ExitCode;
+use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let picks: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let picks: Vec<&str> = if picks.is_empty() || picks.contains(&"all") {
-        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]
-    } else {
-        picks
-    };
-    println!(
-        "APF experiment harness ({} mode) — experiments: {}",
-        if quick { "quick" } else { "full" },
-        picks.join(", ")
-    );
-    for p in picks {
-        match p {
-            "e1" => experiments::e1(quick),
-            "e2" => experiments::e2(quick),
-            "e3" => experiments::e3(quick),
-            "e4" => experiments::e4(quick),
-            "e5" => experiments::e5(quick),
-            "e6" => experiments::e6(quick),
-            "e7" => experiments::e7(quick),
-            "e8" => experiments::e8(quick),
-            "e9" => experiments::e9(quick),
-            other => eprintln!("unknown experiment: {other}"),
+const USAGE: &str = "usage: harness [--quick] [--jobs N] [--json PATH] [--list] [e1 e2 ... | all]";
+
+struct Options {
+    quick: bool,
+    jobs: usize,
+    json: Option<String>,
+    list: bool,
+    picks: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { quick: false, jobs: 0, json: None, list: false, picks: Vec::new() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag {
+            "--quick" => opts.quick = true,
+            "--list" => opts.list = true,
+            "--jobs" => {
+                let v = value("--jobs")?;
+                opts.jobs = v.parse().map_err(|_| format!("invalid --jobs value: {v}"))?;
+            }
+            "--json" => opts.json = Some(value("--json")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            f if f.starts_with('-') => return Err(format!("unknown flag: {f}")),
+            _ => opts.picks.push(arg.clone()),
         }
     }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        println!("experiments:");
+        for (id, desc, _) in REGISTRY {
+            println!("  {id}  {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let picks: Vec<String> = if opts.picks.is_empty() || opts.picks.iter().any(|p| p == "all") {
+        REGISTRY.iter().map(|(id, _, _)| id.to_string()).collect()
+    } else {
+        opts.picks.clone()
+    };
+    // Validate everything before running anything: a typo must not waste a
+    // half-finished (potentially hours-long) full run.
+    for p in &picks {
+        if experiments::find(p).is_none() {
+            eprintln!("error: unknown experiment: {p} (see --list)\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let ctx = ExpCtx { quick: opts.quick, jobs: opts.jobs };
+    let jobs = ctx.engine().effective_jobs();
+    println!(
+        "APF experiment harness ({} mode, {} worker{}) — experiments: {}",
+        if opts.quick { "quick" } else { "full" },
+        jobs,
+        if jobs == 1 { "" } else { "s" },
+        picks.join(", ")
+    );
+
+    let t0 = Instant::now();
+    let mut reports = Vec::new();
+    for p in &picks {
+        let run = experiments::find(p).expect("validated above");
+        let report = run(&ctx);
+        report.print();
+        reports.push(report);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let trials: usize = reports.iter().map(|r| r.trials).sum();
+    println!(
+        "\ntotal: {} trials in {:.2}s ({:.1} trials/s, {} worker{})",
+        trials,
+        wall_s,
+        if wall_s > 0.0 { trials as f64 / wall_s } else { 0.0 },
+        jobs,
+        if jobs == 1 { "" } else { "s" },
+    );
+
+    if let Some(path) = &opts.json {
+        let doc = report::suite_json(&reports, opts.quick, jobs, wall_s);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,943 @@
+//! Deterministic parallel trial engine.
+//!
+//! The E1–E9 suite needs orders of magnitude more Monte Carlo trials than a
+//! sequential for-loop affords. This module provides:
+//!
+//! * [`RunSpec`] — a builder describing **one** reproducible simulation
+//!   trial (instance, algorithm, scheduler, seed, budget, world options);
+//! * [`Campaign`] — an explicit list of `RunSpec`s sharing a campaign seed,
+//!   with per-trial seeds derived by a splitmix64-style function of
+//!   `(campaign_seed, trial_index)`;
+//! * [`Engine`] — a work-stealing executor over `std::thread::scope` (no
+//!   third-party dependencies) whose output is **bit-identical** for any
+//!   worker count;
+//! * [`StreamingAggregate`] — mergeable Welford mean/variance plus a bounded
+//!   percentile buffer, so campaigns aggregate without materializing every
+//!   [`RunResult`].
+//!
+//! # Determinism
+//!
+//! Three properties make `--jobs 1` and `--jobs N` produce identical
+//! output:
+//!
+//! 1. every trial's randomness comes only from its spec (`seed`, derived
+//!    from the campaign seed and the trial **index**, never from scheduling);
+//! 2. trials are claimed in fixed-size chunks whose boundaries depend only
+//!    on the trial count, and each chunk aggregates locally;
+//! 3. chunk aggregates are merged **in chunk order** after all workers
+//!    join, so floating-point reduction order is fixed.
+
+use crate::{Aggregate, RunResult};
+use apf_baselines::{DeterministicFormation, YyStyleFormation};
+use apf_core::{validate_instance, BuildError, FormPattern};
+use apf_geometry::{Point, Tol};
+use apf_scheduler::{AsyncConfig, SchedulerKind};
+use apf_sim::{RobotAlgorithm, World, WorldConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Trials per work-queue chunk. Fixed (never derived from the worker count)
+/// so chunk boundaries — and therefore merge order — are identical for any
+/// `--jobs` value. One trial per chunk: individual trials are heavy (up to
+/// millions of engine steps) and wildly uneven (early success vs. budget
+/// exhaustion), so fine-grained claiming is what load-balances; the
+/// per-chunk bookkeeping is noise by comparison.
+const CHUNK: usize = 1;
+
+/// Splitmix64 finalizer: the per-trial seed function.
+///
+/// `trial_seed(c, i)` is a high-quality hash of `(c, i)`, so trial streams
+/// are decorrelated even for adjacent indices and campaign seeds.
+pub fn trial_seed(campaign_seed: u64, trial_index: u64) -> u64 {
+    let mut z = campaign_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(trial_index.wrapping_mul(0xA24B_AED4_963E_E407));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which algorithm a trial runs. A value, not a boxed trait object, so specs
+/// stay `Send + Sync + Clone` and each worker instantiates its own
+/// (stateless) algorithm.
+#[derive(Debug, Clone, Copy)]
+pub enum AlgorithmSpec {
+    /// The paper's algorithm (`ψ_RSB` + `ψ_DPF`).
+    FormPattern,
+    /// Yamauchi–Yamashita-style baseline (continuous randomness).
+    YyStyle,
+    /// Deterministic baseline (cannot break symmetry).
+    Deterministic,
+    /// Any other algorithm, via a constructor function pointer.
+    Custom(fn() -> Box<dyn RobotAlgorithm>),
+}
+
+impl AlgorithmSpec {
+    fn instantiate(&self) -> Box<dyn RobotAlgorithm> {
+        match self {
+            AlgorithmSpec::FormPattern => Box::new(FormPattern::new()),
+            AlgorithmSpec::YyStyle => Box::new(YyStyleFormation::new()),
+            AlgorithmSpec::Deterministic => Box::new(DeterministicFormation::new()),
+            AlgorithmSpec::Custom(make) => make(),
+        }
+    }
+}
+
+/// One reproducible simulation trial, built fluently:
+///
+/// ```
+/// use apf_bench::engine::RunSpec;
+/// use apf_scheduler::SchedulerKind;
+///
+/// let r = RunSpec::new(
+///     apf_patterns::asymmetric_configuration(7, 5),
+///     apf_patterns::random_pattern(7, 6),
+/// )
+/// .scheduler(SchedulerKind::RoundRobin)
+/// .seed(1)
+/// .budget(100_000)
+/// .run();
+/// assert!(r.formed);
+/// ```
+///
+/// This replaces the old positional `run_formation(initial, pattern, kind,
+/// seed, budget)` / `run_algorithm(..7 args..)` free functions.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    initial: Vec<Point>,
+    pattern: Vec<Point>,
+    algorithm: AlgorithmSpec,
+    kind: SchedulerKind,
+    async_config: Option<AsyncConfig>,
+    seed: u64,
+    budget: u64,
+    config: WorldConfig,
+    validate: Option<bool>,
+}
+
+impl RunSpec {
+    /// Starts a spec from an instance. Defaults: the paper's algorithm, the
+    /// ASYNC scheduler, seed 0, a 1 M-step budget, default world config.
+    pub fn new(initial: Vec<Point>, pattern: Vec<Point>) -> Self {
+        RunSpec {
+            initial,
+            pattern,
+            algorithm: AlgorithmSpec::FormPattern,
+            kind: SchedulerKind::Async,
+            async_config: None,
+            seed: 0,
+            budget: 1_000_000,
+            config: WorldConfig::default(),
+            validate: None,
+        }
+    }
+
+    /// Chooses the scheduler kind.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Overrides the ASYNC adversary knobs (ignored by other kinds).
+    pub fn async_config(mut self, config: AsyncConfig) -> Self {
+        self.async_config = Some(config);
+        self
+    }
+
+    /// Seeds the robots' randomness, the frames, and the scheduler.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the engine-step budget.
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the whole world config.
+    pub fn world(mut self, config: WorldConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Chooses the algorithm (default: the paper's [`AlgorithmSpec::FormPattern`]).
+    pub fn algorithm(mut self, algorithm: AlgorithmSpec) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the minimum per-Move progress `δ`.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.config.delta = delta;
+        self
+    }
+
+    /// Overrides the geometric tolerance.
+    pub fn tol(mut self, tol: Tol) -> Self {
+        self.config.tol = tol;
+        self
+    }
+
+    /// Enables multiplicity detection (required for multiplicity patterns).
+    pub fn multiplicity_detection(mut self, on: bool) -> Self {
+        self.config.multiplicity_detection = on;
+        self
+    }
+
+    /// Whether robots get random (rotated/scaled/mirrored) local frames.
+    pub fn randomize_frames(mut self, on: bool) -> Self {
+        self.config.randomize_frames = on;
+        self
+    }
+
+    /// Records every configuration (for rendering; costly on long runs).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.config.record_trace = on;
+        self
+    }
+
+    /// Forces instance validation on or off. Default: validate exactly when
+    /// running the paper's algorithm (baselines are routinely pointed at
+    /// instances outside the paper's preconditions).
+    pub fn validate(mut self, on: bool) -> Self {
+        self.validate = Some(on);
+        self
+    }
+
+    fn should_validate(&self) -> bool {
+        self.validate.unwrap_or(matches!(self.algorithm, AlgorithmSpec::FormPattern))
+    }
+
+    /// Builds the world without running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when validation is enabled and the instance
+    /// violates the paper's preconditions.
+    pub fn build_world(&self) -> Result<World, BuildError> {
+        if self.should_validate() {
+            validate_instance(&self.initial, &self.pattern, &self.config)?;
+        }
+        let scheduler_seed = self.seed.wrapping_add(0x5EED);
+        let scheduler = match self.async_config {
+            Some(cfg) => self.kind.build_with_async_config(scheduler_seed, cfg),
+            None => self.kind.build(scheduler_seed),
+        };
+        Ok(World::new(
+            self.initial.clone(),
+            self.pattern.clone(),
+            self.algorithm.instantiate(),
+            scheduler,
+            self.config,
+            self.seed,
+        ))
+    }
+
+    /// Runs the trial to completion or budget exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when validation rejects the instance.
+    pub fn try_run(&self) -> Result<RunResult, BuildError> {
+        Ok(self.build_world()?.run(self.budget).into())
+    }
+
+    /// Runs the trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is invalid (the experiment generators only
+    /// emit valid ones).
+    pub fn run(&self) -> RunResult {
+        self.try_run().expect("experiment instance must be valid")
+    }
+}
+
+/// An explicit list of trials sharing a campaign seed.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    name: String,
+    seed: u64,
+    specs: Vec<RunSpec>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        Campaign { name: name.into(), seed, specs: Vec::new() }
+    }
+
+    /// The campaign's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-trial seed this campaign derives for `trial_index`.
+    pub fn seed_for(&self, trial_index: u64) -> u64 {
+        trial_seed(self.seed, trial_index)
+    }
+
+    /// Appends one explicit spec (its seed is kept as-is).
+    pub fn push(&mut self, spec: RunSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Appends `count` trials built by `make(trial_index, derived_seed)`.
+    ///
+    /// The returned spec's seed is **overwritten** with the derived seed, so
+    /// per-trial randomness always follows the campaign-seed scheme; use
+    /// `trial_index` for anything that must stay stable across campaign
+    /// seeds (e.g. instance-generator seeds).
+    pub fn add_trials(
+        &mut self,
+        count: u64,
+        mut make: impl FnMut(u64, u64) -> RunSpec,
+    ) -> &mut Self {
+        for i in 0..count {
+            let base = self.specs.len() as u64;
+            let seed = self.seed_for(base);
+            let mut spec = make(i, seed);
+            spec.seed = seed;
+            self.specs.push(spec);
+        }
+        self
+    }
+
+    /// The trial list, in index order.
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
+    }
+
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the campaign has no trials.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// Welford running mean/variance (parallel-mergeable, Chan et al.).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (order-sensitive in the
+    /// last floating-point ulps — the engine always merges in chunk order).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.count += other.count;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Bounded percentile buffer: keeps at most `cap` samples by deterministic
+/// stride thinning (every `stride`-th sample by arrival order survives), so
+/// memory stays bounded on million-trial campaigns while percentiles remain
+/// **exact** whenever the total sample count fits the cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileBuffer {
+    cap: usize,
+    stride: u64,
+    seen: u64,
+    samples: Vec<f64>,
+}
+
+impl PercentileBuffer {
+    /// A buffer keeping at most `cap` samples (`cap ≥ 2`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 2, "percentile buffer needs capacity >= 2");
+        PercentileBuffer { cap, stride: 1, seen: 0, samples: Vec::new() }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.seen.is_multiple_of(self.stride) {
+            if self.samples.len() == self.cap {
+                self.thin();
+            }
+            self.samples.push(x);
+        }
+        self.seen += 1;
+    }
+
+    fn thin(&mut self) {
+        let mut keep = 0;
+        for i in (0..self.samples.len()).step_by(2) {
+            self.samples[keep] = self.samples[i];
+            keep += 1;
+        }
+        self.samples.truncate(keep);
+        self.stride *= 2;
+    }
+
+    /// Merges another buffer (samples of `other` follow `self` in arrival
+    /// order; the engine merges chunks in index order, so the result is
+    /// independent of the worker count).
+    pub fn merge(&mut self, other: &PercentileBuffer) {
+        let stride = self.stride.max(other.stride);
+        let mut merged: Vec<f64> = Vec::with_capacity(self.samples.len() + other.samples.len());
+        for (buf, own) in [(&*self, true), (other, false)] {
+            let step = (stride / buf.stride) as usize;
+            let _ = own;
+            merged.extend(buf.samples.iter().step_by(step.max(1)));
+        }
+        self.samples = merged;
+        self.stride = stride;
+        self.seen += other.seen;
+        while self.samples.len() > self.cap {
+            self.thin();
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn retained(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total observations pushed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Whether percentile queries are exact (no thinning has occurred).
+    pub fn is_exact(&self) -> bool {
+        self.stride == 1
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) under the same nearest-rank convention
+    /// as [`Aggregate::of`]; 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[((v.len() as f64 - 1.0) * q).round() as usize]
+    }
+}
+
+/// Streaming replacement for collecting `Vec<RunResult>` + [`Aggregate::of`]:
+/// O(1) per trial, mergeable, bounded memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingAggregate {
+    runs: u64,
+    formed: u64,
+    cycles: Welford,
+    bits: Welford,
+    distance: Welford,
+    total_cycles: f64,
+    total_bits: f64,
+    cycle_percentiles: PercentileBuffer,
+}
+
+impl Default for StreamingAggregate {
+    fn default() -> Self {
+        Self::with_capacity(1 << 16)
+    }
+}
+
+impl StreamingAggregate {
+    /// An empty aggregate whose percentile buffer keeps `cap` samples.
+    pub fn with_capacity(cap: usize) -> Self {
+        StreamingAggregate {
+            runs: 0,
+            formed: 0,
+            cycles: Welford::default(),
+            bits: Welford::default(),
+            distance: Welford::default(),
+            total_cycles: 0.0,
+            total_bits: 0.0,
+            cycle_percentiles: PercentileBuffer::new(cap),
+        }
+    }
+
+    /// Folds in one trial result. Means/percentiles cover **successful**
+    /// runs, matching [`Aggregate::of`].
+    pub fn push(&mut self, r: &RunResult) {
+        self.runs += 1;
+        if r.formed {
+            self.formed += 1;
+            self.cycles.push(r.cycles as f64);
+            self.bits.push(r.bits as f64);
+            self.distance.push(r.distance);
+            self.total_cycles += r.cycles as f64;
+            self.total_bits += r.bits as f64;
+            self.cycle_percentiles.push(r.cycles as f64);
+        }
+    }
+
+    /// Merges another aggregate (the engine calls this in chunk order).
+    pub fn merge(&mut self, other: &StreamingAggregate) {
+        self.runs += other.runs;
+        self.formed += other.formed;
+        self.cycles.merge(&other.cycles);
+        self.bits.merge(&other.bits);
+        self.distance.merge(&other.distance);
+        self.total_cycles += other.total_cycles;
+        self.total_bits += other.total_bits;
+        self.cycle_percentiles.merge(&other.cycle_percentiles);
+    }
+
+    /// Trials folded in.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Successful trials.
+    pub fn formed(&self) -> u64 {
+        self.formed
+    }
+
+    /// Welford accumulator over successful runs' cycles.
+    pub fn cycles(&self) -> &Welford {
+        &self.cycles
+    }
+
+    /// Welford accumulator over successful runs' random bits.
+    pub fn bits(&self) -> &Welford {
+        &self.bits
+    }
+
+    /// Welford accumulator over successful runs' travel distance.
+    pub fn distance(&self) -> &Welford {
+        &self.distance
+    }
+
+    /// The classic [`Aggregate`] view of this accumulator.
+    pub fn to_aggregate(&self) -> Aggregate {
+        Aggregate {
+            runs: self.runs as usize,
+            success: if self.runs == 0 { 0.0 } else { self.formed as f64 / self.runs as f64 },
+            mean_cycles: self.cycles.mean(),
+            median_cycles: self.cycle_percentiles.percentile(0.5),
+            p95_cycles: self.cycle_percentiles.percentile(0.95),
+            mean_bits: self.bits.mean(),
+            bits_per_cycle: if self.total_cycles == 0.0 {
+                0.0
+            } else {
+                self.total_bits / self.total_cycles
+            },
+        }
+    }
+}
+
+/// A campaign's merged outcome plus throughput accounting.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The campaign's name.
+    pub name: String,
+    /// Trials executed.
+    pub trials: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Merged streaming statistics.
+    pub stats: StreamingAggregate,
+    /// Per-trial results in trial order (only with
+    /// [`Engine::collect_results`]).
+    pub results: Option<Vec<RunResult>>,
+    /// Wall-clock time of the whole campaign.
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// The classic aggregate view.
+    pub fn aggregate(&self) -> Aggregate {
+        self.stats.to_aggregate()
+    }
+
+    /// Trials per wall-clock second.
+    pub fn trials_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.trials as f64 / s
+        }
+    }
+}
+
+/// The parallel executor. Construct once, reuse for many campaigns.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    jobs: usize,
+    collect: bool,
+    percentile_cap: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine using every available core.
+    pub fn new() -> Self {
+        let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Engine { jobs, collect: false, percentile_cap: 1 << 16 }
+    }
+
+    /// Sets the worker count (0 = auto-detect).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            jobs
+        };
+        self
+    }
+
+    /// The resolved worker count (auto-detection already applied).
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Also returns every per-trial [`RunResult`] (in trial order). Off by
+    /// default: large campaigns aggregate without materializing results.
+    pub fn collect_results(mut self, on: bool) -> Self {
+        self.collect = on;
+        self
+    }
+
+    /// Caps the percentile buffer (per chunk and merged).
+    pub fn percentile_cap(mut self, cap: usize) -> Self {
+        self.percentile_cap = cap;
+        self
+    }
+
+    /// Runs every trial of `campaign` and merges the outcome.
+    ///
+    /// The result — including every floating-point digit of the merged
+    /// statistics and the order of collected results — is identical for any
+    /// worker count (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec's instance is invalid, or if a worker thread
+    /// panics.
+    pub fn run(&self, campaign: &Campaign) -> CampaignReport {
+        let specs = campaign.specs();
+        let n = specs.len();
+        let nchunks = n.div_ceil(CHUNK);
+        let workers = self.jobs.min(nchunks.max(1)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let t0 = Instant::now();
+
+        type ChunkOut = (usize, StreamingAggregate, Vec<RunResult>);
+        let mut chunks: Vec<Option<(StreamingAggregate, Vec<RunResult>)>> = Vec::new();
+        chunks.resize_with(nchunks, || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut out: Vec<ChunkOut> = Vec::new();
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= nchunks {
+                                break;
+                            }
+                            let lo = c * CHUNK;
+                            let hi = (lo + CHUNK).min(n);
+                            let mut agg = StreamingAggregate::with_capacity(self.percentile_cap);
+                            let mut results =
+                                if self.collect { Vec::with_capacity(hi - lo) } else { Vec::new() };
+                            for spec in &specs[lo..hi] {
+                                let r = spec.run();
+                                agg.push(&r);
+                                if self.collect {
+                                    results.push(r);
+                                }
+                            }
+                            out.push((c, agg, results));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (c, agg, results) in handle.join().expect("engine worker panicked") {
+                    chunks[c] = Some((agg, results));
+                }
+            }
+        });
+
+        let mut stats = StreamingAggregate::with_capacity(self.percentile_cap);
+        let mut results = self.collect.then(|| Vec::with_capacity(n));
+        for slot in chunks {
+            let (agg, chunk_results) = slot.expect("every chunk must be claimed by a worker");
+            stats.merge(&agg);
+            if let Some(all) = results.as_mut() {
+                all.extend(chunk_results);
+            }
+        }
+
+        CampaignReport {
+            name: campaign.name().to_string(),
+            trials: n,
+            jobs: workers,
+            stats,
+            results,
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_scheduler::SchedulerKind;
+
+    fn result(formed: bool, cycles: u64, bits: u64) -> RunResult {
+        RunResult { formed, steps: 0, cycles, bits, distance: cycles as f64 * 0.5 }
+    }
+
+    #[test]
+    fn trial_seeds_are_decorrelated() {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..8u64 {
+            for i in 0..64u64 {
+                assert!(seen.insert(trial_seed(c, i)), "seed collision at ({c}, {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let data = [3.0, 1.5, 8.25, -2.0, 4.0, 4.0, 19.5];
+        let mut w = Welford::default();
+        for x in data {
+            w.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 40.0).collect();
+        let mut whole = Welford::default();
+        for x in &data {
+            whole.push(*x);
+        }
+        let mut left = Welford::default();
+        let mut right = Welford::default();
+        for x in &data[..37] {
+            left.push(*x);
+        }
+        for x in &data[37..] {
+            right.push(*x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_buffer_exact_under_cap() {
+        let mut buf = PercentileBuffer::new(256);
+        let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        for x in &data {
+            buf.push(*x);
+        }
+        assert!(buf.is_exact());
+        // Same nearest-rank convention as Aggregate::of.
+        assert_eq!(buf.percentile(0.5), 50.0);
+        assert_eq!(buf.percentile(0.95), 94.0);
+        assert_eq!(buf.percentile(0.0), 0.0);
+        assert_eq!(buf.percentile(1.0), 99.0);
+    }
+
+    #[test]
+    fn percentile_buffer_thins_deterministically() {
+        let mut a = PercentileBuffer::new(16);
+        for i in 0..1000 {
+            a.push(i as f64);
+        }
+        assert!(a.retained() <= 16);
+        assert_eq!(a.seen(), 1000);
+        // Approximate but sane: the thinned median is within 15% of truth.
+        assert!((a.percentile(0.5) - 500.0).abs() < 150.0, "median {}", a.percentile(0.5));
+    }
+
+    #[test]
+    fn streaming_aggregate_matches_aggregate_of() {
+        let results: Vec<RunResult> =
+            (0..200).map(|i| result(i % 5 != 0, (i * 31) % 400 + 1, (i * 7) % 50)).collect();
+        let reference = Aggregate::of(&results);
+        let mut streaming = StreamingAggregate::default();
+        for r in &results {
+            streaming.push(r);
+        }
+        let got = streaming.to_aggregate();
+        assert_eq!(got.runs, reference.runs);
+        assert!((got.success - reference.success).abs() < 1e-12);
+        assert!((got.mean_cycles - reference.mean_cycles).abs() < 1e-9);
+        assert_eq!(got.median_cycles, reference.median_cycles);
+        assert_eq!(got.p95_cycles, reference.p95_cycles);
+        assert!((got.mean_bits - reference.mean_bits).abs() < 1e-9);
+        assert!((got.bits_per_cycle - reference.bits_per_cycle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_merge_matches_aggregate_of() {
+        let results: Vec<RunResult> =
+            (0..150).map(|i| result(i % 7 != 0, (i * 13) % 300 + 1, i % 40)).collect();
+        let reference = Aggregate::of(&results);
+        // Merge in fixed chunk order, as the engine does.
+        let mut merged = StreamingAggregate::default();
+        for chunk in results.chunks(16) {
+            let mut part = StreamingAggregate::default();
+            for r in chunk {
+                part.push(r);
+            }
+            merged.merge(&part);
+        }
+        let got = merged.to_aggregate();
+        assert_eq!(got.runs, reference.runs);
+        assert!((got.mean_cycles - reference.mean_cycles).abs() < 1e-9);
+        assert_eq!(got.median_cycles, reference.median_cycles);
+        assert_eq!(got.p95_cycles, reference.p95_cycles);
+        assert!((got.bits_per_cycle - reference.bits_per_cycle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zeroed() {
+        let a = StreamingAggregate::default().to_aggregate();
+        assert_eq!(a.runs, 0);
+        assert_eq!(a.success, 0.0);
+        assert_eq!(a.mean_cycles, 0.0);
+    }
+
+    #[test]
+    fn runspec_smoke_formation() {
+        let r = RunSpec::new(
+            apf_patterns::asymmetric_configuration(7, 5),
+            apf_patterns::random_pattern(7, 6),
+        )
+        .scheduler(SchedulerKind::RoundRobin)
+        .seed(1)
+        .budget(100_000)
+        .run();
+        assert!(r.formed);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn runspec_validation_rejects_small_instances() {
+        let err = RunSpec::new(
+            apf_patterns::asymmetric_configuration(5, 1),
+            apf_patterns::random_pattern(5, 2),
+        )
+        .try_run()
+        .unwrap_err();
+        assert_eq!(err, BuildError::TooFewRobots(5));
+    }
+
+    #[test]
+    fn runspec_baselines_skip_validation_by_default() {
+        // 5 robots violate the paper's n >= 7 precondition, but baselines
+        // may still run; the deterministic baseline just won't form.
+        let r = RunSpec::new(
+            apf_patterns::asymmetric_configuration(5, 1),
+            apf_patterns::random_pattern(5, 2),
+        )
+        .algorithm(AlgorithmSpec::Deterministic)
+        .scheduler(SchedulerKind::RoundRobin)
+        .budget(100)
+        .try_run();
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn campaign_derives_and_overrides_seeds() {
+        let mut c = Campaign::new("t", 99);
+        c.add_trials(4, |i, seed| {
+            assert_eq!(seed, trial_seed(99, i));
+            RunSpec::new(Vec::new(), Vec::new()).seed(12345) // overwritten
+        });
+        for (i, spec) in c.specs().iter().enumerate() {
+            assert_eq!(spec.seed, trial_seed(99, i as u64));
+        }
+    }
+
+    #[test]
+    fn engine_runs_small_campaign() {
+        let mut c = Campaign::new("smoke", 7);
+        c.add_trials(5, |i, _seed| {
+            RunSpec::new(
+                apf_patterns::asymmetric_configuration(7, 10 + i),
+                apf_patterns::random_pattern(7, 20 + i),
+            )
+            .scheduler(SchedulerKind::RoundRobin)
+            .budget(200_000)
+        });
+        let report = Engine::new().jobs(2).collect_results(true).run(&c);
+        assert_eq!(report.trials, 5);
+        assert_eq!(report.stats.runs(), 5);
+        assert_eq!(report.results.as_ref().unwrap().len(), 5);
+        let agg = report.aggregate();
+        assert!(agg.success > 0.0);
+    }
+}

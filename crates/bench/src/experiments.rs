@@ -2,38 +2,92 @@
 //!
 //! Every experiment regenerates one table of EXPERIMENTS.md; each maps to a
 //! formal claim of the paper. `quick` mode shrinks seeds/sizes for CI.
+//!
+//! Trials are described by [`RunSpec`], grouped per table row into
+//! [`Campaign`]s, and executed by the deterministic parallel [`Engine`] —
+//! tables are bit-identical for any `--jobs` value. Instance generators are
+//! seeded by the **trial index** (stable across campaign seeds); world/
+//! scheduler randomness comes from the campaign-derived per-trial seed.
 
-use crate::{print_table, run_algorithm, run_formation, Aggregate, RunResult};
-use apf_baselines::{DeterministicFormation, YyStyleFormation};
-use apf_core::SimulationBuilder;
+use crate::engine::{AlgorithmSpec, Campaign, Engine, RunSpec};
+use crate::report::ExperimentReport;
+use crate::Aggregate;
 use apf_geometry::{Configuration, Tol};
 use apf_scheduler::{AsyncConfig, SchedulerKind};
-use apf_sim::WorldConfig;
 use std::time::Instant;
 
-fn seeds(quick: bool, full: u64) -> std::ops::Range<u64> {
-    0..(if quick { 8.min(full) } else { full })
+/// Shared experiment context: CI-speed mode plus the engine's worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpCtx {
+    /// Shrink seeds/sizes for CI-speed runs.
+    pub quick: bool,
+    /// Engine worker threads (0 = auto-detect).
+    pub jobs: usize,
+}
+
+impl ExpCtx {
+    /// The engine every experiment runs on.
+    pub fn engine(&self) -> Engine {
+        Engine::new().jobs(self.jobs)
+    }
+
+    fn seeds(&self, full: u64) -> u64 {
+        if self.quick {
+            8.min(full)
+        } else {
+            full
+        }
+    }
+}
+
+/// An experiment entry point.
+pub type ExpFn = fn(&ExpCtx) -> ExperimentReport;
+
+/// Every experiment: `(id, one-line description, entry point)`.
+pub const REGISTRY: &[(&str, &str, ExpFn)] = &[
+    ("e1", "election terminates with probability 1 (Lemmas 1-2)", e1),
+    ("e2", "random bits: 1 bit/cycle (ours) vs continuous draws (YY-style)", e2),
+    ("e3", "arbitrary pattern formation across schedulers (Theorem 2)", e3),
+    ("e4", "ASYNC adversary with pauses, sweeping minimum progress delta", e4),
+    ("e5", "chirality independence: mirrored/rotated frames", e5),
+    ("e6", "rho(I) does not divide rho(F): randomized vs deterministic", e6),
+    ("e7", "multiplicity-point patterns with detection (Appendix C)", e7),
+    ("e8", "adversary ablation: ASYNC pause probability", e8),
+    ("e9", "analysis kernel cost (timing, no Monte Carlo trials)", e9),
+];
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<ExpFn> {
+    REGISTRY.iter().find(|(name, _, _)| *name == id).map(|&(_, _, f)| f)
+}
+
+/// Runs one campaign and folds it into the row/trial accounting.
+fn run_row(engine: &Engine, campaign: &Campaign, trials: &mut usize) -> Aggregate {
+    let report = engine.run(campaign);
+    *trials += report.trials;
+    report.aggregate()
 }
 
 /// E1 — Election terminates with probability 1 (Lemmas 1–2): cycles to
 /// completion from worst-case symmetric configurations, sweeping `n`.
-pub fn e1(quick: bool) {
+pub fn e1(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let engine = ctx.engine();
     let sizes: &[(usize, usize)] =
-        if quick { &[(8, 4), (12, 4)] } else { &[(8, 2), (8, 4), (12, 4), (16, 4), (20, 4)] };
+        if ctx.quick { &[(8, 4), (12, 4)] } else { &[(8, 2), (8, 4), (12, 4), (16, 4), (20, 4)] };
     let mut rows = Vec::new();
+    let mut trials = 0;
     for &(n, rho) in sizes {
-        let results: Vec<RunResult> = seeds(quick, 16)
-            .map(|s| {
-                run_formation(
-                    apf_patterns::symmetric_configuration(n, rho, 1000 + s),
-                    apf_patterns::random_pattern(n, 2000 + s),
-                    SchedulerKind::RoundRobin,
-                    s,
-                    2_000_000,
-                )
-            })
-            .collect();
-        let a = Aggregate::of(&results);
+        let mut c = Campaign::new(format!("e1 n={n} rho={rho}"), 1);
+        c.add_trials(ctx.seeds(16), |i, _seed| {
+            RunSpec::new(
+                apf_patterns::symmetric_configuration(n, rho, 1000 + i),
+                apf_patterns::random_pattern(n, 2000 + i),
+            )
+            .scheduler(SchedulerKind::RoundRobin)
+            .budget(2_000_000)
+        });
+        let a = run_row(&engine, &c, &mut trials);
         rows.push(vec![
             n.to_string(),
             rho.to_string(),
@@ -44,42 +98,41 @@ pub fn e1(quick: bool) {
             format!("{:.1}", a.mean_bits),
         ]);
     }
-    print_table(
-        "E1: formation from symmetric configs (election path), probability-1 termination",
-        &["n", "rho(I)", "success", "mean cyc", "med cyc", "p95 cyc", "mean bits"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e1".into(),
+        title: "E1: formation from symmetric configs (election path), probability-1 termination"
+            .into(),
+        header: ["n", "rho(I)", "success", "mean cyc", "med cyc", "p95 cyc", "mean bits"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        trials,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// E2 — Randomness budget: 1 bit/cycle (ours) vs continuous draws (YY-style).
-pub fn e2(quick: bool) {
+pub fn e2(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let engine = ctx.engine();
     let mut rows = Vec::new();
-    for &n in if quick { &[8usize, 12][..] } else { &[8usize, 12, 16, 24][..] } {
+    let mut trials = 0;
+    for &n in if ctx.quick { &[8usize, 12][..] } else { &[8usize, 12, 16, 24][..] } {
         let rho = if n % 4 == 0 { 4 } else { 3 };
-        let mut ours = Vec::new();
-        let mut yy = Vec::new();
-        for s in seeds(quick, 16) {
-            let init = apf_patterns::symmetric_configuration(n, rho, 3000 + s);
-            let pat = apf_patterns::random_pattern(n, 4000 + s);
-            ours.push(run_formation(
-                init.clone(),
-                pat.clone(),
-                SchedulerKind::RoundRobin,
-                s,
-                2_000_000,
-            ));
-            yy.push(run_algorithm(
-                Box::new(YyStyleFormation::new()),
-                init,
-                pat,
-                SchedulerKind::RoundRobin,
-                s,
-                2_000_000,
-                WorldConfig::default(),
-            ));
-        }
-        let ao = Aggregate::of(&ours);
-        let ay = Aggregate::of(&yy);
+        let spec = |i: u64| {
+            RunSpec::new(
+                apf_patterns::symmetric_configuration(n, rho, 3000 + i),
+                apf_patterns::random_pattern(n, 4000 + i),
+            )
+            .scheduler(SchedulerKind::RoundRobin)
+            .budget(2_000_000)
+        };
+        let mut ours = Campaign::new(format!("e2 ours n={n}"), 2);
+        ours.add_trials(ctx.seeds(16), |i, _| spec(i));
+        let mut yy = Campaign::new(format!("e2 yy n={n}"), 2);
+        yy.add_trials(ctx.seeds(16), |i, _| spec(i).algorithm(AlgorithmSpec::YyStyle));
+        let ao = run_row(&engine, &ours, &mut trials);
+        let ay = run_row(&engine, &yy, &mut trials);
         rows.push(vec![
             n.to_string(),
             format!("{:.2}", ao.success),
@@ -94,41 +147,50 @@ pub fn e2(quick: bool) {
             ),
         ]);
     }
-    print_table(
-        "E2: random bits — ours (1 bit/active election cycle) vs YY-style (64-bit continuous draws)",
-        &["n", "ours ok", "ours bits", "ours b/cyc", "yy ok", "yy bits", "yy b/cyc", "ratio"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e2".into(),
+        title:
+            "E2: random bits — ours (1 bit/active election cycle) vs YY-style (64-bit continuous draws)"
+                .into(),
+        header: ["n", "ours ok", "ours bits", "ours b/cyc", "yy ok", "yy bits", "yy b/cyc", "ratio"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        trials,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// E3 — Theorem 2: any pattern from any configuration, across schedulers.
-pub fn e3(quick: bool) {
+pub fn e3(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let engine = ctx.engine();
     let mut rows = Vec::new();
-    let kinds =
-        [SchedulerKind::Fsync, SchedulerKind::Ssync, SchedulerKind::Async, SchedulerKind::RoundRobin];
+    let mut trials = 0;
+    let kinds = [
+        SchedulerKind::Fsync,
+        SchedulerKind::Ssync,
+        SchedulerKind::Async,
+        SchedulerKind::RoundRobin,
+    ];
     for kind in kinds {
-        for &(n, sym) in if quick {
+        for &(n, sym) in if ctx.quick {
             &[(8usize, false), (8, true)][..]
         } else {
             &[(8usize, false), (8, true), (16, false), (16, true)][..]
         } {
-            let results: Vec<RunResult> = seeds(quick, 10)
-                .map(|s| {
-                    let init = if sym {
-                        apf_patterns::symmetric_configuration(n, 4, 5000 + s)
-                    } else {
-                        apf_patterns::asymmetric_configuration(n, 5000 + s)
-                    };
-                    run_formation(
-                        init,
-                        apf_patterns::random_pattern(n, 6000 + s),
-                        kind,
-                        s,
-                        600_000,
-                    )
-                })
-                .collect();
-            let a = Aggregate::of(&results);
+            let mut c = Campaign::new(format!("e3 {kind} n={n} sym={sym}"), 3);
+            c.add_trials(ctx.seeds(10), |i, _| {
+                let init = if sym {
+                    apf_patterns::symmetric_configuration(n, 4, 5000 + i)
+                } else {
+                    apf_patterns::asymmetric_configuration(n, 5000 + i)
+                };
+                RunSpec::new(init, apf_patterns::random_pattern(n, 6000 + i))
+                    .scheduler(kind)
+                    .budget(600_000)
+            });
+            let a = run_row(&engine, &c, &mut trials);
             rows.push(vec![
                 kind.to_string(),
                 n.to_string(),
@@ -139,33 +201,37 @@ pub fn e3(quick: bool) {
             ]);
         }
     }
-    print_table(
-        "E3: arbitrary pattern formation across execution models (Theorem 2)",
-        &["scheduler", "n", "sym", "success", "mean cyc", "p95 cyc"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e3".into(),
+        title: "E3: arbitrary pattern formation across execution models (Theorem 2)".into(),
+        header: ["scheduler", "n", "sym", "success", "mean cyc", "p95 cyc"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        trials,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// E4 — Full asynchrony with pauses and tiny δ (non-rigid movement).
-pub fn e4(quick: bool) {
+pub fn e4(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let engine = ctx.engine();
     let mut rows = Vec::new();
-    let deltas: &[f64] =
-        if quick { &[1e-1, 1e-3] } else { &[1.0, 1e-1, 1e-2, 1e-3, 1e-4] };
+    let mut trials = 0;
+    let deltas: &[f64] = if ctx.quick { &[1e-1, 1e-3] } else { &[1.0, 1e-1, 1e-2, 1e-3, 1e-4] };
     for &delta in deltas {
-        let results: Vec<RunResult> = seeds(quick, 12)
-            .map(|s| {
-                let init = apf_patterns::symmetric_configuration(8, 4, 7000 + s);
-                let pat = apf_patterns::random_pattern(8, 8000 + s);
-                let mut world = SimulationBuilder::new(init, pat)
-                    .scheduler(SchedulerKind::Async)
-                    .seed(s)
-                    .delta(delta)
-                    .build()
-                    .unwrap();
-                world.run(1_000_000).into()
-            })
-            .collect();
-        let a = Aggregate::of(&results);
+        let mut c = Campaign::new(format!("e4 delta={delta:.0e}"), 4);
+        c.add_trials(ctx.seeds(12), |i, _| {
+            RunSpec::new(
+                apf_patterns::symmetric_configuration(8, 4, 7000 + i),
+                apf_patterns::random_pattern(8, 8000 + i),
+            )
+            .scheduler(SchedulerKind::Async)
+            .delta(delta)
+            .budget(1_000_000)
+        });
+        let a = run_row(&engine, &c, &mut trials);
         rows.push(vec![
             format!("{delta:.0e}"),
             format!("{:.2}", a.success),
@@ -174,37 +240,38 @@ pub fn e4(quick: bool) {
             format!("{:.1}", a.mean_bits),
         ]);
     }
-    print_table(
-        "E4: ASYNC adversary with pauses, sweeping the minimum-progress δ",
-        &["delta", "success", "mean cyc", "p95 cyc", "mean bits"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e4".into(),
+        title: "E4: ASYNC adversary with pauses, sweeping the minimum-progress δ".into(),
+        header: ["delta", "success", "mean cyc", "p95 cyc", "mean bits"].map(String::from).to_vec(),
+        rows,
+        trials,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// E5 — Chirality independence: random per-robot handedness vs a shared
 /// global frame; identical success for ours.
-pub fn e5(quick: bool) {
+pub fn e5(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let engine = ctx.engine();
     let mut rows = Vec::new();
+    let mut trials = 0;
     for (label, randomize) in [("shared frame", false), ("random chirality", true)] {
         for &sym in &[false, true] {
-            let results: Vec<RunResult> = seeds(quick, 16)
-                .map(|s| {
-                    let init = if sym {
-                        apf_patterns::symmetric_configuration(8, 4, 9000 + s)
-                    } else {
-                        apf_patterns::asymmetric_configuration(8, 9000 + s)
-                    };
-                    let pat = apf_patterns::random_pattern(8, 9500 + s);
-                    let mut world = SimulationBuilder::new(init, pat)
-                        .scheduler(SchedulerKind::RoundRobin)
-                        .seed(s)
-                        .randomize_frames(randomize)
-                        .build()
-                        .unwrap();
-                    world.run(2_000_000).into()
-                })
-                .collect();
-            let a = Aggregate::of(&results);
+            let mut c = Campaign::new(format!("e5 {label} sym={sym}"), 5);
+            c.add_trials(ctx.seeds(16), |i, _| {
+                let init = if sym {
+                    apf_patterns::symmetric_configuration(8, 4, 9000 + i)
+                } else {
+                    apf_patterns::asymmetric_configuration(8, 9000 + i)
+                };
+                RunSpec::new(init, apf_patterns::random_pattern(8, 9500 + i))
+                    .scheduler(SchedulerKind::RoundRobin)
+                    .randomize_frames(randomize)
+                    .budget(2_000_000)
+            });
+            let a = run_row(&engine, &c, &mut trials);
             rows.push(vec![
                 label.to_string(),
                 if sym { "ρ=4".into() } else { "ρ=1".to_string() },
@@ -213,43 +280,44 @@ pub fn e5(quick: bool) {
             ]);
         }
     }
-    print_table(
-        "E5: no chirality assumption — identical success with mirrored/rotated frames",
-        &["frames", "sym", "success", "mean cyc"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e5".into(),
+        title: "E5: no chirality assumption — identical success with mirrored/rotated frames"
+            .into(),
+        header: ["frames", "sym", "success", "mean cyc"].map(String::from).to_vec(),
+        rows,
+        trials,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// E6 — Forming patterns with `ρ(I) ∤ ρ(F)`: impossible deterministically,
 /// done by the randomized algorithm.
-pub fn e6(quick: bool) {
+pub fn e6(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let engine = ctx.engine();
     let mut rows = Vec::new();
-    for &(n, rho) in if quick { &[(8usize, 4usize)][..] } else { &[(8usize, 2usize), (8, 4), (9, 3), (12, 6)][..] } {
-        let mut ours = Vec::new();
-        let mut det = Vec::new();
-        for s in seeds(quick, 12) {
-            let init = apf_patterns::symmetric_configuration(n, rho, 11_000 + s);
+    let mut trials = 0;
+    for &(n, rho) in if ctx.quick {
+        &[(8usize, 4usize)][..]
+    } else {
+        &[(8usize, 2usize), (8, 4), (9, 3), (12, 6)][..]
+    } {
+        let spec = |i: u64| {
+            let init = apf_patterns::symmetric_configuration(n, rho, 11_000 + i);
             // ρ(F) = 1 targets: ρ(I) does not divide ρ(F).
-            let pat = apf_patterns::random_pattern(n, 12_000 + s);
-            ours.push(run_formation(
-                init.clone(),
-                pat.clone(),
-                SchedulerKind::RoundRobin,
-                s,
-                2_000_000,
-            ));
-            det.push(run_algorithm(
-                Box::new(DeterministicFormation::new()),
-                init,
-                pat,
-                SchedulerKind::RoundRobin,
-                s,
-                5_000, // it stalls by design; a short budget proves it
-                WorldConfig::default(),
-            ));
-        }
-        let ao = Aggregate::of(&ours);
-        let ad = Aggregate::of(&det);
+            let pat = apf_patterns::random_pattern(n, 12_000 + i);
+            RunSpec::new(init, pat).scheduler(SchedulerKind::RoundRobin)
+        };
+        let mut ours = Campaign::new(format!("e6 ours n={n}"), 6);
+        ours.add_trials(ctx.seeds(12), |i, _| spec(i).budget(2_000_000));
+        let mut det = Campaign::new(format!("e6 det n={n}"), 6);
+        det.add_trials(ctx.seeds(12), |i, _| {
+            // It stalls by design; a short budget proves it.
+            spec(i).algorithm(AlgorithmSpec::Deterministic).budget(5_000)
+        });
+        let ao = run_row(&engine, &ours, &mut trials);
+        let ad = run_row(&engine, &det, &mut trials);
         rows.push(vec![
             n.to_string(),
             rho.to_string(),
@@ -258,48 +326,51 @@ pub fn e6(quick: bool) {
             format!("{:.2}", ad.success),
         ]);
     }
-    print_table(
-        "E6: ρ(I) ∤ ρ(F) instances — randomized succeeds, deterministic cannot",
-        &["n", "rho(I)", "rho(F)", "ours success", "deterministic success"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e6".into(),
+        title: "E6: ρ(I) ∤ ρ(F) instances — randomized succeeds, deterministic cannot".into(),
+        header: ["n", "rho(I)", "rho(F)", "ours success", "deterministic success"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        trials,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// E7 — Patterns with multiplicity points (Section 5 / Appendix C).
-pub fn e7(quick: bool) {
+pub fn e7(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let engine = ctx.engine();
     let mut rows = Vec::new();
-    let cases: &[(usize, usize, bool)] = if quick {
+    let mut trials = 0;
+    let cases: &[(usize, usize, bool)] = if ctx.quick {
         &[(8, 6, false), (8, 6, true)]
     } else {
         &[(8, 6, false), (8, 6, true), (12, 9, false), (12, 8, true)]
     };
     for &(n, distinct, center) in cases {
-        let results: Vec<RunResult> = seeds(quick, 12)
-            .map(|s| {
-                let init = apf_patterns::asymmetric_configuration(n, 13_000 + s);
-                let mut pat = apf_patterns::pattern_with_multiplicity(n, distinct, 14_000 + s);
-                if center {
-                    // Relocate the heaviest multiplicity group to the pattern
-                    // center.
-                    let cfg = Configuration::new(pat.clone());
-                    let c = cfg.sec().center;
-                    let groups = cfg.multiplicity_groups(&Tol::default());
-                    let (_, members) =
-                        groups.iter().max_by_key(|(_, m)| m.len()).unwrap().clone();
-                    for i in members {
-                        pat[i] = c;
-                    }
+        let mut c = Campaign::new(format!("e7 n={n} distinct={distinct} center={center}"), 7);
+        c.add_trials(ctx.seeds(12), |i, _| {
+            let init = apf_patterns::asymmetric_configuration(n, 13_000 + i);
+            let mut pat = apf_patterns::pattern_with_multiplicity(n, distinct, 14_000 + i);
+            if center {
+                // Relocate the heaviest multiplicity group to the pattern
+                // center.
+                let cfg = Configuration::new(pat.clone());
+                let c = cfg.sec().center;
+                let groups = cfg.multiplicity_groups(&Tol::default());
+                let (_, members) = groups.iter().max_by_key(|(_, m)| m.len()).unwrap().clone();
+                for i in members {
+                    pat[i] = c;
                 }
-                let mut world = SimulationBuilder::new(init, pat)
-                    .scheduler(SchedulerKind::RoundRobin)
-                    .seed(s)
-                    .multiplicity_detection(true)
-                    .build()
-                    .unwrap();
-                world.run(2_000_000).into()
-            })
-            .collect();
-        let a = Aggregate::of(&results);
+            }
+            RunSpec::new(init, pat)
+                .scheduler(SchedulerKind::RoundRobin)
+                .multiplicity_detection(true)
+                .budget(2_000_000)
+        });
+        let a = run_row(&engine, &c, &mut trials);
         rows.push(vec![
             n.to_string(),
             distinct.to_string(),
@@ -308,33 +379,35 @@ pub fn e7(quick: bool) {
             format!("{:.0}", a.mean_cycles),
         ]);
     }
-    print_table(
-        "E7: multiplicity-point patterns with multiplicity detection (Appendix C)",
-        &["n", "distinct", "center mult", "success", "mean cyc"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e7".into(),
+        title: "E7: multiplicity-point patterns with multiplicity detection (Appendix C)".into(),
+        header: ["n", "distinct", "center mult", "success", "mean cyc"].map(String::from).to_vec(),
+        rows,
+        trials,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// E8 — Ablation of the adversary knobs (pause probability, batch size).
-pub fn e8(quick: bool) {
+pub fn e8(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let engine = ctx.engine();
     let mut rows = Vec::new();
-    let pauses: &[f64] = if quick { &[0.0, 0.5] } else { &[0.0, 0.25, 0.5, 0.75, 0.9] };
+    let mut trials = 0;
+    let pauses: &[f64] = if ctx.quick { &[0.0, 0.5] } else { &[0.0, 0.25, 0.5, 0.75, 0.9] };
     for &pause in pauses {
-        let results: Vec<RunResult> = seeds(quick, 12)
-            .map(|s| {
-                let cfg = AsyncConfig { pause_prob: pause, ..AsyncConfig::default() };
-                let mut w = apf_sim::World::new(
-                    apf_patterns::symmetric_configuration(8, 4, 15_000 + s),
-                    apf_patterns::random_pattern(8, 16_000 + s),
-                    Box::new(apf_core::FormPattern::new()),
-                    SchedulerKind::Async.build_with_async_config(s, cfg),
-                    WorldConfig::default(),
-                    s,
-                );
-                w.run(3_000_000).into()
-            })
-            .collect();
-        let a = Aggregate::of(&results);
+        let mut c = Campaign::new(format!("e8 pause={pause:.2}"), 8);
+        c.add_trials(ctx.seeds(12), |i, _| {
+            RunSpec::new(
+                apf_patterns::symmetric_configuration(8, 4, 15_000 + i),
+                apf_patterns::random_pattern(8, 16_000 + i),
+            )
+            .scheduler(SchedulerKind::Async)
+            .async_config(AsyncConfig { pause_prob: pause, ..AsyncConfig::default() })
+            .budget(3_000_000)
+        });
+        let a = run_row(&engine, &c, &mut trials);
         rows.push(vec![
             format!("{pause:.2}"),
             format!("{:.2}", a.success),
@@ -342,23 +415,30 @@ pub fn e8(quick: bool) {
             format!("{:.0}", a.p95_cycles),
         ]);
     }
-    print_table(
-        "E8: adversary ablation — pause probability of the ASYNC scheduler",
-        &["pause prob", "success", "mean cyc", "p95 cyc"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e8".into(),
+        title: "E8: adversary ablation — pause probability of the ASYNC scheduler".into(),
+        header: ["pause prob", "success", "mean cyc", "p95 cyc"].map(String::from).to_vec(),
+        rows,
+        trials,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// E9 — Analysis-kernel scalability: wall time of the geometric kernels.
-pub fn e9(quick: bool) {
+///
+/// Timing-only (no Monte Carlo trials), so it stays sequential: parallel
+/// workers would perturb the very wall-clock numbers it reports.
+pub fn e9(ctx: &ExpCtx) -> ExperimentReport {
+    let t0 = Instant::now();
     let mut rows = Vec::new();
-    let sizes: &[usize] = if quick { &[8, 32] } else { &[8, 16, 32, 64, 128, 256] };
+    let sizes: &[usize] = if ctx.quick { &[8, 32] } else { &[8, 16, 32, 64, 128, 256] };
     for &n in sizes {
         let pts = apf_patterns::asymmetric_configuration(n.max(3), 17_000 + n as u64);
         let cfg = Configuration::new(pts.clone());
         let tol = Tol::default();
         let time = |f: &mut dyn FnMut()| {
-            let reps = if quick { 5 } else { 20 };
+            let reps = if ctx.quick { 5 } else { 20 };
             let t0 = Instant::now();
             for _ in 0..reps {
                 f();
@@ -389,22 +469,43 @@ pub fn e9(quick: bool) {
             format!("{t_shift:.1}"),
         ]);
     }
-    print_table(
-        "E9: analysis kernel cost (µs per call, asymmetric configs)",
-        &["n", "SEC", "rho", "views", "reg(P)", "shifted"],
-        &rows,
-    );
+    ExperimentReport {
+        id: "e9".into(),
+        title: "E9: analysis kernel cost (µs per call, asymmetric configs)".into(),
+        header: ["n", "SEC", "rho", "views", "reg(P)", "shifted"].map(String::from).to_vec(),
+        rows,
+        trials: 0,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
-/// Runs every experiment.
-pub fn all(quick: bool) {
-    e1(quick);
-    e2(quick);
-    e3(quick);
-    e4(quick);
-    e5(quick);
-    e6(quick);
-    e7(quick);
-    e8(quick);
-    e9(quick);
+/// Runs every experiment in registry order.
+pub fn run_all(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    REGISTRY
+        .iter()
+        .map(|&(_, _, f)| {
+            let report = f(ctx);
+            report.print();
+            report
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let ids: Vec<&str> = REGISTRY.iter().map(|(id, _, _)| *id).collect();
+        assert_eq!(ids, ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]);
+    }
+
+    #[test]
+    fn find_resolves_known_ids_only() {
+        assert!(find("e1").is_some());
+        assert!(find("e9").is_some());
+        assert!(find("e10").is_none());
+        assert!(find("all").is_none());
+    }
 }

@@ -4,16 +4,20 @@
 //! The paper is a theory paper with no evaluation section; every experiment
 //! here is derived from one of its formal claims (see DESIGN.md's experiment
 //! index and EXPERIMENTS.md for the claim ↔ measurement mapping).
+//!
+//! Single trials are described by [`engine::RunSpec`] and executed — alone
+//! or in deterministic parallel [`engine::Campaign`]s — by
+//! [`engine::Engine`]; see the [`engine`] module docs for the determinism
+//! guarantee.
 
+pub mod engine;
 pub mod experiments;
+pub mod report;
 
-use apf_core::SimulationBuilder;
-use apf_geometry::Point;
-use apf_scheduler::SchedulerKind;
-use apf_sim::{Outcome, RobotAlgorithm, World, WorldConfig};
+use apf_sim::Outcome;
 
 /// One simulation run's distilled result.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunResult {
     /// Whether the pattern was formed within the budget.
     pub formed: bool,
@@ -39,43 +43,8 @@ impl From<Outcome> for RunResult {
     }
 }
 
-/// Runs the paper's algorithm on an instance.
-///
-/// # Panics
-///
-/// Panics if the instance is invalid (the experiment generators only emit
-/// valid ones).
-pub fn run_formation(
-    initial: Vec<Point>,
-    pattern: Vec<Point>,
-    kind: SchedulerKind,
-    seed: u64,
-    budget: u64,
-) -> RunResult {
-    let mut world = SimulationBuilder::new(initial, pattern)
-        .scheduler(kind)
-        .seed(seed)
-        .build()
-        .expect("experiment instance must be valid");
-    world.run(budget).into()
-}
-
-/// Runs an arbitrary algorithm on an instance with explicit world options.
-pub fn run_algorithm(
-    alg: Box<dyn RobotAlgorithm>,
-    initial: Vec<Point>,
-    pattern: Vec<Point>,
-    kind: SchedulerKind,
-    seed: u64,
-    budget: u64,
-    config: WorldConfig,
-) -> RunResult {
-    let mut world = World::new(initial, pattern, alg, kind.build(seed), config, seed);
-    world.run(budget).into()
-}
-
 /// Aggregate statistics over a set of runs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aggregate {
     /// Number of runs.
     pub runs: usize,
@@ -101,7 +70,8 @@ impl Aggregate {
         let success = if runs == 0 { 0.0 } else { ok.len() as f64 / runs as f64 };
         let mut cycles: Vec<f64> = ok.iter().map(|r| r.cycles as f64).collect();
         cycles.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let mean =
+            |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
         let pct = |v: &[f64], q: f64| {
             if v.is_empty() {
                 0.0
@@ -154,6 +124,8 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::RunSpec;
+    use apf_scheduler::SchedulerKind;
 
     #[test]
     fn aggregate_of_empty_is_zeroed() {
@@ -174,13 +146,14 @@ mod tests {
 
     #[test]
     fn formation_run_smoke() {
-        let r = run_formation(
+        let r = RunSpec::new(
             apf_patterns::asymmetric_configuration(7, 5),
             apf_patterns::random_pattern(7, 6),
-            SchedulerKind::RoundRobin,
-            1,
-            100_000,
-        );
+        )
+        .scheduler(SchedulerKind::RoundRobin)
+        .seed(1)
+        .budget(100_000)
+        .run();
         assert!(r.formed);
         assert!(r.cycles > 0);
     }

@@ -1,0 +1,184 @@
+//! Experiment reports: printable tables plus machine-readable JSON.
+//!
+//! There is no serde in this workspace (offline build), so JSON is emitted
+//! by hand — the shape is small and fixed: a suite object wrapping one
+//! object per experiment with its table and throughput accounting.
+
+use crate::print_table;
+
+/// One experiment's finished table plus throughput accounting.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id (`"e1"` … `"e9"`).
+    pub id: String,
+    /// Human title (the table caption).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Table rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Monte Carlo trials executed (0 for timing-only experiments).
+    pub trials: usize,
+    /// Wall-clock seconds for the whole experiment.
+    pub wall_s: f64,
+}
+
+impl ExperimentReport {
+    /// Trials per wall-clock second (0 when no trials ran).
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.wall_s == 0.0 || self.trials == 0 {
+            0.0
+        } else {
+            self.trials as f64 / self.wall_s
+        }
+    }
+
+    /// Prints the table and a timing footer.
+    pub fn print(&self) {
+        let header: Vec<&str> = self.header.iter().map(String::as_str).collect();
+        print_table(&self.title, &header, &self.rows);
+        if self.trials > 0 {
+            println!(
+                "[{}] {} trials in {:.2}s ({:.1} trials/s)",
+                self.id,
+                self.trials,
+                self.wall_s,
+                self.trials_per_sec()
+            );
+        } else {
+            println!("[{}] completed in {:.2}s", self.id, self.wall_s);
+        }
+    }
+
+    /// This report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push('{');
+        s.push_str(&format!("\"id\":{},", json_string(&self.id)));
+        s.push_str(&format!("\"title\":{},", json_string(&self.title)));
+        s.push_str(&format!("\"header\":{},", json_string_array(&self.header)));
+        s.push_str("\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_string_array(row));
+        }
+        s.push_str("],");
+        s.push_str(&format!("\"trials\":{},", self.trials));
+        s.push_str(&format!("\"wall_s\":{},", json_f64(self.wall_s)));
+        s.push_str(&format!("\"trials_per_sec\":{}", json_f64(self.trials_per_sec())));
+        s.push('}');
+        s
+    }
+}
+
+/// The whole suite as one JSON document.
+pub fn suite_json(reports: &[ExperimentReport], quick: bool, jobs: usize, wall_s: f64) -> String {
+    let trials: usize = reports.iter().map(|r| r.trials).sum();
+    let mut s = String::new();
+    s.push('{');
+    s.push_str(&format!("\"mode\":{},", json_string(if quick { "quick" } else { "full" })));
+    s.push_str(&format!("\"jobs\":{jobs},"));
+    s.push_str(&format!("\"trials\":{trials},"));
+    s.push_str(&format!("\"wall_s\":{},", json_f64(wall_s)));
+    s.push_str("\"experiments\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&r.to_json());
+    }
+    s.push_str("]}");
+    s.push('\n');
+    s
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json_string(item));
+    }
+    s.push(']');
+    s
+}
+
+/// Finite floats print plainly; NaN/inf (not valid JSON) become null.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        ExperimentReport {
+            id: "e1".into(),
+            title: "title with \"quotes\" and ρ".into(),
+            header: vec!["n".into(), "success".into()],
+            rows: vec![vec!["8".into(), "1.00".into()]],
+            trials: 16,
+            wall_s: 2.0,
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\":\"e1\""));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"trials\":16"));
+        assert!(j.contains("\"trials_per_sec\":8"));
+    }
+
+    #[test]
+    fn suite_json_wraps_reports() {
+        let j = suite_json(&[sample()], true, 4, 2.5);
+        assert!(j.contains("\"mode\":\"quick\""));
+        assert!(j.contains("\"jobs\":4"));
+        assert!(j.contains("\"experiments\":[{"));
+        assert!(j.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn zero_trials_report_has_zero_rate() {
+        let mut r = sample();
+        r.trials = 0;
+        assert_eq!(r.trials_per_sec(), 0.0);
+    }
+}

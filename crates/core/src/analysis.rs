@@ -10,9 +10,7 @@
 use apf_geometry::symmetry::{
     find_shifted_regular, regular_set_of, RegularSet, ShiftedRegularSet, ViewAnalysis,
 };
-use apf_geometry::{
-    circle::holds_sec, Configuration, Path, PathSegment, Point, PolarPoint, Tol,
-};
+use apf_geometry::{circle::holds_sec, Configuration, Path, PathSegment, Point, PolarPoint, Tol};
 use apf_sim::{ComputeError, Snapshot};
 
 /// Everything a robot derives from one Look, in normalized coordinates.
@@ -73,10 +71,8 @@ impl Analysis {
         if tol.is_zero(pat_sec.radius) {
             return Err(ComputeError::new("degenerate pattern (single location)"));
         }
-        let pattern: Vec<Point> = pat_raw
-            .iter()
-            .map(|&p| ((p - pat_sec.center) / pat_sec.radius).to_point())
-            .collect();
+        let pattern: Vec<Point> =
+            pat_raw.iter().map(|&p| ((p - pat_sec.center) / pat_sec.radius).to_point()).collect();
         let l_f = Configuration::new(pattern.clone()).second_closest_distance(Point::ORIGIN);
 
         Ok(Analysis {
@@ -116,8 +112,7 @@ impl Analysis {
 
     /// View analysis around the origin (cached).
     pub fn views(&self) -> &ViewAnalysis {
-        self.views
-            .get_or_init(|| ViewAnalysis::compute(&self.config, Point::ORIGIN, &self.tol))
+        self.views.get_or_init(|| ViewAnalysis::compute(&self.config, Point::ORIGIN, &self.tol))
     }
 
     /// `reg(P)` (cached).
@@ -224,8 +219,7 @@ impl Analysis {
     /// enclosing circle at the origin); `l_F` is recomputed.
     pub fn override_pattern(&mut self, pattern: Vec<Point>) {
         assert!(pattern.len() >= 2, "pattern too small");
-        self.l_f =
-            Configuration::new(pattern.clone()).second_closest_distance(Point::ORIGIN);
+        self.l_f = Configuration::new(pattern.clone()).second_closest_distance(Point::ORIGIN);
         self.pattern = pattern;
     }
 }
@@ -289,8 +283,7 @@ mod tests {
     #[test]
     fn no_selected_in_uniform_ring() {
         let robots = ring(8, 1.0, 0.0, Point::ORIGIN);
-        let local: Vec<Point> =
-            robots.iter().map(|&p| (p - robots[0]).to_point()).collect();
+        let local: Vec<Point> = robots.iter().map(|&p| (p - robots[0]).to_point()).collect();
         let pattern = ring(8, 1.0, 0.3, Point::ORIGIN);
         let snap = snapshot_of(local, pattern);
         let a = Analysis::new(&snap).unwrap();

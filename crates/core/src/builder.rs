@@ -52,6 +52,43 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Validates an instance against the paper's preconditions without building
+/// a world: size bounds, no initial multiplicity, and pattern-multiplicity
+/// versus detection-capability consistency.
+///
+/// [`SimulationBuilder::build`] and the bench crate's `RunSpec` both route
+/// through this check.
+///
+/// # Errors
+///
+/// See [`BuildError`].
+pub fn validate_instance(
+    initial: &[Point],
+    pattern: &[Point],
+    config: &WorldConfig,
+) -> Result<(), BuildError> {
+    let n = initial.len();
+    if n < 7 {
+        return Err(BuildError::TooFewRobots(n));
+    }
+    if n != pattern.len() {
+        return Err(BuildError::SizeMismatch { robots: n, pattern: pattern.len() });
+    }
+    let tol = config.tol;
+    if Configuration::new(initial.to_vec()).has_multiplicity(&tol) {
+        return Err(BuildError::InitialMultiplicity);
+    }
+    let pat = Configuration::new(pattern.to_vec());
+    let groups = pat.multiplicity_groups(&tol);
+    if groups.len() == 1 {
+        return Err(BuildError::GatheringUnsupported);
+    }
+    if pat.has_multiplicity(&tol) && !config.multiplicity_detection {
+        return Err(BuildError::NeedsMultiplicityDetection);
+    }
+    Ok(())
+}
+
 /// Builder for a pattern-formation simulation running [`FormPattern`].
 ///
 /// # Example
@@ -139,25 +176,7 @@ impl SimulationBuilder {
     ///
     /// See [`BuildError`].
     pub fn build(self) -> Result<World, BuildError> {
-        let n = self.initial.len();
-        if n < 7 {
-            return Err(BuildError::TooFewRobots(n));
-        }
-        if n != self.pattern.len() {
-            return Err(BuildError::SizeMismatch { robots: n, pattern: self.pattern.len() });
-        }
-        let tol = self.config.tol;
-        if Configuration::new(self.initial.clone()).has_multiplicity(&tol) {
-            return Err(BuildError::InitialMultiplicity);
-        }
-        let pat = Configuration::new(self.pattern.clone());
-        let groups = pat.multiplicity_groups(&tol);
-        if groups.len() == 1 {
-            return Err(BuildError::GatheringUnsupported);
-        }
-        if pat.has_multiplicity(&tol) && !self.config.multiplicity_detection {
-            return Err(BuildError::NeedsMultiplicityDetection);
-        }
+        validate_instance(&self.initial, &self.pattern, &self.config)?;
         Ok(World::new(
             self.initial,
             self.pattern,
@@ -199,9 +218,8 @@ mod tests {
     fn rejects_initial_multiplicity() {
         let mut init = apf_patterns::asymmetric_configuration(8, 1);
         init[1] = init[0];
-        let e = SimulationBuilder::new(init, apf_patterns::random_pattern(8, 2))
-            .build()
-            .unwrap_err();
+        let e =
+            SimulationBuilder::new(init, apf_patterns::random_pattern(8, 2)).build().unwrap_err();
         assert_eq!(e, BuildError::InitialMultiplicity);
     }
 
@@ -213,13 +231,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(e, BuildError::NeedsMultiplicityDetection);
         // With detection it builds.
-        assert!(SimulationBuilder::new(
-            apf_patterns::asymmetric_configuration(8, 1),
-            pat
-        )
-        .multiplicity_detection(true)
-        .build()
-        .is_ok());
+        assert!(SimulationBuilder::new(apf_patterns::asymmetric_configuration(8, 1), pat)
+            .multiplicity_detection(true)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -66,20 +66,14 @@ pub fn act(a: &Analysis, rs: usize) -> Result<Decision, ComputeError> {
             // Phase 2: populate the circles outside-in.
             if let Some(d) = phase2::populate_circles(a, rs, &zf, &plan)? {
                 if dbg {
-                    eprintln!(
-                        "[dpf me={} rs={rs} rmax={}] populate: {d:?}",
-                        a.me, zf.rmax
-                    );
+                    eprintln!("[dpf me={} rs={rs} rmax={}] populate: {d:?}", a.me, zf.rmax);
                 }
                 return Ok(d);
             }
             // Phase 3: rotate robots to their final positions.
             if let Some(d) = phase3::rotate_to_targets(a, rs, &zf, &plan)? {
                 if dbg {
-                    eprintln!(
-                        "[dpf me={} rs={rs} rmax={}] rotate: {d:?}",
-                        a.me, zf.rmax
-                    );
+                    eprintln!("[dpf me={} rs={rs} rmax={}] rotate: {d:?}", a.me, zf.rmax);
                 }
                 return Ok(d);
             }
@@ -125,13 +119,8 @@ impl TargetPlan {
         let Some(&fs) = fs_candidates.first() else {
             return Err(ComputeError::new("pattern has no max-view non-holding point"));
         };
-        let f_prime: Vec<Point> = a
-            .pattern
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != fs)
-            .map(|(_, &p)| p)
-            .collect();
+        let f_prime: Vec<Point> =
+            a.pattern.iter().enumerate().filter(|&(i, _)| i != fs).map(|(_, &p)| p).collect();
 
         // f_max anchors the zero ray of Z and is the slot reserved for
         // r_max. The paper picks a view-maximal point of F'; we pick an
@@ -151,9 +140,8 @@ impl TargetPlan {
         // Among the innermost-radius candidates, prefer a location that is
         // NOT a multiplicity point (a singleton anchor keeps the zero ray
         // free of stacked targets), then break ties by maximal view.
-        let multiplicity_of = |i: usize| {
-            f_prime.iter().filter(|p| p.approx_eq(f_prime[i], tol)).count()
-        };
+        let multiplicity_of =
+            |i: usize| f_prime.iter().filter(|p| p.approx_eq(f_prime[i], tol)).count();
         let fmax = (0..f_prime.len())
             .filter(|&i| tol.eq(f_prime[i].dist(Point::ORIGIN), min_radius))
             .max_by(|&x, &y| {
@@ -172,11 +160,11 @@ impl TargetPlan {
         // duplicates) do not constrain the wedge — they sit at angular
         // distance zero by construction, not by accident.
         let mut theta_f = std::f64::consts::PI;
-        for i in 0..f_prime.len() {
+        for (i, &fp) in f_prime.iter().enumerate() {
             if i == fmax || va.view(i) != va.view(fmax) {
                 continue;
             }
-            let p = PolarPoint::from_cartesian(f_prime[i], Point::ORIGIN);
+            let p = PolarPoint::from_cartesian(fp, Point::ORIGIN);
             if !tol.eq(p.radius, fmax_polar.radius) {
                 continue;
             }
@@ -198,8 +186,7 @@ impl TargetPlan {
                 if tol.is_zero(pp.radius) {
                     PolarPoint { radius: 0.0, angle: 0.0 }
                 } else {
-                    let mut angle =
-                        normalize_angle(orient * (pp.angle - fmax_polar.angle));
+                    let mut angle = normalize_angle(orient * (pp.angle - fmax_polar.angle));
                     // Canonicalize zero-ray targets: a point collinear with
                     // f_max computes as 0 or 2π−ε depending on the robot's
                     // (mirrored/rotated) pattern copy, and the sort order of

@@ -147,9 +147,7 @@ pub fn ensure_frame(
     // they are anonymous and interchangeable, so a fully co-located
     // candidate set is as good as a unique robot.
     let co_located = candidates.len() > 1
-        && candidates
-            .windows(2)
-            .all(|w| a.config.point(w[0]).approx_eq(a.config.point(w[1]), tol));
+        && candidates.windows(2).all(|w| a.config.point(w[0]).approx_eq(a.config.point(w[1]), tol));
     if candidates.len() == 1 || co_located {
         let rmax = candidates[0];
         let delta = ang(rmax);
@@ -157,16 +155,13 @@ pub fn ensure_frame(
         if WEDGE_FACTOR * delta < clearance && delta > tol.angle_eps {
             if tol.le(a.radius(rmax), plan.fmax_radius) {
                 // Frame ready.
-                let base_angle = PolarPoint::from_cartesian(a.config.point(rmax), Point::ORIGIN).angle;
+                let base_angle =
+                    PolarPoint::from_cartesian(a.config.point(rmax), Point::ORIGIN).angle;
                 let rs_raw = normalize_angle(
                     PolarPoint::from_cartesian(rs_pos, Point::ORIGIN).angle - base_angle,
                 );
                 let orient = if rs_raw >= std::f64::consts::PI { 1.0 } else { -1.0 };
-                let rs_angle = if orient > 0.0 {
-                    rs_raw
-                } else {
-                    normalize_angle(-rs_raw)
-                };
+                let rs_angle = if orient > 0.0 { rs_raw } else { normalize_angle(-rs_raw) };
                 return Ok(FrameStatus::Ready(ZFrame {
                     rmax,
                     base_angle,
@@ -249,7 +244,7 @@ fn emerge_from_center(a: &Analysis, others: &[usize], clearance: f64) -> Decisio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apf_geometry::{Configuration, Tol};
+    use apf_geometry::Tol;
     use apf_sim::Snapshot;
     use std::f64::consts::TAU;
 
@@ -283,9 +278,9 @@ mod tests {
         // r_max close to the center at angle 0.
         pts.push(Point::new(rmax_r, 0.0));
         // r_s just clockwise of r_max, very close to the center.
-        let delta = 0.002;
+        let delta = 0.002f64;
         let rs_r = rmax_r / 3.0;
-        pts.push(Point::new(rs_r * (-delta as f64).cos(), rs_r * (-delta as f64).sin()));
+        pts.push(Point::new(rs_r * (-delta).cos(), rs_r * (-delta).sin()));
         (pts, 7, 6) // (points, rs index, rmax index)
     }
 

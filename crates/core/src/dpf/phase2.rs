@@ -32,18 +32,12 @@ use std::f64::consts::{PI, TAU};
 /// point collinear with `f_max` — typically a multiplicity duplicate of
 /// `f_max`) are exempt: evicting them would undo legitimate placements and
 /// livelock the formation. Returns `Some` while any offender exists.
-pub fn clear_zero_ray(
-    a: &Analysis,
-    rs: usize,
-    zf: &ZFrame,
-    plan: &TargetPlan,
-) -> Option<Decision> {
+pub fn clear_zero_ray(a: &Analysis, rs: usize, zf: &ZFrame, plan: &TargetPlan) -> Option<Decision> {
     let tol = &a.tol;
     let at_zero_ray_target = |i: usize| {
         let r = a.radius(i);
         plan.targets.iter().any(|t| {
-            (t.angle <= tol.angle_eps || TAU - t.angle <= tol.angle_eps)
-                && tol.eq(t.radius, r)
+            (t.angle <= tol.angle_eps || TAU - t.angle <= tol.angle_eps) && tol.eq(t.radius, r)
         })
     };
     let offenders: Vec<usize> = (0..a.n())
@@ -94,20 +88,14 @@ pub fn fix_enclosing_circle(
     }
     let tol = &a.tol;
     let c1 = plan.circles[0];
-    let mut t_pair: Vec<f64> = plan
-        .targets
-        .iter()
-        .filter(|t| tol.eq(t.radius, c1))
-        .map(|t| t.angle)
-        .collect();
+    let mut t_pair: Vec<f64> =
+        plan.targets.iter().filter(|t| tol.eq(t.radius, c1)).map(|t| t.angle).collect();
     t_pair.sort_by(|x, y| x.partial_cmp(y).unwrap());
     debug_assert_eq!(t_pair.len(), 2);
     let (t_lo, t_hi) = (t_pair[0], t_pair[1]);
 
-    let mut on_c1: Vec<usize> = prime_robots(a, rs)
-        .into_iter()
-        .filter(|&i| tol.eq(a.radius(i), c1))
-        .collect();
+    let mut on_c1: Vec<usize> =
+        prime_robots(a, rs).into_iter().filter(|&i| tol.eq(a.radius(i), c1)).collect();
     on_c1.sort_by(|&x, &y| {
         zf.angle_of(a.config.point(x)).partial_cmp(&zf.angle_of(a.config.point(y))).unwrap()
     });
@@ -165,11 +153,12 @@ pub fn fix_enclosing_circle(
         return Ok(Some(Decision::Stay));
     };
     if std::env::var_os("APF_DEBUG").is_some() {
-        let angs: Vec<(usize, f64)> = on_c1
-            .iter()
-            .map(|&i| (i, zf.angle_of(a.config.point(i))))
-            .collect();
-        eprintln!("  [fix me={} on_c1 angles={angs:?} dests={dest:?} t=({t_lo:.4},{t_hi:.4})]", a.me);
+        let angs: Vec<(usize, f64)> =
+            on_c1.iter().map(|&i| (i, zf.angle_of(a.config.point(i)))).collect();
+        eprintln!(
+            "  [fix me={} on_c1 angles={angs:?} dests={dest:?} t=({t_lo:.4},{t_hi:.4})]",
+            a.me
+        );
     }
     Ok(Some(move_on_circle(a, zf, rs, dest[my_idx], &on_c1, true, false)))
 }
@@ -210,10 +199,8 @@ pub fn populate_circles(
             }
         }
 
-        let on_ci: Vec<usize> = prime_robots(a, rs)
-            .into_iter()
-            .filter(|&r| tol.eq(a.radius(r), ci))
-            .collect();
+        let on_ci: Vec<usize> =
+            prime_robots(a, rs).into_iter().filter(|&r| tol.eq(a.radius(r), ci)).collect();
         if dbg {
             eprintln!("  [populate i={i} ci={ci:.9}] on_ci={on_ci:?} count={}", plan.counts[i]);
         }
@@ -262,9 +249,7 @@ fn prime_robots(a: &Analysis, rs: usize) -> Vec<usize> {
 /// noise make robots disagree on who acts), then `Z`-angle.
 fn cmp_z(a: &Analysis, zf: &ZFrame, x: usize, y: usize) -> std::cmp::Ordering {
     a.tol.cmp(a.radius(x), a.radius(y)).then_with(|| {
-        zf.angle_of(a.config.point(x))
-            .partial_cmp(&zf.angle_of(a.config.point(y)))
-            .unwrap()
+        zf.angle_of(a.config.point(x)).partial_cmp(&zf.angle_of(a.config.point(y))).unwrap()
     })
 }
 
@@ -292,13 +277,8 @@ fn drop_to_circle(a: &Analysis, rs: usize, zf: &ZFrame, r: usize, ci: f64) -> De
         let p = path::radial_to(Point::ORIGIN, my_pos, target);
         return Decision::Move(a.denormalize_path(&p));
     }
-    let on_ci: Vec<usize> = (0..a.n())
-        .filter(|&i| i != rs && tol.eq(a.radius(i), ci))
-        .collect();
-    let a_max = on_ci
-        .iter()
-        .map(|&i| zf.angle_of(a.config.point(i)))
-        .fold(0.0_f64, f64::max);
+    let on_ci: Vec<usize> = (0..a.n()).filter(|&i| i != rs && tol.eq(a.radius(i), ci)).collect();
+    let a_max = on_ci.iter().map(|&i| zf.angle_of(a.config.point(i))).fold(0.0_f64, f64::max);
     let upper = zf.upper_bound();
     let my_z = zf.angle_of(my_pos);
     if my_z > a_max + tol.angle_eps && my_z < upper {
@@ -322,10 +302,8 @@ fn raise_to_circle(
     on_ci: Option<&[usize]>,
 ) -> Decision {
     let tol = &a.tol;
-    let interior: Vec<usize> = prime_robots(a, rs)
-        .into_iter()
-        .filter(|&r| r != skip && tol.lt(a.radius(r), ci))
-        .collect();
+    let interior: Vec<usize> =
+        prime_robots(a, rs).into_iter().filter(|&r| r != skip && tol.lt(a.radius(r), ci)).collect();
     let Some(&r) = interior.iter().max_by(|&&x, &&y| cmp_z(a, zf, x, y)) else {
         return Decision::Stay;
     };
@@ -350,16 +328,13 @@ fn raise_to_circle(
     let on_ci = match on_ci {
         Some(v) => v,
         None => {
-            on_ci_owned = (0..a.n())
-                .filter(|&i| i != rs && tol.eq(a.radius(i), ci))
-                .collect::<Vec<usize>>();
+            on_ci_owned =
+                (0..a.n()).filter(|&i| i != rs && tol.eq(a.radius(i), ci)).collect::<Vec<usize>>();
             &on_ci_owned
         }
     };
-    let a_min = on_ci
-        .iter()
-        .map(|&i| zf.angle_of(a.config.point(i)))
-        .fold(zf.upper_bound(), f64::min);
+    let a_min =
+        on_ci.iter().map(|&i| zf.angle_of(a.config.point(i))).fold(zf.upper_bound(), f64::min);
     let my_z = zf.angle_of(my_pos);
     if my_z + tol.angle_eps < a_min && my_z > tol.angle_eps {
         let p = path::radial_to(Point::ORIGIN, my_pos, ci);
@@ -383,10 +358,7 @@ fn nudge_inward(
     let tol = &a.tol;
     let my_pos = a.my_pos();
     let my_r = my_pos.dist(Point::ORIGIN);
-    let next_circle = circle_idx
-        .and_then(|i| plan.circles.get(i + 1))
-        .copied()
-        .unwrap_or(0.0);
+    let next_circle = circle_idx.and_then(|i| plan.circles.get(i + 1)).copied().unwrap_or(0.0);
     let floor = (0..a.n())
         .filter(|&i| i != mover && i != rs)
         .map(|i| a.radius(i))
@@ -422,9 +394,10 @@ fn excess_on_c1(
     // it.
     let mut poly: Vec<f64> = (0..m1).map(|j| (2 * j + 1) as f64 * PI / m1 as f64).collect();
     poly.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    let keepers_placed = keepers.iter().zip(poly.iter()).all(|(&r, &t)| {
-        ang_close(zf.angle_of(a.config.point(r)), t, tol)
-    });
+    let keepers_placed = keepers
+        .iter()
+        .zip(poly.iter())
+        .all(|(&r, &t)| ang_close(zf.angle_of(a.config.point(r)), t, tol));
     if keepers_placed {
         // The m1-gon holds C(P): the smallest robot leaves.
         let mover = sorted[0];
@@ -439,11 +412,7 @@ fn excess_on_c1(
         .collect();
     let my_idx = sorted.iter().position(|&i| i == a.me);
     let Some(my_idx) = my_idx else { return Decision::Stay };
-    let dest = if my_idx < parked.len() {
-        arc_slots[my_idx]
-    } else {
-        poly[my_idx - parked.len()]
-    };
+    let dest = if my_idx < parked.len() { arc_slots[my_idx] } else { poly[my_idx - parked.len()] };
     move_on_circle(a, zf, rs, dest, &sorted, true, false)
 }
 
@@ -476,9 +445,7 @@ fn rotate_toward(
 ) -> Decision {
     let tol = &a.tol;
     let my_r = my_pos.dist(Point::ORIGIN);
-    let same: Vec<usize> = (0..a.n())
-        .filter(|&i| i != a.me && tol.eq(a.radius(i), my_r))
-        .collect();
+    let same: Vec<usize> = (0..a.n()).filter(|&i| i != a.me && tol.eq(a.radius(i), my_r)).collect();
     rotate_with_constraints(a, zf, usize::MAX, my_pos, my_z, dest, &same, preserve_sec, false)
 }
 
@@ -504,8 +471,7 @@ fn rotate_with_constraints(
     // around a phase transition) from colliding — a robot always re-observes
     // the slot's occupancy before its final approach.
     let increasing = dest > my_z;
-    let mut target =
-        if increasing { dest.min(my_z + 0.3) } else { dest.max(my_z - 0.3) };
+    let mut target = if increasing { dest.min(my_z + 0.3) } else { dest.max(my_z - 0.3) };
 
     // Blocking: a robot between me and the target caps my travel at 45% of
     // the gap to it — deliberately *less* than the paper's midpoint rule, so
@@ -528,11 +494,9 @@ fn rotate_with_constraints(
         let z = zf.angle_of(a.config.point(i));
         let at_target = (z - target).abs() <= tol.angle_eps;
         let between = if increasing {
-            z > my_z + tol.angle_eps
-                && (z < target - tol.angle_eps || (at_target && !allow_stack))
+            z > my_z + tol.angle_eps && (z < target - tol.angle_eps || (at_target && !allow_stack))
         } else {
-            z < my_z - tol.angle_eps
-                && (z > target + tol.angle_eps || (at_target && !allow_stack))
+            z < my_z - tol.angle_eps && (z > target + tol.angle_eps || (at_target && !allow_stack))
         };
         if between {
             let capped = if increasing {
@@ -579,11 +543,8 @@ fn rotate_with_constraints(
                     return Decision::Stay;
                 }
             } else {
-                let ahead = neighbors
-                    .iter()
-                    .copied()
-                    .filter(|&z| z > my_z)
-                    .fold(f64::INFINITY, f64::min);
+                let ahead =
+                    neighbors.iter().copied().filter(|&z| z > my_z).fold(f64::INFINITY, f64::min);
                 let ahead = if ahead.is_finite() {
                     ahead
                 } else {

@@ -29,33 +29,22 @@ pub fn rotate_to_targets(
 
     for (ci_idx, &ci) in plan.circles.iter().enumerate() {
         // Robots on this circle, sorted by Z-angle.
-        let mut robots: Vec<usize> = (0..a.n())
-            .filter(|&i| i != rs && tol.eq(a.radius(i), ci))
-            .collect();
+        let mut robots: Vec<usize> =
+            (0..a.n()).filter(|&i| i != rs && tol.eq(a.radius(i), ci)).collect();
         robots.sort_by(|&x, &y| {
-            zf.angle_of(a.config.point(x))
-                .partial_cmp(&zf.angle_of(a.config.point(y)))
-                .unwrap()
+            zf.angle_of(a.config.point(x)).partial_cmp(&zf.angle_of(a.config.point(y))).unwrap()
         });
         // Targets on this circle, sorted by Z-angle.
-        let mut targets: Vec<f64> = plan
-            .targets
-            .iter()
-            .filter(|t| tol.eq(t.radius, ci))
-            .map(|t| t.angle)
-            .collect();
+        let mut targets: Vec<f64> =
+            plan.targets.iter().filter(|t| tol.eq(t.radius, ci)).map(|t| t.angle).collect();
         targets.sort_by(|x, y| x.partial_cmp(y).unwrap());
         if robots.len() != targets.len() {
-            return Err(ComputeError::new(
-                "phase 3 invoked before circles were populated",
-            ));
+            return Err(ComputeError::new("phase 3 invoked before circles were populated"));
         }
 
         if std::env::var_os("APF_DEBUG").is_some() && !robots.is_empty() {
-            let angs: Vec<(usize, f64)> = robots
-                .iter()
-                .map(|&i| (i, zf.angle_of(a.config.point(i))))
-                .collect();
+            let angs: Vec<(usize, f64)> =
+                robots.iter().map(|&i| (i, zf.angle_of(a.config.point(i)))).collect();
             eprintln!("  [rotate ci={ci:.4} robots={angs:?} targets={targets:?}]");
         }
         for (pos, &r) in robots.iter().enumerate() {
@@ -68,19 +57,8 @@ pub fn rotate_to_targets(
             if r == a.me {
                 // Stacking onto the destination is legal only when the
                 // pattern genuinely has several targets there.
-                let dup = targets
-                    .iter()
-                    .filter(|&&t| (t - dest).abs() <= tol.angle_eps)
-                    .count();
-                my_move = Some(move_on_circle(
-                    a,
-                    zf,
-                    rs,
-                    dest,
-                    &robots,
-                    ci_idx == 0,
-                    dup >= 2,
-                ));
+                let dup = targets.iter().filter(|&&t| (t - dest).abs() <= tol.angle_eps).count();
+                my_move = Some(move_on_circle(a, zf, rs, dest, &robots, ci_idx == 0, dup >= 2));
             }
         }
     }

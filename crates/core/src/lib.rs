@@ -44,7 +44,7 @@ pub mod multiplicity;
 pub mod rsb;
 
 pub use analysis::Analysis;
-pub use builder::{BuildError, SimulationBuilder};
+pub use builder::{validate_instance, BuildError, SimulationBuilder};
 
 use apf_geometry::{are_similar, match_up_to_similarity, Path, Point};
 use apf_sim::{BitSource, ComputeError, Decision, RobotAlgorithm, Snapshot};
@@ -132,17 +132,11 @@ pub fn completion_move(a: &Analysis) -> Result<Option<Decision>, ComputeError> {
     let Some(&f_idx) = f_candidates.first() else {
         return Ok(None);
     };
-    let f_rest: Vec<Point> = a
-        .pattern
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| i != f_idx)
-        .map(|(_, &p)| p)
-        .collect();
+    let f_rest: Vec<Point> =
+        a.pattern.iter().enumerate().filter(|&(i, _)| i != f_idx).map(|(_, &p)| p).collect();
 
-    let finalists: Vec<usize> = (0..a.n())
-        .filter(|&r| are_similar(&a.config.without(r), &f_rest, &a.tol))
-        .collect();
+    let finalists: Vec<usize> =
+        (0..a.n()).filter(|&r| are_similar(&a.config.without(r), &f_rest, &a.tol)).collect();
     if finalists.is_empty() {
         return Ok(None);
     }

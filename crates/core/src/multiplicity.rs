@@ -82,9 +82,7 @@ pub fn preprocess(a: &mut Analysis) -> Result<MultiStep, ComputeError> {
         .map(|p| p.dist(Point::ORIGIN))
         .filter(|&r| !tol.is_zero(r))
         .fold(f64::INFINITY, f64::min);
-    let dir = (a.pattern[fmax] - Point::ORIGIN)
-        .normalized()
-        .expect("f_max is off-center");
+    let dir = (a.pattern[fmax] - Point::ORIGIN).normalized().expect("f_max is off-center");
     let g_f = Point::ORIGIN + dir * (r_min / 2.0);
 
     // Gather condition: the m closest robots are on one half-line from the

@@ -60,10 +60,7 @@ pub fn select_a_robot(a: &Analysis, bits: &mut dyn BitSource) -> Result<Decision
 
 /// The configuration contains an ε-shifted regular set: drive the shift
 /// protocol forward.
-fn act_shifted(
-    a: &Analysis,
-    sh: &apf_geometry::symmetry::ShiftedRegularSet,
-) -> Decision {
+fn act_shifted(a: &Analysis, sh: &apf_geometry::symmetry::ShiftedRegularSet) -> Decision {
     let tol = &a.tol;
     let c = sh.center;
     let re = sh.shifted_robot;
@@ -249,9 +246,8 @@ fn create_shift(a: &Analysis, c: Point) -> Decision {
 fn act_asymmetric(a: &Analysis) -> Result<Decision, ComputeError> {
     let views = a.views();
     // Maximal view among robots that do not hold C(P).
-    let holders: Vec<bool> = (0..a.n())
-        .map(|i| apf_geometry::circle::holds_sec(a.config.points(), i, &a.tol))
-        .collect();
+    let holders: Vec<bool> =
+        (0..a.n()).map(|i| apf_geometry::circle::holds_sec(a.config.points(), i, &a.tol)).collect();
     let eligible: Vec<usize> = (0..a.n()).filter(|&i| !holders[i]).collect();
     if eligible.is_empty() {
         return Err(ComputeError::new(
@@ -263,8 +259,7 @@ fn act_asymmetric(a: &Analysis) -> Result<Decision, ComputeError> {
         .max_by(|&&x, &&y| views.view(x).cmp(views.view(y)))
         .expect("eligible is non-empty");
     // Uniqueness of the maximum among eligible robots.
-    let max_count =
-        eligible.iter().filter(|&&i| views.view(i) == views.view(rmax)).count();
+    let max_count = eligible.iter().filter(|&&i| views.view(i) == views.view(rmax)).count();
     if max_count != 1 {
         return Err(ComputeError::new(
             "no unique maximal view in an allegedly asymmetric configuration",
@@ -275,10 +270,8 @@ fn act_asymmetric(a: &Analysis) -> Result<Decision, ComputeError> {
     }
     let my_pos = a.my_pos();
     let my_r = my_pos.dist(Point::ORIGIN);
-    let others_min = (0..a.n())
-        .filter(|&i| i != a.me)
-        .map(|i| a.radius(i))
-        .fold(f64::INFINITY, f64::min);
+    let others_min =
+        (0..a.n()).filter(|&i| i != a.me).map(|i| a.radius(i)).fold(f64::INFINITY, f64::min);
     let target = SELECTED_RADIUS_FACTOR * a.l_f.min(others_min);
     if my_r <= target + a.tol.eps {
         return Ok(Decision::Stay);
@@ -290,7 +283,7 @@ fn act_asymmetric(a: &Analysis) -> Result<Decision, ComputeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apf_geometry::{Configuration, Tol};
+    use apf_geometry::Tol;
     use apf_sim::{CountingBits, NullBits, Snapshot};
     use std::f64::consts::TAU;
 
@@ -345,7 +338,11 @@ mod tests {
         for _ in 0..4 {
             let mut moved = false;
             for me in 0..current.len() {
-                let a = analysis_for(&current, me, pattern7().into_iter().chain([Point::new(0.9, 0.9)]).collect());
+                let a = analysis_for(
+                    &current,
+                    me,
+                    pattern7().into_iter().chain([Point::new(0.9, 0.9)]).collect(),
+                );
                 if a.selected().is_some() {
                     return; // done
                 }
@@ -362,7 +359,11 @@ mod tests {
             assert!(moved, "descent must make progress");
         }
         // After at most a few full moves, selected must exist.
-        let a = analysis_for(&current, 0, pattern7().into_iter().chain([Point::new(0.9, 0.9)]).collect());
+        let a = analysis_for(
+            &current,
+            0,
+            pattern7().into_iter().chain([Point::new(0.9, 0.9)]).collect(),
+        );
         assert!(a.selected().is_some(), "selected robot expected after descent");
     }
 

@@ -125,12 +125,7 @@ impl Configuration {
     pub fn without(&self, i: usize) -> Vec<Point> {
         assert!(self.len() > 1, "cannot remove the only robot");
         assert!(i < self.len(), "index out of range");
-        self.points
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, &p)| p)
-            .collect()
+        self.points.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &p)| p).collect()
     }
 
     /// Groups (approximately) coincident robots; returns, for each group, the
@@ -163,9 +158,7 @@ impl Configuration {
         assert!(self.sec.radius > 0.0, "cannot normalize a single-location configuration");
         let c = self.sec.center;
         let s = 1.0 / self.sec.radius;
-        Configuration::new(
-            self.points.iter().map(|&p| ((p - c) * s).to_point()).collect(),
-        )
+        Configuration::new(self.points.iter().map(|&p| ((p - c) * s).to_point()).collect())
     }
 }
 
@@ -177,7 +170,13 @@ impl From<Vec<Point>> for Configuration {
 
 impl std::fmt::Display for Configuration {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Configuration[{} robots, C(P) = {} r {:.4}]", self.len(), self.sec.center, self.sec.radius)
+        write!(
+            f,
+            "Configuration[{} robots, C(P) = {} r {:.4}]",
+            self.len(),
+            self.sec.center,
+            self.sec.radius
+        )
     }
 }
 

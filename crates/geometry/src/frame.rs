@@ -114,12 +114,14 @@ impl Frame {
                     );
                     let gstart = self.to_global(start_pt);
                     let gstart_angle = (gstart - gcenter).angle();
-                    let gorientation = if self.mirrored {
-                        flip(orientation)
-                    } else {
-                        orientation
-                    };
-                    PathSegment::arc(gcenter, radius / self.scale, gstart_angle, sweep, gorientation)
+                    let gorientation = if self.mirrored { flip(orientation) } else { orientation };
+                    PathSegment::arc(
+                        gcenter,
+                        radius / self.scale,
+                        gstart_angle,
+                        sweep,
+                        gorientation,
+                    )
                 }
             })
             .collect();
@@ -143,12 +145,14 @@ impl Frame {
                     );
                     let lstart = self.to_local(start_pt);
                     let lstart_angle = (lstart - lcenter).angle();
-                    let lorientation = if self.mirrored {
-                        flip(orientation)
-                    } else {
-                        orientation
-                    };
-                    PathSegment::arc(lcenter, radius * self.scale, lstart_angle, sweep, lorientation)
+                    let lorientation = if self.mirrored { flip(orientation) } else { orientation };
+                    PathSegment::arc(
+                        lcenter,
+                        radius * self.scale,
+                        lstart_angle,
+                        sweep,
+                        lorientation,
+                    )
                 }
             })
             .collect();

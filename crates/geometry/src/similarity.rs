@@ -188,7 +188,14 @@ mod tests {
         Tol::new(1e-6)
     }
 
-    fn transform(pts: &[Point], rot: f64, scale: f64, dx: f64, dy: f64, mirror: bool) -> Vec<Point> {
+    fn transform(
+        pts: &[Point],
+        rot: f64,
+        scale: f64,
+        dx: f64,
+        dy: f64,
+        mirror: bool,
+    ) -> Vec<Point> {
         pts.iter()
             .map(|&p| {
                 let mut v = p.to_vector();
@@ -201,12 +208,7 @@ mod tests {
     }
 
     fn scalene() -> Vec<Point> {
-        vec![
-            Point::new(0.0, 0.0),
-            Point::new(4.0, 0.0),
-            Point::new(1.0, 2.0),
-            Point::new(2.5, 0.5),
-        ]
+        vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(1.0, 2.0), Point::new(2.5, 0.5)]
     }
 
     #[test]

@@ -101,8 +101,11 @@ impl RegularSet {
         if !self.kind.is_biangular() {
             return vec![];
         }
-        let polar: Vec<PolarPoint> =
-            self.indices.iter().map(|&i| PolarPoint::from_cartesian(config.point(i), self.center)).collect();
+        let polar: Vec<PolarPoint> = self
+            .indices
+            .iter()
+            .map(|&i| PolarPoint::from_cartesian(config.point(i), self.center))
+            .collect();
         let mut angles: Vec<f64> = polar.iter().map(|p| p.angle).collect();
         angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let m = angles.len();
@@ -143,9 +146,8 @@ pub fn check_regular_around(points: &[Point], center: Point, tol: &Tol) -> Optio
     }
     polar.sort_by(|a, b| a.angle.partial_cmp(&b.angle).unwrap());
 
-    let gaps: Vec<f64> = (0..m)
-        .map(|i| normalize_angle(polar[(i + 1) % m].angle - polar[i].angle))
-        .collect();
+    let gaps: Vec<f64> =
+        (0..m).map(|i| normalize_angle(polar[(i + 1) % m].angle - polar[i].angle)).collect();
     // Two robots on one half-line make a (near-)zero gap.
     if gaps.iter().any(|&g| tol.ang_is_zero(g)) {
         return None;
@@ -160,10 +162,13 @@ pub fn check_regular_around(points: &[Point], center: Point, tol: &Tol) -> Optio
     if m.is_multiple_of(2) {
         let a = gaps[0];
         let b = gaps[1];
-        let alternates = gaps
-            .iter()
-            .enumerate()
-            .all(|(i, &g)| if i % 2 == 0 { tol.ang_eq(g, a) } else { tol.ang_eq(g, b) });
+        let alternates = gaps.iter().enumerate().all(|(i, &g)| {
+            if i % 2 == 0 {
+                tol.ang_eq(g, a)
+            } else {
+                tol.ang_eq(g, b)
+            }
+        });
         if alternates && !tol.ang_eq(a, b) {
             return Some(RegularKind::Biangular { alpha: a, beta: b });
         }
@@ -299,8 +304,7 @@ pub fn regular_set_of(config: &Configuration, tol: &Tol) -> Option<RegularSet> {
         va.indices_by_view_desc().into_iter().filter(|&i| !holders[i]).collect();
     let mut cuts: Vec<usize> = Vec::new();
     for i in 0..eligible.len() {
-        let boundary =
-            i + 1 == eligible.len() || va.view(eligible[i + 1]) != va.view(eligible[i]);
+        let boundary = i + 1 == eligible.len() || va.view(eligible[i + 1]) != va.view(eligible[i]);
         if boundary {
             cuts.push(i + 1);
         }
@@ -330,8 +334,7 @@ fn qualify_candidate(
     let q_points: Vec<Point> = q.iter().map(|&i| config.point(i)).collect();
     let kind = check_regular_around(&q_points, c_sec, tol)?;
 
-    let rest: Vec<Point> =
-        (0..n).filter(|i| !q.contains(i)).map(|i| config.point(i)).collect();
+    let rest: Vec<Point> = (0..n).filter(|i| !q.contains(i)).map(|i| config.point(i)).collect();
     // Condition (b): the rotational order of the half-line structure divides
     // ρ(rest).
     let m = if kind.is_biangular() { q.len() / 2 } else { q.len() };
@@ -433,8 +436,7 @@ pub(crate) fn fit_slot_model(
     } else {
         TAU / m as f64
     };
-    let mut phi =
-        init_polar[order[0]].angle - slot_angle(slots[0], m, alpha, biangular);
+    let mut phi = init_polar[order[0]].angle - slot_angle(slots[0], m, alpha, biangular);
 
     let unknowns = if biangular { 4 } else { 3 };
     for _ in 0..80 {
@@ -520,9 +522,12 @@ fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
         a.swap(col, piv);
         b.swap(col, piv);
         for row in (col + 1)..n {
-            let f = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            let cur = &mut rest[0];
+            let f = cur[col] / pivot[col];
+            for (x, p) in cur[col..n].iter_mut().zip(&pivot[col..n]) {
+                *x -= f * p;
             }
             b[row] -= f * b[col];
         }

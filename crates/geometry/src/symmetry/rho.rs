@@ -35,11 +35,8 @@ use std::f64::consts::TAU;
 /// assert_eq!(symmetricity(&cfg, Point::new(0.0, 0.0), &Tol::default()), 4);
 /// ```
 pub fn symmetricity(config: &Configuration, center: Point, tol: &Tol) -> usize {
-    let polar: Vec<PolarPoint> = config
-        .polar_around(center)
-        .into_iter()
-        .filter(|p| !tol.is_zero(p.radius))
-        .collect();
+    let polar: Vec<PolarPoint> =
+        config.polar_around(center).into_iter().filter(|p| !tol.is_zero(p.radius)).collect();
     let n = polar.len();
     if n == 0 {
         return 1;
@@ -69,11 +66,8 @@ pub fn has_axis_of_symmetry(config: &Configuration, center: Point, tol: &Tol) ->
 /// If the configuration has any axis, it has exactly `ρ(P)` of them (or
 /// `2ρ(P)` counting each line once — we return each *line* once).
 pub fn axes_of_symmetry(config: &Configuration, center: Point, tol: &Tol) -> Vec<f64> {
-    let polar: Vec<PolarPoint> = config
-        .polar_around(center)
-        .into_iter()
-        .filter(|p| !tol.is_zero(p.radius))
-        .collect();
+    let polar: Vec<PolarPoint> =
+        config.polar_around(center).into_iter().filter(|p| !tol.is_zero(p.radius)).collect();
     if polar.is_empty() {
         return vec![];
     }
@@ -99,10 +93,7 @@ pub fn axes_of_symmetry(config: &Configuration, center: Point, tol: &Tol) -> Vec
     candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
     candidates.dedup_by(|a, b| (*a - *b).abs() <= tol.angle_eps);
 
-    candidates
-        .into_iter()
-        .filter(|&phi| reflection_maps_to_self(&polar, phi, tol))
-        .collect()
+    candidates.into_iter().filter(|&phi| reflection_maps_to_self(&polar, phi, tol)).collect()
 }
 
 /// Whether rotating all polar points by `angle` yields the same multiset.

@@ -85,8 +85,7 @@ fn find_shifted_subset(config: &Configuration, tol: &Tol) -> Option<ShiftedRegul
     let min_r = radii.iter().cloned().fold(f64::INFINITY, f64::min);
 
     // Candidate shifted robots: at minimal radius (Definition 3 (c)).
-    let candidates: Vec<usize> =
-        (0..n).filter(|&i| tol.eq(radii[i], min_r)).collect();
+    let candidates: Vec<usize> = (0..n).filter(|&i| tol.eq(radii[i], min_r)).collect();
 
     for &r_idx in &candidates {
         // Member candidates: radius prefixes of the other robots (the
@@ -99,9 +98,7 @@ fn find_shifted_subset(config: &Configuration, tol: &Tol) -> Option<ShiftedRegul
                 continue;
             }
             let members = &others[..j];
-            if let Some(found) =
-                try_complete(config, c, r_idx, members, min_r, false, tol)
-            {
+            if let Some(found) = try_complete(config, c, r_idx, members, min_r, false, tol) {
                 return Some(found);
             }
         }
@@ -121,8 +118,7 @@ fn find_shifted_whole(config: &Configuration, tol: &Tol) -> Option<ShiftedRegula
     let min_r = radii.iter().cloned().fold(f64::INFINITY, f64::min);
     // Generous band: the Weber point of the shifted configuration is only an
     // approximation of the true center.
-    let candidates: Vec<usize> =
-        (0..n).filter(|&i| radii[i] <= min_r * 1.25 + tol.eps).collect();
+    let candidates: Vec<usize> = (0..n).filter(|&i| radii[i] <= min_r * 1.25 + tol.eps).collect();
 
     for &r_idx in &candidates {
         let members: Vec<usize> = (0..n).filter(|&i| i != r_idx).collect();
@@ -165,8 +161,7 @@ fn try_complete(
     }
     polar.sort_by(|a, b| a.1.angle.partial_cmp(&b.1.angle).unwrap());
     let angles: Vec<f64> = polar.iter().map(|(_, pp)| pp.angle).collect();
-    let gaps: Vec<f64> =
-        (0..k).map(|i| normalize_angle(angles[(i + 1) % k] - angles[i])).collect();
+    let gaps: Vec<f64> = (0..k).map(|i| normalize_angle(angles[(i + 1) % k] - angles[i])).collect();
     if k >= 2 && gaps.iter().any(|&g| tol.ang_is_zero(g)) {
         return None;
     }
@@ -181,7 +176,7 @@ fn try_complete(
         // Equiangular completion: every gap but one ≈ α = 2π/q, the merged
         // gap ≈ 2α.
         let alpha_eq = TAU / q as f64;
-        for t in 0..k {
+        for (t, &angle_t) in angles.iter().enumerate().take(k) {
             let ok = (0..k).all(|i| {
                 if i == t {
                     tol.ang_eq(gaps[i], 2.0 * alpha_eq) || fit_center
@@ -197,16 +192,22 @@ fn try_complete(
                     (gaps[i] - target).abs() < alpha_eq * 0.45
                 });
             if ok || loose_ok {
-                insertions.push((normalize_angle(angles[t] + alpha_eq), false));
+                insertions.push((normalize_angle(angle_t + alpha_eq), false));
             }
         }
         // Bi-angled completion: gaps alternate a, b with one merged (a + b).
         if q >= 4 && q.is_multiple_of(2) {
             for t in 0..k {
                 for first_sub_is_even in [true, false] {
-                    if let Some(theta) =
-                        biangular_insertion(&angles, &gaps, t, q, first_sub_is_even, fit_center, tol)
-                    {
+                    if let Some(theta) = biangular_insertion(
+                        &angles,
+                        &gaps,
+                        t,
+                        q,
+                        first_sub_is_even,
+                        fit_center,
+                        tol,
+                    ) {
                         insertions.push((theta, true));
                     }
                 }
@@ -227,18 +228,13 @@ fn try_complete(
         };
         let r_radius = r_pos.dist(c_use);
         // Definition 3 (c): |r| must be minimal over P around the center.
-        let min_all =
-            config.points().iter().map(|p| p.dist(c_use)).fold(f64::INFINITY, f64::min);
+        let min_all = config.points().iter().map(|p| p.dist(c_use)).fold(f64::INFINITY, f64::min);
         if !tol.eq(r_radius, min_all) {
             continue;
         }
-        let r_prime = Point::new(
-            c_use.x + r_radius * theta.cos(),
-            c_use.y + r_radius * theta.sin(),
-        );
-        if let Some(found) =
-            verify_shifted(config, c_use, r_idx, members, r_prime, tol)
-        {
+        let r_prime =
+            Point::new(c_use.x + r_radius * theta.cos(), c_use.y + r_radius * theta.sin());
+        if let Some(found) = verify_shifted(config, c_use, r_idx, members, r_prime, tol) {
             return Some(found);
         }
     }
@@ -285,9 +281,7 @@ fn biangular_insertion(
     let a = a_est.iter().sum::<f64>() / a_est.len() as f64;
     let b = b_est.iter().sum::<f64>() / b_est.len() as f64;
     let band = if loose { 0.2 * (a + b) } else { tol.angle_eps };
-    if a_est.iter().any(|&g| (g - a).abs() > band)
-        || b_est.iter().any(|&g| (g - b).abs() > band)
-    {
+    if a_est.iter().any(|&g| (g - a).abs() > band) || b_est.iter().any(|&g| (g - b).abs() > band) {
         return None;
     }
     // The two sub-gaps at full positions t and t+1.
@@ -627,11 +621,7 @@ mod tests {
 
     #[test]
     fn alpha_min_helpers() {
-        let pts = vec![
-            Point::new(1.0, 0.0),
-            Point::new(0.0, 1.0),
-            Point::new(-1.0, 0.2),
-        ];
+        let pts = vec![Point::new(1.0, 0.0), Point::new(0.0, 1.0), Point::new(-1.0, 0.2)];
         let cfg = Configuration::new(pts);
         let am = alpha_min_config(&cfg, Point::ORIGIN, &tol()).unwrap();
         assert!(am > 0.0 && am <= TAU / 3.0 + 1.0);

@@ -95,9 +95,7 @@ impl ViewAnalysis {
     /// "center view".
     pub fn compute(config: &Configuration, center: Point, tol: &Tol) -> Self {
         let polar = config.polar_around(center);
-        let robots = (0..config.len())
-            .map(|i| robot_view(&polar, i, tol))
-            .collect();
+        let robots = (0..config.len()).map(|i| robot_view(&polar, i, tol)).collect();
         ViewAnalysis { robots }
     }
 
@@ -133,9 +131,7 @@ impl ViewAnalysis {
     /// [`Self::descending_class_boundaries`].
     pub fn indices_by_view_desc(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.robots.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.robots[b].view.cmp(&self.robots[a].view).then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.robots[b].view.cmp(&self.robots[a].view).then(a.cmp(&b)));
         idx
     }
 
@@ -159,14 +155,15 @@ impl ViewAnalysis {
     /// attained in the same orientation. Classes are returned largest view
     /// first.
     pub fn equivalence_classes(&self) -> Vec<Vec<usize>> {
-        let mut keys: Vec<(usize, (&View, bool, bool))> = self
+        type ClassKey<'a> = (&'a View, bool, bool);
+        let mut keys: Vec<(usize, ClassKey<'_>)> = self
             .robots
             .iter()
             .enumerate()
             .map(|(i, r)| (i, (&r.view, r.ccw_max, r.cw_max)))
             .collect();
         keys.sort_by(|a, b| b.1 .0.cmp(a.1 .0).then(a.0.cmp(&b.0)));
-        let mut classes: Vec<(( &View, bool, bool), Vec<usize>)> = Vec::new();
+        let mut classes: Vec<(ClassKey<'_>, Vec<usize>)> = Vec::new();
         for (i, k) in keys {
             if let Some(c) = classes.iter_mut().find(|(ck, _)| *ck == k) {
                 c.1.push(i);
@@ -214,10 +211,7 @@ fn oriented_view(polar: &[PolarPoint], i: usize, orientation: Orientation, tol: 
             } else {
                 normalize_angle(orientation.sign() * (p.angle - me.angle))
             };
-            (
-                quantize(rel_angle, tol.angle_eps, TAU),
-                quantize(p.radius / me.radius, tol.eps, 0.0),
-            )
+            (quantize(rel_angle, tol.angle_eps, TAU), quantize(p.radius / me.radius, tol.eps, 0.0))
         })
         .collect();
     coords.sort_unstable();
@@ -297,11 +291,7 @@ mod tests {
 
     #[test]
     fn axis_robot_view_is_orientation_invariant() {
-        let pts = vec![
-            Point::new(0.0, 1.0),
-            Point::new(0.6, -0.4),
-            Point::new(-0.6, -0.4),
-        ];
+        let pts = vec![Point::new(0.0, 1.0), Point::new(0.6, -0.4), Point::new(-0.6, -0.4)];
         let cfg = Configuration::new(pts);
         let va = ViewAnalysis::compute(&cfg, cfg.sec().center, &tol());
         assert!(va.robots()[0].on_axis());

@@ -3,8 +3,7 @@
 
 use apf_geometry::angle::{ang_min, normalize_angle, signed_angle_diff};
 use apf_geometry::symmetry::{
-    check_regular_around, find_regular_center, find_shifted_regular, symmetricity,
-    ViewAnalysis,
+    check_regular_around, find_regular_center, find_shifted_regular, symmetricity, ViewAnalysis,
 };
 use apf_geometry::{
     are_similar, smallest_enclosing_circle, weber_point, Configuration, Frame, Path, Point,
@@ -25,9 +24,7 @@ fn pts(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
 /// well-posed).
 fn separated_pts(n: usize) -> impl Strategy<Value = Vec<Point>> {
     pts(n..n + 1).prop_filter("separated", |v| {
-        v.iter()
-            .enumerate()
-            .all(|(i, p)| v[i + 1..].iter().all(|q| p.dist(*q) > 0.05))
+        v.iter().enumerate().all(|(i, p)| v[i + 1..].iter().all(|q| p.dist(*q) > 0.05))
     })
 }
 
@@ -204,7 +201,7 @@ proptest! {
         }
         let cfg = Configuration::new(v);
         let s = symmetricity(&cfg, Point::ORIGIN, &Tol::default());
-        prop_assert!(s % rho == 0, "rho = {rho}, measured = {s}");
+        prop_assert!(s.is_multiple_of(rho), "rho = {rho}, measured = {s}");
     }
 
     #[test]

@@ -62,11 +62,8 @@ mod tests {
 
     #[test]
     fn overlap_renders_at_sign() {
-        let art = ascii_plot(
-            &[Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(5.0, 5.0)],
-            11,
-            11,
-        );
+        let art =
+            ascii_plot(&[Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(5.0, 5.0)], 11, 11);
         assert!(art.contains('@'));
         assert!(art.contains('o'));
     }

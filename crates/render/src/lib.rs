@@ -8,4 +8,4 @@ pub mod ascii;
 pub mod svg;
 
 pub use ascii::ascii_plot;
-pub use svg::{SvgScene, Style};
+pub use svg::{Style, SvgScene};

@@ -179,8 +179,7 @@ mod tests {
 
     #[test]
     fn configuration_renders_all_robots() {
-        let pts: Vec<Point> =
-            (0..5).map(|i| Point::new(i as f64, (i % 2) as f64)).collect();
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, (i % 2) as f64)).collect();
         let mut s = SvgScene::new();
         s.configuration(&pts, "#d33");
         let svg = s.finish();

@@ -99,17 +99,15 @@ impl Scheduler for AsyncScheduler {
 
         let mut batch = Vec::new();
         // Forced activations first (fairness).
-        for robot in 0..n {
+        for (robot, phase) in phases.iter().enumerate() {
             if self.idle_steps[robot] >= self.config.starvation_bound {
                 self.idle_steps[robot] = 0;
                 // A starved pending robot must make progress, not pause.
-                let act = match phases[robot] {
+                let act = match *phase {
                     PhaseView::Idle => Action::Look { robot },
-                    p @ PhaseView::Pending { .. } => Action::Move {
-                        robot,
-                        distance: p.remaining(),
-                        end_phase: true,
-                    },
+                    p @ PhaseView::Pending { .. } => {
+                        Action::Move { robot, distance: p.remaining(), end_phase: true }
+                    }
                 };
                 batch.push(act);
             }
@@ -200,10 +198,7 @@ mod tests {
     #[test]
     fn moves_target_pending_robots_only() {
         let mut s = AsyncScheduler::new(3);
-        let phases = vec![
-            PhaseView::Idle,
-            PhaseView::Pending { length: 2.0, traveled: 1.0 },
-        ];
+        let phases = vec![PhaseView::Idle, PhaseView::Pending { length: 2.0, traveled: 1.0 }];
         for _ in 0..200 {
             for a in s.next(&phases) {
                 match a {

@@ -26,11 +26,7 @@ impl Scheduler for FsyncScheduler {
                 .iter()
                 .enumerate()
                 .filter(|(_, p)| !p.is_idle())
-                .map(|(robot, p)| Action::Move {
-                    robot,
-                    distance: p.remaining(),
-                    end_phase: true,
-                })
+                .map(|(robot, p)| Action::Move { robot, distance: p.remaining(), end_phase: true })
                 .collect()
         }
     }
@@ -55,18 +51,13 @@ mod tests {
         let pending = vec![PhaseView::Pending { length: 1.0, traveled: 0.0 }; 3];
         let moves = s.next(&pending);
         assert_eq!(moves.len(), 3);
-        assert!(moves
-            .iter()
-            .all(|a| matches!(a, Action::Move { end_phase: true, .. })));
+        assert!(moves.iter().all(|a| matches!(a, Action::Move { end_phase: true, .. })));
     }
 
     #[test]
     fn mixed_phase_moves_only_pending() {
         let mut s = FsyncScheduler::new();
-        let phases = vec![
-            PhaseView::Idle,
-            PhaseView::Pending { length: 2.0, traveled: 0.5 },
-        ];
+        let phases = vec![PhaseView::Idle, PhaseView::Pending { length: 2.0, traveled: 0.5 }];
         let acts = s.next(&phases);
         assert_eq!(acts.len(), 1);
         assert_eq!(acts[0].robot(), 1);

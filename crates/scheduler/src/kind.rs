@@ -41,7 +41,12 @@ impl SchedulerKind {
 
     /// All kinds, for experiment sweeps.
     pub fn all() -> [SchedulerKind; 4] {
-        [SchedulerKind::Fsync, SchedulerKind::Ssync, SchedulerKind::Async, SchedulerKind::RoundRobin]
+        [
+            SchedulerKind::Fsync,
+            SchedulerKind::Ssync,
+            SchedulerKind::Async,
+            SchedulerKind::RoundRobin,
+        ]
     }
 }
 

@@ -87,10 +87,7 @@ mod tests {
     #[test]
     fn pending_moves_complete_before_next_round() {
         let mut s = SsyncScheduler::new(7, 0.5);
-        let phases = vec![
-            PhaseView::Pending { length: 1.0, traveled: 0.2 },
-            PhaseView::Idle,
-        ];
+        let phases = vec![PhaseView::Pending { length: 1.0, traveled: 0.2 }, PhaseView::Idle];
         let acts = s.next(&phases);
         assert_eq!(acts.len(), 1);
         assert!(matches!(acts[0], Action::Move { robot: 0, end_phase: true, .. }));

@@ -33,3 +33,17 @@ pub use algorithm::{BitSource, ComputeError, CountingBits, Decision, NullBits, R
 pub use metrics::Metrics;
 pub use snapshot::Snapshot;
 pub use world::{Outcome, StopReason, World, WorldConfig};
+
+// The bench crate's parallel trial engine moves run results and specs across
+// worker threads; keep these types `Send + Sync` by construction. A trait
+// bound change that breaks this fails here, at compile time, instead of
+// deep inside `std::thread::scope` spawns.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Outcome>();
+    assert_send_sync::<Metrics>();
+    assert_send_sync::<StopReason>();
+    assert_send_sync::<ComputeError>();
+    assert_send_sync::<WorldConfig>();
+    assert_send_sync::<Decision>();
+};

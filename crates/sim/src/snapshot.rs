@@ -120,12 +120,8 @@ mod tests {
 
     #[test]
     fn multiplicity_collapse() {
-        let pts = vec![
-            Point::ORIGIN,
-            Point::new(1.0, 0.0),
-            Point::new(1.0, 0.0),
-            Point::new(0.0, 1.0),
-        ];
+        let pts =
+            vec![Point::ORIGIN, Point::new(1.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
         let with = Snapshot::new(pts.clone(), vec![], true, tol());
         assert_eq!(with.len(), 4);
         let without = Snapshot::new(pts, vec![], false, tol());

@@ -104,11 +104,7 @@ impl World {
         seed: u64,
     ) -> Self {
         assert!(!initial.is_empty(), "a simulation needs at least one robot");
-        assert_eq!(
-            initial.len(),
-            pattern.len(),
-            "pattern must have exactly one point per robot"
-        );
+        assert_eq!(initial.len(), pattern.len(), "pattern must have exactly one point per robot");
         let n = initial.len();
         let mut frame_rng = StdRng::seed_from_u64(seed ^ 0xF0F0_F0F0_F0F0_F0F0);
         let frames: Vec<Frame> = (0..n)
@@ -143,8 +139,7 @@ impl World {
                             if mirror {
                                 v.y = -v.y;
                             }
-                            (v.rotate(rot) * scale).to_point()
-                                + apf_geometry::Vector::new(dx, dy)
+                            (v.rotate(rot) * scale).to_point() + apf_geometry::Vector::new(dx, dy)
                         })
                         .collect()
                 } else {
@@ -217,8 +212,7 @@ impl World {
     /// Whether the configuration is similar to the pattern and every robot
     /// is idle — the run's success condition.
     pub fn is_formed(&self) -> bool {
-        !self.any_pending()
-            && are_similar(&self.positions, &self.pattern_global, &self.config.tol)
+        !self.any_pending() && are_similar(&self.positions, &self.pattern_global, &self.config.tol)
     }
 
     /// Probes whether any robot would move from the current configuration
@@ -257,9 +251,7 @@ impl World {
             .iter()
             .map(|p| match p {
                 None => PhaseView::Idle,
-                Some(pm) => {
-                    PhaseView::Pending { length: pm.path.length(), traveled: pm.traveled }
-                }
+                Some(pm) => PhaseView::Pending { length: pm.path.length(), traveled: pm.traveled },
             })
             .collect();
         let actions = self.scheduler.next(&phases);
@@ -505,9 +497,7 @@ mod tests {
         struct StingyScheduler;
         impl Scheduler for StingyScheduler {
             fn next(&mut self, phases: &[PhaseView]) -> Vec<Action> {
-                if let Some((robot, _)) =
-                    phases.iter().enumerate().find(|(_, p)| !p.is_idle())
-                {
+                if let Some((robot, _)) = phases.iter().enumerate().find(|(_, p)| !p.is_idle()) {
                     vec![Action::Move { robot, distance: 0.0, end_phase: true }]
                 } else {
                     vec![Action::Look { robot: 0 }]
@@ -622,9 +612,7 @@ mod tests {
         struct OneSlice;
         impl Scheduler for OneSlice {
             fn next(&mut self, phases: &[PhaseView]) -> Vec<Action> {
-                if let Some((robot, p)) =
-                    phases.iter().enumerate().find(|(_, p)| !p.is_idle())
-                {
+                if let Some((robot, p)) = phases.iter().enumerate().find(|(_, p)| !p.is_idle()) {
                     vec![Action::Move { robot, distance: p.remaining() * 0.5, end_phase: false }]
                 } else {
                     vec![Action::Look { robot: 0 }]

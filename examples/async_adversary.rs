@@ -20,10 +20,8 @@ fn main() {
     ] {
         let initial = apf::patterns::symmetric_configuration(n, 4, 5);
         let target = apf::patterns::random_pattern(n, 11);
-        let scheduler = SchedulerKind::Async.build_with_async_config(
-            99,
-            AsyncConfig { pause_prob, ..AsyncConfig::default() },
-        );
+        let scheduler = SchedulerKind::Async
+            .build_with_async_config(99, AsyncConfig { pause_prob, ..AsyncConfig::default() });
         let mut world = World::new(
             initial,
             target,

@@ -53,15 +53,8 @@ fn main() {
     let o = world.run(3_000_000);
     let final_cfg = Configuration::new(o.final_positions.clone());
     let center = final_cfg.sec().center;
-    let at_center = o
-        .final_positions
-        .iter()
-        .filter(|p| p.dist(center) < 1e-4)
-        .count();
-    println!(
-        "center multiplicity: formed={} ({} robots gathered at c(F))",
-        o.formed, at_center
-    );
+    let at_center = o.final_positions.iter().filter(|p| p.dist(center) < 1e-4).count();
+    println!("center multiplicity: formed={} ({} robots gathered at c(F))", o.formed, at_center);
     assert!(o.formed);
     assert_eq!(at_center, 2, "two robots must share the center");
     let _ = Point::ORIGIN;

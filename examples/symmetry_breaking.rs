@@ -54,8 +54,5 @@ fn main() {
         outcome.metrics.random_bits,
         outcome.metrics.bits_per_cycle()
     );
-    println!(
-        "pattern formed = {} after {} cycles",
-        outcome.formed, outcome.metrics.cycles
-    );
+    println!("pattern formed = {} after {} cycles", outcome.formed, outcome.metrics.cycles);
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tests, and a smoke run of the experiment
+# harness on the parallel engine. CI and pre-push both run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> harness --quick --jobs 2 e1"
+cargo run -q --release -p apf-bench --bin harness -- --quick --jobs 2 e1
+
+echo "OK"

@@ -41,7 +41,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |it: &mut dyn Iterator<Item = String>| {
+        let value = |it: &mut dyn Iterator<Item = String>| {
             it.next().ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
@@ -62,7 +62,9 @@ fn parse_args() -> Result<Args, String> {
             "--budget" => {
                 args.budget = value(&mut it)?.parse().map_err(|e| format!("--budget: {e}"))?
             }
-            "--delta" => args.delta = value(&mut it)?.parse().map_err(|e| format!("--delta: {e}"))?,
+            "--delta" => {
+                args.delta = value(&mut it)?.parse().map_err(|e| format!("--delta: {e}"))?
+            }
             "--multiplicity" => args.multiplicity = true,
             "--svg" => args.svg = Some(value(&mut it)?),
             "--quiet" => args.quiet = true,
@@ -96,7 +98,7 @@ fn pattern_for(args: &Args) -> Result<Vec<apf::geometry::Point>, String> {
             g
         }
         "star" => {
-            if args.n % 2 != 0 || args.n < 4 {
+            if !args.n.is_multiple_of(2) || args.n < 4 {
                 return Err("star needs an even n >= 4".into());
             }
             apf::patterns::star(args.n / 2, 2.0, 1.0)
@@ -147,9 +149,7 @@ fn main() {
     if !args.quiet {
         println!(
             "formed = {} ({:?})\nmetrics: {}",
-            outcome.formed,
-            outcome.reason,
-            outcome.metrics
+            outcome.formed, outcome.reason, outcome.metrics
         );
     }
     if let Some(path) = &args.svg {

@@ -28,11 +28,7 @@ fn random_frames_do_not_affect_success() {
             .unwrap();
         let o = w.run(2_000_000);
         assert!(o.formed, "randomize_frames={randomize}: {:?}", o.reason);
-        assert!(apf::geometry::are_similar(
-            &o.final_positions,
-            &target,
-            &Tol::default()
-        ));
+        assert!(apf::geometry::are_similar(&o.final_positions, &target, &Tol::default()));
     }
 }
 
@@ -87,9 +83,8 @@ fn mirrored_world_runs_equivalently() {
     // identically — formation is chirality-free end-to-end.
     let initial = apf::patterns::symmetric_configuration(8, 2, 27);
     let target = apf::patterns::random_pattern(8, 28);
-    let mirror = |pts: &[Point]| -> Vec<Point> {
-        pts.iter().map(|p| Point::new(p.x, -p.y)).collect()
-    };
+    let mirror =
+        |pts: &[Point]| -> Vec<Point> { pts.iter().map(|p| Point::new(p.x, -p.y)).collect() };
     let mut straight = SimulationBuilder::new(initial.clone(), target.clone())
         .scheduler(SchedulerKind::RoundRobin)
         .seed(31)
@@ -118,9 +113,5 @@ fn pattern_can_be_formed_as_mirror_image() {
         .unwrap();
     let o = w.run(3_000_000);
     assert!(o.formed);
-    assert!(apf::geometry::are_similar(
-        &o.final_positions,
-        &target,
-        &Tol::default()
-    ));
+    assert!(apf::geometry::are_similar(&o.final_positions, &target, &Tol::default()));
 }

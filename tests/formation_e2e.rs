@@ -27,10 +27,7 @@ fn run_checked(
         // No two robots may ever collide (the pattern here has no
         // multiplicity, so any coincidence is a bug).
         let c = Configuration::new(cfg.clone());
-        assert!(
-            !c.has_multiplicity(&tol),
-            "robots collided at step {t} (seed {seed}, {kind})"
-        );
+        assert!(!c.has_multiplicity(&tol), "robots collided at step {t} (seed {seed}, {kind})");
     }
     outcome
 }

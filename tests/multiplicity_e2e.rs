@@ -17,8 +17,7 @@ fn forms_pattern_with_doubled_points() {
     .unwrap();
     let o = world.run(3_000_000);
     assert!(o.formed, "{:?}", o.reason);
-    let groups =
-        Configuration::new(o.final_positions).multiplicity_groups(&Tol::default());
+    let groups = Configuration::new(o.final_positions).multiplicity_groups(&Tol::default());
     assert_eq!(groups.len(), 6, "two doubled positions expected");
 }
 
@@ -33,21 +32,17 @@ fn forms_pattern_with_center_multiplicity() {
     target[by_r[0]] = c;
     target[by_r[1]] = c;
 
-    let mut world = SimulationBuilder::new(
-        apf::patterns::asymmetric_configuration(n, 5),
-        target,
-    )
-    .scheduler(SchedulerKind::RoundRobin)
-    .seed(4)
-    .multiplicity_detection(true)
-    .build()
-    .unwrap();
+    let mut world = SimulationBuilder::new(apf::patterns::asymmetric_configuration(n, 5), target)
+        .scheduler(SchedulerKind::RoundRobin)
+        .seed(4)
+        .multiplicity_detection(true)
+        .build()
+        .unwrap();
     let o = world.run(4_000_000);
     assert!(o.formed, "{:?}", o.reason);
     let cfg = Configuration::new(o.final_positions.clone());
     let center = cfg.sec().center;
-    let at_center =
-        o.final_positions.iter().filter(|p| p.dist(center) < 1e-4).count();
+    let at_center = o.final_positions.iter().filter(|p| p.dist(center) < 1e-4).count();
     assert_eq!(at_center, 2, "two robots must gather at the center");
 }
 
@@ -94,14 +89,11 @@ fn single_center_point_is_supported_without_detection() {
     by_r.sort_by(|&a, &b| target[a].dist(c).partial_cmp(&target[b].dist(c)).unwrap());
     target[by_r[0]] = c;
 
-    let mut world = SimulationBuilder::new(
-        apf::patterns::asymmetric_configuration(n, 11),
-        target,
-    )
-    .scheduler(SchedulerKind::RoundRobin)
-    .seed(10)
-    .build()
-    .unwrap();
+    let mut world = SimulationBuilder::new(apf::patterns::asymmetric_configuration(n, 11), target)
+        .scheduler(SchedulerKind::RoundRobin)
+        .seed(10)
+        .build()
+        .unwrap();
     let o = world.run(4_000_000);
     assert!(o.formed, "{:?}", o.reason);
     let cfg = Configuration::new(o.final_positions.clone());
@@ -117,27 +109,20 @@ fn multiplicity_collisions_are_only_at_pattern_points() {
     // never collide by accident.
     let n = 8;
     let target = apf::patterns::pattern_with_multiplicity(n, 6, 47);
-    let mut world = SimulationBuilder::new(
-        apf::patterns::asymmetric_configuration(n, 13),
-        target,
-    )
-    .scheduler(SchedulerKind::RoundRobin)
-    .seed(12)
-    .multiplicity_detection(true)
-    .record_trace(true)
-    .build()
-    .unwrap();
+    let mut world = SimulationBuilder::new(apf::patterns::asymmetric_configuration(n, 13), target)
+        .scheduler(SchedulerKind::RoundRobin)
+        .seed(12)
+        .multiplicity_detection(true)
+        .record_trace(true)
+        .build()
+        .unwrap();
     let o = world.run(3_000_000);
     assert!(o.formed);
     let tol = Tol::default();
     for (t, cfg) in world.trace().iter().enumerate() {
         let c = Configuration::new(cfg.clone());
         for (_, members) in c.multiplicity_groups(&tol) {
-            assert!(
-                members.len() <= 2,
-                "unexpected multiplicity {} at step {t}",
-                members.len()
-            );
+            assert!(members.len() <= 2, "unexpected multiplicity {} at step {t}", members.len());
         }
     }
     let _ = Point::ORIGIN;

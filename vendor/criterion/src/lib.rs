@@ -1,0 +1,252 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates-io access, so the workspace vendors
+//! the slice of criterion its benches use: `criterion_group!`/
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_with_input`,
+//! `bench_function`, [`Bencher::iter`], [`BenchmarkId`], and [`black_box`].
+//!
+//! Timing is a plain mean over `sample_size` timed batches after one warmup
+//! batch — no outlier analysis, no HTML reports. Output is one line per
+//! benchmark: `group/name/param    time: <mean> <unit>/iter (<samples>)`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.param.is_empty() {
+            f.write_str(&self.name)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), param: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, param: String::new() }
+    }
+}
+
+/// Passed to the measured closure; collects iteration timings.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running one warmup batch then `sample_size` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup (also forces lazy setup)
+        self.elapsed.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed.push(t0.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.elapsed.is_empty() {
+            return Duration::ZERO;
+        }
+        self.elapsed.iter().sum::<Duration>() / self.elapsed.len() as u32
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named family of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: core::marker::PhantomData<&'a mut Criterion>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, elapsed: Vec::new() };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, elapsed: Vec::new() };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        println!(
+            "{}/{:<40} time: {:>12}/iter  ({} samples)",
+            self.name,
+            id.to_string(),
+            human(b.mean()),
+            b.elapsed.len()
+        );
+    }
+
+    /// Ends the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver (subset of upstream `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: core::marker::PhantomData,
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(BenchmarkId::from(name), f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, matching both upstream forms:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n) * black_box(n))
+        });
+        group.bench_function(BenchmarkId::from("noop"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from("g").to_string(), "g");
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(human(Duration::from_micros(50)).ends_with("µs"));
+        assert!(human(Duration::from_millis(50)).ends_with("ms"));
+        assert!(human(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

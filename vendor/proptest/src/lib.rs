@@ -1,0 +1,490 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no crates-io access, so the workspace vendors
+//! the slice of proptest its property tests use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`/`prop_filter`, range and tuple
+//! strategies, [`arbitrary::any`], [`collection::vec`], the `prop_assert*`
+//! macros, and [`test_runner::Config`] (`ProptestConfig`).
+//!
+//! Differences from upstream: cases are sampled from a fixed per-test seed
+//! (derived from the test name, so failures reproduce deterministically),
+//! and there is **no shrinking** — a failure reports the case number and
+//! message only.
+
+pub mod test_runner {
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!`/`prop_filter` rejected the inputs; try another case.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Creates a rejection with a reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Outcome of one test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (subset of upstream `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Give up after this many consecutive rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Config::default() }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Sampling failed: the strategy (or a filter on it) rejected the draw.
+    #[derive(Debug, Clone)]
+    pub struct Reject(pub &'static str);
+
+    /// A generator of random values (subset of upstream `Strategy`; no
+    /// shrinking, so a strategy is just a sampler).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value, or rejects.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`Reject`] when a filter refuses the draw; the runner
+        /// retries with fresh randomness.
+        fn sample(&self, rng: &mut StdRng) -> Result<Self::Value, Reject>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, pred }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> Result<O, Reject> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Result<S::Value, Reject> {
+            let v = self.inner.sample(rng)?;
+            if (self.pred)(&v) {
+                Ok(v)
+            } else {
+                Err(Reject(self.whence))
+            }
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> Result<T, Reject> {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> Result<T, Reject> {
+            Ok(self.0.clone())
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> Result<$t, Reject> {
+                    Ok(rng.gen_range(self.clone()))
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> Result<$t, Reject> {
+                    Ok(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    range_strategy!(f64, usize, u8, u16, u32, u64, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Result<Self::Value, Reject> {
+                    Ok(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{Reject, Strategy};
+    use rand::rngs::StdRng;
+    use rand::{Rng, UniformSample};
+
+    /// Uniform full-domain strategy for primitives (subset of `Arbitrary`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: UniformSample> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> Result<T, Reject> {
+            Ok(rng.gen())
+        }
+    }
+
+    /// The canonical strategy for `T` (upstream `any::<T>()`).
+    pub fn any<T: UniformSample>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Reject, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for vectors of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Result<Vec<S::Value>, Reject> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[doc(hidden)]
+pub mod runner_impl {
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::{Config, TestCaseError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// FNV-1a over the test name: a stable per-test seed so failures
+    /// reproduce without a seed file.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one property: samples inputs and invokes `case` until
+    /// `config.cases` successes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on assertion failure or
+    /// when the rejection budget is exhausted.
+    pub fn run<S: Strategy>(
+        name: &str,
+        config: &Config,
+        strategy: &S,
+        mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed_for(name));
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        while passed < config.cases {
+            let input = match strategy.sample(&mut rng) {
+                Ok(v) => v,
+                Err(Reject(whence)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "{name}: too many strategy rejections ({rejected}), last: {whence}"
+                    );
+                    continue;
+                }
+            };
+            match case(input) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "{name}: too many rejections ({rejected}), last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: property failed at case #{}: {msg}", passed + 1)
+                }
+            }
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let strategy = ( $( $strat, )+ );
+            $crate::runner_impl::run(
+                stringify!($name),
+                &config,
+                &strategy,
+                |( $( $arg, )+ )| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body (returns a failure instead of
+/// panicking, as upstream does).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides are {:?}", a);
+    }};
+}
+
+/// Skips the current case when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0..100usize, (a, b) in (0.0..1.0f64, 0.0..1.0f64)) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&a) && (0.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn map_filter_and_vec(v in prop::collection::vec((0..10u32).prop_map(|x| x * 2), 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for x in v {
+                prop_assert!(x % 2 == 0 && x < 20);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_gracefully(x in 0..100u64) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn any_bool_takes_both_values(bits in prop::collection::vec(any::<bool>(), 64..65)) {
+            // 64 fair coins are astronomically unlikely to agree.
+            prop_assert!(bits.iter().any(|b| *b) && bits.iter().any(|b| !*b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_number() {
+        let config = ProptestConfig::with_cases(8);
+        crate::runner_impl::run(
+            "always_fails",
+            &config,
+            &(0..10u32,),
+            |(_x,)| -> crate::test_runner::TestCaseResult {
+                prop_assert!(false, "boom");
+                #[allow(unreachable_code)]
+                Ok(())
+            },
+        );
+    }
+}
