@@ -20,7 +20,7 @@
 use apf_core::analysis::Analysis;
 use apf_core::{dpf, FormPattern};
 use apf_geometry::{are_similar, Path, Point};
-use apf_sim::{BitSource, ComputeError, Decision, RobotAlgorithm, Snapshot};
+use apf_sim::{BitSource, ComputeError, Decision, PhaseKind, RobotAlgorithm, Snapshot};
 
 /// Yamauchi–Yamashita-style randomized formation (continuous randomness).
 ///
@@ -47,19 +47,31 @@ impl RobotAlgorithm for YyStyleFormation {
         snapshot: &Snapshot,
         bits: &mut dyn BitSource,
     ) -> Result<Decision, ComputeError> {
+        self.compute_tagged(snapshot, bits).map(|(decision, _)| decision)
+    }
+
+    fn compute_tagged(
+        &self,
+        snapshot: &Snapshot,
+        bits: &mut dyn BitSource,
+    ) -> Result<(Decision, PhaseKind), ComputeError> {
         let a = Analysis::new(snapshot)?;
         if a.n() != a.pattern.len() {
             return Err(ComputeError::new("robot/pattern size mismatch"));
         }
         if are_similar(a.config.points(), &a.pattern, &a.tol) {
-            return Ok(Decision::Stay);
+            return Ok((Decision::Stay, PhaseKind::Terminal));
         }
         if let Some(d) = apf_core::completion_move(&a)? {
-            return Ok(d);
+            return Ok((d, PhaseKind::Completion));
         }
         match a.selected() {
             Some(rs) => dpf::act(&a, rs),
-            None => Ok(yy_select(&a, bits)),
+            // The continuous-randomness election is this baseline's analogue
+            // of ψ_RSB's election — tagging it the same makes the per-phase
+            // bits/cycle comparison line up across algorithms (and lets the
+            // trace inspector show exactly where the 64-bit draws happen).
+            None => Ok((yy_select(&a, bits), PhaseKind::RsbElection)),
         }
     }
 
@@ -118,25 +130,35 @@ impl RobotAlgorithm for DeterministicFormation {
     fn compute(
         &self,
         snapshot: &Snapshot,
-        _bits: &mut dyn BitSource,
+        bits: &mut dyn BitSource,
     ) -> Result<Decision, ComputeError> {
+        self.compute_tagged(snapshot, bits).map(|(decision, _)| decision)
+    }
+
+    fn compute_tagged(
+        &self,
+        snapshot: &Snapshot,
+        _bits: &mut dyn BitSource,
+    ) -> Result<(Decision, PhaseKind), ComputeError> {
         let a = Analysis::new(snapshot)?;
         if a.n() != a.pattern.len() {
             return Err(ComputeError::new("robot/pattern size mismatch"));
         }
         if are_similar(a.config.points(), &a.pattern, &a.tol) {
-            return Ok(Decision::Stay);
+            return Ok((Decision::Stay, PhaseKind::Terminal));
         }
         // Symmetric configuration: a deterministic algorithm cannot break
         // the symmetry — every robot of an equivalence class would act
         // identically. Stall (this IS the baseline's defining failure).
+        // Deliberately Untagged: the stall belongs to no paper phase, and
+        // stalled trials show up in per-phase tables as untagged cycles.
         let c = a.config.sec().center;
         let rho = apf_geometry::symmetry::symmetricity(&a.config, c, &a.tol);
         if rho > 1 || apf_geometry::symmetry::has_axis_of_symmetry(&a.config, c, &a.tol) {
-            return Ok(Decision::Stay);
+            return Ok((Decision::Stay, PhaseKind::Untagged));
         }
         if let Some(d) = apf_core::completion_move(&a)? {
-            return Ok(d);
+            return Ok((d, PhaseKind::Completion));
         }
         match a.selected() {
             Some(rs) => dpf::act(&a, rs),
@@ -144,7 +166,7 @@ impl RobotAlgorithm for DeterministicFormation {
                 // Reuse the paper's asymmetric branch through the public
                 // entry point (it draws no bits on the asymmetric path).
                 let mut null = apf_sim::NullBits;
-                FormPattern::new().compute(snapshot, &mut null)
+                FormPattern::new().compute_tagged(snapshot, &mut null)
             }
         }
     }
@@ -219,7 +241,7 @@ mod tests {
         let o = w.run(300_000);
         assert!(o.formed, "YY baseline should form: {:?}", o.reason);
         // Continuous randomness: many bits per drawing cycle.
-        assert!(o.metrics.random_bits >= 64, "bits = {}", o.metrics.random_bits);
+        assert!(o.metrics.random_bits() >= 64, "bits = {}", o.metrics.random_bits());
     }
 
     #[test]
@@ -243,10 +265,10 @@ mod tests {
         let o_ours = ours.run(300_000);
         assert!(o_yy.formed && o_ours.formed);
         assert!(
-            o_yy.metrics.random_bits >= 8 * o_ours.metrics.random_bits.max(1),
+            o_yy.metrics.random_bits() >= 8 * o_ours.metrics.random_bits().max(1),
             "yy {} vs ours {}",
-            o_yy.metrics.random_bits,
-            o_ours.metrics.random_bits
+            o_yy.metrics.random_bits(),
+            o_ours.metrics.random_bits()
         );
     }
 
@@ -264,7 +286,7 @@ mod tests {
         );
         let o = w.run(300_000);
         assert!(o.formed, "deterministic baseline must form from asymmetric: {:?}", o.reason);
-        assert_eq!(o.metrics.random_bits, 0, "it must not consume randomness");
+        assert_eq!(o.metrics.random_bits(), 0, "it must not consume randomness");
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn bench_formation(c: &mut Criterion) {
                 .unwrap();
                 let o = world.run(2_000_000);
                 assert!(o.formed);
-                o.metrics.cycles
+                o.metrics.cycles()
             })
         });
         group.bench_with_input(BenchmarkId::new("yy_symmetric", n), &n, |b, &n| {
@@ -38,7 +38,7 @@ fn bench_formation(c: &mut Criterion) {
                 );
                 let o = world.run(2_000_000);
                 assert!(o.formed);
-                o.metrics.cycles
+                o.metrics.cycles()
             })
         });
         group.bench_with_input(BenchmarkId::new("ours_asymmetric", n), &n, |b, &n| {
@@ -53,7 +53,7 @@ fn bench_formation(c: &mut Criterion) {
                 .unwrap();
                 let o = world.run(2_000_000);
                 assert!(o.formed);
-                o.metrics.cycles
+                o.metrics.cycles()
             })
         });
     }

@@ -1,7 +1,8 @@
 //! Experiment harness: regenerates every experiment table (E1–E9).
 //!
 //! ```text
-//! harness [--quick] [--jobs N] [--json PATH] [--list] [e1 e2 ... | all]
+//! harness [--quick] [--jobs N] [--json PATH] [--trace-out DIR] [--progress]
+//!         [--list] [e1 e2 ... | all]
 //! ```
 //!
 //! * `--quick` shrinks seed counts and sweeps for CI-speed runs; the
@@ -9,6 +10,9 @@
 //! * `--jobs N` sets the trial engine's worker threads (0 or omitted =
 //!   auto-detect). Output is bit-identical for every `N`.
 //! * `--json PATH` additionally writes the suite as a JSON document.
+//! * `--trace-out DIR` dumps JSONL event traces of failed/outlier trials
+//!   into DIR (inspect/replay them with `apf-cli trace`).
+//! * `--progress` prints a live per-campaign progress line to stderr.
 //! * `--list` prints the experiment registry and exits.
 //!
 //! Unknown experiments or flags are errors (exit code 2) — a typo must not
@@ -19,18 +23,29 @@ use apf_bench::report;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: harness [--quick] [--jobs N] [--json PATH] [--list] [e1 e2 ... | all]";
+const USAGE: &str = "usage: harness [--quick] [--jobs N] [--json PATH] [--trace-out DIR] \
+                     [--progress] [--list] [e1 e2 ... | all]";
 
 struct Options {
     quick: bool,
     jobs: usize,
     json: Option<String>,
+    trace_out: Option<String>,
+    progress: bool,
     list: bool,
     picks: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options { quick: false, jobs: 0, json: None, list: false, picks: Vec::new() };
+    let mut opts = Options {
+        quick: false,
+        jobs: 0,
+        json: None,
+        trace_out: None,
+        progress: false,
+        list: false,
+        picks: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -51,6 +66,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.jobs = v.parse().map_err(|_| format!("invalid --jobs value: {v}"))?;
             }
             "--json" => opts.json = Some(value("--json")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--progress" => opts.progress = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -94,7 +111,14 @@ fn main() -> ExitCode {
         }
     }
 
-    let ctx = ExpCtx { quick: opts.quick, jobs: opts.jobs };
+    let trace_out = opts.trace_out.as_ref().map(std::path::PathBuf::from);
+    if let Some(dir) = &trace_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create --trace-out dir {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    let ctx = ExpCtx { quick: opts.quick, jobs: opts.jobs, trace_out, progress: opts.progress };
     let jobs = ctx.engine().effective_jobs();
     println!(
         "APF experiment harness ({} mode, {} worker{}) — experiments: {}",

@@ -33,7 +33,11 @@ use apf_core::{validate_instance, BuildError, FormPattern};
 use apf_geometry::{Point, Tol};
 use apf_scheduler::{AsyncConfig, SchedulerKind};
 use apf_sim::{RobotAlgorithm, World, WorldConfig};
+use apf_trace::{HashSink, JsonlSink, PhaseKind, TraceSink};
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Trials per work-queue chunk. Fixed (never derived from the worker count)
@@ -253,6 +257,129 @@ impl RunSpec {
     pub fn run(&self) -> RunResult {
         self.try_run().expect("experiment instance must be valid")
     }
+
+    /// Runs the trial with a trace sink installed on the world.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when validation rejects the instance.
+    pub fn try_run_with_sink(&self, sink: Box<dyn TraceSink>) -> Result<RunResult, BuildError> {
+        let mut world = self.build_world()?;
+        world.set_sink(sink);
+        Ok(world.run(self.budget).into())
+    }
+
+    /// Re-runs the trial streaming its full event trace as JSONL into
+    /// `writer` (at most `limit` events; use [`TRACE_EVENT_LIMIT`] for the
+    /// harness default). Because trials are deterministic in their spec,
+    /// running a spec traced reproduces the untraced run event for event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when validation rejects the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tracing thread panicked while holding the sink lock
+    /// (cannot happen: the sink is only used from this call).
+    pub fn run_traced<W: Write + Send + 'static>(
+        &self,
+        writer: W,
+        limit: u64,
+    ) -> Result<TracedRun<W>, BuildError> {
+        let mut world = self.build_world()?;
+        let shared = Arc::new(Mutex::new(JsonlSink::with_limit(writer, limit)));
+        world.set_sink(Box::new(Arc::clone(&shared)));
+        let result: RunResult = world.run(self.budget).into();
+        drop(world); // releases the world's handle; `shared` is now unique
+        let sink = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| unreachable!("world dropped its sink handle"))
+            .into_inner()
+            .expect("trace sink lock poisoned");
+        Ok(TracedRun {
+            result,
+            events: sink.written(),
+            truncated: sink.truncated(),
+            io_error: sink.io_error(),
+            writer: sink.into_inner(),
+        })
+    }
+}
+
+/// Default per-trace event cap for harness-written JSONL dumps: enough for
+/// any formed trial, bounded for budget-exhausted ones (~20 MB of JSONL).
+pub const TRACE_EVENT_LIMIT: u64 = 250_000;
+
+/// The outcome of [`RunSpec::run_traced`]: the trial result plus the trace
+/// accounting and the recovered writer.
+#[derive(Debug)]
+pub struct TracedRun<W> {
+    /// The trial's distilled result (identical to an untraced run).
+    pub result: RunResult,
+    /// Events written to the JSONL stream.
+    pub events: u64,
+    /// Whether the event cap cut the stream short.
+    pub truncated: bool,
+    /// The first I/O error the sink hit, if any.
+    pub io_error: Option<std::io::ErrorKind>,
+    /// The writer, flushed and returned.
+    pub writer: W,
+}
+
+/// Re-runs and dumps JSONL traces of a campaign's *failed* and *outlier*
+/// trials into `dir` (`<campaign>-trial<idx>-failed.jsonl` /
+/// `-outlier.jsonl`), at most `max_traces` files. An outlier is a formed
+/// trial needing more than 4× the median cycles of formed trials.
+///
+/// `results` must be the campaign's per-trial results in trial order (run
+/// the engine with [`Engine::collect_results`]).
+///
+/// # Errors
+///
+/// Returns the first filesystem or trace-stream I/O error.
+///
+/// # Panics
+///
+/// Panics if a spec's instance is invalid (it already ran once to produce
+/// `results`).
+pub fn trace_failures(
+    campaign: &Campaign,
+    results: &[RunResult],
+    dir: &Path,
+    max_traces: usize,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut formed_cycles: Vec<u64> =
+        results.iter().filter(|r| r.formed).map(|r| r.cycles).collect();
+    formed_cycles.sort_unstable();
+    let median = formed_cycles.get(formed_cycles.len() / 2).copied().unwrap_or(0);
+    let slug: String =
+        campaign.name().chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+
+    let mut written = Vec::new();
+    for (idx, (spec, result)) in campaign.specs().iter().zip(results).enumerate() {
+        if written.len() >= max_traces {
+            break;
+        }
+        let label = if !result.formed {
+            "failed"
+        } else if median > 0 && result.cycles > 4 * median {
+            "outlier"
+        } else {
+            continue;
+        };
+        let path = dir.join(format!("{slug}-trial{idx}-{label}.jsonl"));
+        let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        let traced = spec
+            .run_traced(file, TRACE_EVENT_LIMIT)
+            .expect("spec already ran once; it must still build");
+        if let Some(kind) = traced.io_error {
+            return Err(std::io::Error::new(kind, format!("writing {}", path.display())));
+        }
+        traced.writer.into_inner().map_err(std::io::IntoInnerError::into_error)?;
+        written.push(path);
+    }
+    Ok(written)
 }
 
 /// An explicit list of trials sharing a campaign seed.
@@ -484,6 +611,8 @@ pub struct StreamingAggregate {
     distance: Welford,
     total_cycles: f64,
     total_bits: f64,
+    phase_cycles: [f64; PhaseKind::COUNT],
+    phase_bits: [f64; PhaseKind::COUNT],
     cycle_percentiles: PercentileBuffer,
 }
 
@@ -504,6 +633,8 @@ impl StreamingAggregate {
             distance: Welford::default(),
             total_cycles: 0.0,
             total_bits: 0.0,
+            phase_cycles: [0.0; PhaseKind::COUNT],
+            phase_bits: [0.0; PhaseKind::COUNT],
             cycle_percentiles: PercentileBuffer::new(cap),
         }
     }
@@ -519,6 +650,10 @@ impl StreamingAggregate {
             self.distance.push(r.distance);
             self.total_cycles += r.cycles as f64;
             self.total_bits += r.bits as f64;
+            for i in 0..PhaseKind::COUNT {
+                self.phase_cycles[i] += r.phase_cycles[i] as f64;
+                self.phase_bits[i] += r.phase_bits[i] as f64;
+            }
             self.cycle_percentiles.push(r.cycles as f64);
         }
     }
@@ -532,6 +667,10 @@ impl StreamingAggregate {
         self.distance.merge(&other.distance);
         self.total_cycles += other.total_cycles;
         self.total_bits += other.total_bits;
+        for i in 0..PhaseKind::COUNT {
+            self.phase_cycles[i] += other.phase_cycles[i];
+            self.phase_bits[i] += other.phase_bits[i];
+        }
         self.cycle_percentiles.merge(&other.cycle_percentiles);
     }
 
@@ -560,6 +699,25 @@ impl StreamingAggregate {
         &self.distance
     }
 
+    /// Total cycles successful runs spent in `kind`.
+    pub fn phase_cycles_total(&self, kind: PhaseKind) -> f64 {
+        self.phase_cycles[kind.index()]
+    }
+
+    /// Total random bits successful runs drew in `kind`.
+    pub fn phase_bits_total(&self, kind: PhaseKind) -> f64 {
+        self.phase_bits[kind.index()]
+    }
+
+    /// Per-phase `(kind, cycles, bits)` totals over successful runs, for
+    /// phases that actually occurred.
+    pub fn phase_summary(&self) -> impl Iterator<Item = (PhaseKind, f64, f64)> + '_ {
+        PhaseKind::ALL
+            .into_iter()
+            .map(|k| (k, self.phase_cycles[k.index()], self.phase_bits[k.index()]))
+            .filter(|&(_, c, b)| c > 0.0 || b > 0.0)
+    }
+
     /// The classic [`Aggregate`] view of this accumulator.
     pub fn to_aggregate(&self) -> Aggregate {
         Aggregate {
@@ -578,6 +736,15 @@ impl StreamingAggregate {
     }
 }
 
+/// One worker thread's execution accounting for a campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Trials this worker executed.
+    pub trials: usize,
+    /// Time this worker spent inside trials (excludes queue idling).
+    pub busy: Duration,
+}
+
 /// A campaign's merged outcome plus throughput accounting.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
@@ -592,6 +759,14 @@ pub struct CampaignReport {
     /// Per-trial results in trial order (only with
     /// [`Engine::collect_results`]).
     pub results: Option<Vec<RunResult>>,
+    /// Per-trial trace digests in trial order (only with
+    /// [`Engine::trace_digests`]).
+    pub digests: Option<Vec<u64>>,
+    /// Per-worker busy time and trial counts (timing-noisy; never part of
+    /// the deterministic output).
+    pub workers: Vec<WorkerStats>,
+    /// The slowest single trial: `(trial index, wall time)`.
+    pub longest_trial: Option<(usize, Duration)>,
     /// Wall-clock time of the whole campaign.
     pub wall: Duration,
 }
@@ -611,6 +786,17 @@ impl CampaignReport {
             self.trials as f64 / s
         }
     }
+
+    /// Fraction of worker wall-clock spent inside trials (1.0 = perfectly
+    /// load-balanced, no idle tails).
+    pub fn utilization(&self) -> f64 {
+        let budget = self.wall.as_secs_f64() * self.workers.len() as f64;
+        if budget == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.workers.iter().map(|w| w.busy.as_secs_f64()).sum();
+        (busy / budget).min(1.0)
+    }
 }
 
 /// The parallel executor. Construct once, reuse for many campaigns.
@@ -618,6 +804,8 @@ impl CampaignReport {
 pub struct Engine {
     jobs: usize,
     collect: bool,
+    digests: bool,
+    progress: bool,
     percentile_cap: usize,
 }
 
@@ -631,7 +819,7 @@ impl Engine {
     /// An engine using every available core.
     pub fn new() -> Self {
         let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Engine { jobs, collect: false, percentile_cap: 1 << 16 }
+        Engine { jobs, collect: false, digests: false, progress: false, percentile_cap: 1 << 16 }
     }
 
     /// Sets the worker count (0 = auto-detect).
@@ -662,6 +850,21 @@ impl Engine {
         self
     }
 
+    /// Also records a per-trial FNV digest of each trial's serialized event
+    /// stream (in trial order). Two campaign runs produce equal digest
+    /// vectors iff every trial's *trace*, not just its result, is
+    /// bit-identical — the determinism check for any `--jobs` value.
+    pub fn trace_digests(mut self, on: bool) -> Self {
+        self.digests = on;
+        self
+    }
+
+    /// Prints a live progress line to stderr while the campaign runs.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
     /// Runs every trial of `campaign` and merges the outcome.
     ///
     /// The result — including every floating-point digit of the merged
@@ -678,18 +881,26 @@ impl Engine {
         let nchunks = n.div_ceil(CHUNK);
         let workers = self.jobs.min(nchunks.max(1)).max(1);
         let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
         let t0 = Instant::now();
 
-        type ChunkOut = (usize, StreamingAggregate, Vec<RunResult>);
-        let mut chunks: Vec<Option<(StreamingAggregate, Vec<RunResult>)>> = Vec::new();
+        type ChunkData = (StreamingAggregate, Vec<RunResult>, Vec<u64>);
+        type ChunkOut = (usize, ChunkData);
+        type WorkerOut = (Vec<ChunkOut>, WorkerStats, Option<(usize, Duration)>);
+        let mut chunks: Vec<Option<ChunkData>> = Vec::new();
         chunks.resize_with(nchunks, || None);
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        let mut longest_trial: Option<(usize, Duration)> = None;
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
-                    scope.spawn(move || {
+                    let done = &done;
+                    scope.spawn(move || -> WorkerOut {
                         let mut out: Vec<ChunkOut> = Vec::new();
+                        let mut stats = WorkerStats::default();
+                        let mut longest: Option<(usize, Duration)> = None;
                         loop {
                             let c = cursor.fetch_add(1, Ordering::Relaxed);
                             if c >= nchunks {
@@ -700,33 +911,86 @@ impl Engine {
                             let mut agg = StreamingAggregate::with_capacity(self.percentile_cap);
                             let mut results =
                                 if self.collect { Vec::with_capacity(hi - lo) } else { Vec::new() };
-                            for spec in &specs[lo..hi] {
-                                let r = spec.run();
+                            let mut digests =
+                                if self.digests { Vec::with_capacity(hi - lo) } else { Vec::new() };
+                            for (off, spec) in specs[lo..hi].iter().enumerate() {
+                                let t_trial = Instant::now();
+                                let r = if self.digests {
+                                    let sink = HashSink::new();
+                                    let probe = sink.probe();
+                                    let r = spec
+                                        .try_run_with_sink(Box::new(sink))
+                                        .expect("experiment instance must be valid");
+                                    digests.push(probe.digest());
+                                    r
+                                } else {
+                                    spec.run()
+                                };
+                                let dt = t_trial.elapsed();
+                                stats.trials += 1;
+                                stats.busy += dt;
+                                if longest.is_none_or(|(_, best)| dt > best) {
+                                    longest = Some((lo + off, dt));
+                                }
                                 agg.push(&r);
                                 if self.collect {
                                     results.push(r);
                                 }
+                                done.fetch_add(1, Ordering::Relaxed);
                             }
-                            out.push((c, agg, results));
+                            out.push((c, (agg, results, digests)));
                         }
-                        out
+                        (out, stats, longest)
                     })
                 })
                 .collect();
+
+            if self.progress {
+                let done = &done;
+                let name = campaign.name();
+                scope.spawn(move || loop {
+                    let d = done.load(Ordering::Relaxed);
+                    let s = t0.elapsed().as_secs_f64();
+                    let rate = if s > 0.0 { d as f64 / s } else { 0.0 };
+                    eprint!(
+                        "\r[{name}] {d}/{n} trials ({:.0}%) {:.1}/s  ",
+                        100.0 * d as f64 / n.max(1) as f64,
+                        rate
+                    );
+                    if d >= n {
+                        eprintln!();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                });
+            }
+
             for handle in handles {
-                for (c, agg, results) in handle.join().expect("engine worker panicked") {
-                    chunks[c] = Some((agg, results));
+                let (chunk_outs, stats, longest) = handle.join().expect("engine worker panicked");
+                for (c, data) in chunk_outs {
+                    chunks[c] = Some(data);
+                }
+                worker_stats.push(stats);
+                if let Some((idx, dt)) = longest {
+                    if longest_trial.is_none_or(|(_, best)| dt > best) {
+                        longest_trial = Some((idx, dt));
+                    }
                 }
             }
         });
 
         let mut stats = StreamingAggregate::with_capacity(self.percentile_cap);
         let mut results = self.collect.then(|| Vec::with_capacity(n));
+        let mut digests = self.digests.then(|| Vec::with_capacity(n));
         for slot in chunks {
-            let (agg, chunk_results) = slot.expect("every chunk must be claimed by a worker");
+            let (agg, chunk_results, chunk_digests) =
+                slot.expect("every chunk must be claimed by a worker");
             stats.merge(&agg);
             if let Some(all) = results.as_mut() {
                 all.extend(chunk_results);
+            }
+            if let Some(all) = digests.as_mut() {
+                all.extend(chunk_digests);
             }
         }
 
@@ -736,6 +1000,9 @@ impl Engine {
             jobs: workers,
             stats,
             results,
+            digests,
+            workers: worker_stats,
+            longest_trial,
             wall: t0.elapsed(),
         }
     }
@@ -747,7 +1014,7 @@ mod tests {
     use apf_scheduler::SchedulerKind;
 
     fn result(formed: bool, cycles: u64, bits: u64) -> RunResult {
-        RunResult { formed, steps: 0, cycles, bits, distance: cycles as f64 * 0.5 }
+        RunResult { formed, cycles, bits, distance: cycles as f64 * 0.5, ..RunResult::default() }
     }
 
     #[test]

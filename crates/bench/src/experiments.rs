@@ -9,26 +9,39 @@
 //! seeded by the **trial index** (stable across campaign seeds); world/
 //! scheduler randomness comes from the campaign-derived per-trial seed.
 
-use crate::engine::{AlgorithmSpec, Campaign, Engine, RunSpec};
-use crate::report::ExperimentReport;
+use crate::engine::{trace_failures, AlgorithmSpec, Campaign, Engine, RunSpec};
+use crate::report::{ExperimentReport, PhaseLine};
 use crate::Aggregate;
 use apf_geometry::{Configuration, Tol};
 use apf_scheduler::{AsyncConfig, SchedulerKind};
+use apf_trace::PhaseKind;
+use std::path::PathBuf;
 use std::time::Instant;
 
+/// Traces dumped per campaign (row) under `--trace-out`: enough to debug a
+/// failure mode without re-tracing an entire sweep.
+const MAX_TRACES_PER_ROW: usize = 2;
+
 /// Shared experiment context: CI-speed mode plus the engine's worker count.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct ExpCtx {
     /// Shrink seeds/sizes for CI-speed runs.
     pub quick: bool,
     /// Engine worker threads (0 = auto-detect).
     pub jobs: usize,
+    /// Dump JSONL traces of failed/outlier trials into this directory.
+    pub trace_out: Option<PathBuf>,
+    /// Print a live per-campaign progress line to stderr.
+    pub progress: bool,
 }
 
 impl ExpCtx {
     /// The engine every experiment runs on.
     pub fn engine(&self) -> Engine {
-        Engine::new().jobs(self.jobs)
+        Engine::new()
+            .jobs(self.jobs)
+            .progress(self.progress)
+            .collect_results(self.trace_out.is_some())
     }
 
     fn seeds(&self, full: u64) -> u64 {
@@ -36,6 +49,79 @@ impl ExpCtx {
             8.min(full)
         } else {
             full
+        }
+    }
+}
+
+/// Per-experiment accounting shared by every table row: trial totals, the
+/// per-phase cycle/bit breakdown, and `--trace-out` trace dumping.
+struct Rows {
+    engine: Engine,
+    trace_out: Option<PathBuf>,
+    trials: usize,
+    phase_cycles: [f64; PhaseKind::COUNT],
+    phase_bits: [f64; PhaseKind::COUNT],
+    traces: Vec<String>,
+}
+
+impl Rows {
+    fn new(ctx: &ExpCtx) -> Self {
+        Rows {
+            engine: ctx.engine(),
+            trace_out: ctx.trace_out.clone(),
+            trials: 0,
+            phase_cycles: [0.0; PhaseKind::COUNT],
+            phase_bits: [0.0; PhaseKind::COUNT],
+            traces: Vec::new(),
+        }
+    }
+
+    /// Runs one campaign (one table row) and folds it into the accounting.
+    fn row(&mut self, campaign: &Campaign) -> Aggregate {
+        let report = self.engine.run(campaign);
+        self.trials += report.trials;
+        for kind in PhaseKind::ALL {
+            self.phase_cycles[kind.index()] += report.stats.phase_cycles_total(kind);
+            self.phase_bits[kind.index()] += report.stats.phase_bits_total(kind);
+        }
+        if let (Some(dir), Some(results)) = (&self.trace_out, &report.results) {
+            match trace_failures(campaign, results, dir, MAX_TRACES_PER_ROW) {
+                Ok(paths) => {
+                    self.traces.extend(paths.iter().map(|p| p.display().to_string()));
+                }
+                Err(e) => eprintln!("warning: cannot write traces for {}: {e}", campaign.name()),
+            }
+        }
+        report.aggregate()
+    }
+
+    /// Finishes the experiment's report.
+    fn report(
+        self,
+        id: &str,
+        title: &str,
+        header: &[&str],
+        rows: Vec<Vec<String>>,
+        t0: Instant,
+    ) -> ExperimentReport {
+        let phases = PhaseKind::ALL
+            .into_iter()
+            .filter(|k| self.phase_cycles[k.index()] > 0.0 || self.phase_bits[k.index()] > 0.0)
+            .map(|k| PhaseLine {
+                label: k.label().to_string(),
+                cycles: self.phase_cycles[k.index()],
+                bits: self.phase_bits[k.index()],
+            })
+            .collect();
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows,
+            trials: self.trials,
+            wall_s: t0.elapsed().as_secs_f64(),
+            phases,
+            traces: self.traces,
         }
     }
 }
@@ -61,22 +147,14 @@ pub fn find(id: &str) -> Option<ExpFn> {
     REGISTRY.iter().find(|(name, _, _)| *name == id).map(|&(_, _, f)| f)
 }
 
-/// Runs one campaign and folds it into the row/trial accounting.
-fn run_row(engine: &Engine, campaign: &Campaign, trials: &mut usize) -> Aggregate {
-    let report = engine.run(campaign);
-    *trials += report.trials;
-    report.aggregate()
-}
-
 /// E1 — Election terminates with probability 1 (Lemmas 1–2): cycles to
 /// completion from worst-case symmetric configurations, sweeping `n`.
 pub fn e1(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
-    let engine = ctx.engine();
+    let mut rr = Rows::new(ctx);
     let sizes: &[(usize, usize)] =
         if ctx.quick { &[(8, 4), (12, 4)] } else { &[(8, 2), (8, 4), (12, 4), (16, 4), (20, 4)] };
     let mut rows = Vec::new();
-    let mut trials = 0;
     for &(n, rho) in sizes {
         let mut c = Campaign::new(format!("e1 n={n} rho={rho}"), 1);
         c.add_trials(ctx.seeds(16), |i, _seed| {
@@ -87,7 +165,7 @@ pub fn e1(ctx: &ExpCtx) -> ExperimentReport {
             .scheduler(SchedulerKind::RoundRobin)
             .budget(2_000_000)
         });
-        let a = run_row(&engine, &c, &mut trials);
+        let a = rr.row(&c);
         rows.push(vec![
             n.to_string(),
             rho.to_string(),
@@ -98,25 +176,20 @@ pub fn e1(ctx: &ExpCtx) -> ExperimentReport {
             format!("{:.1}", a.mean_bits),
         ]);
     }
-    ExperimentReport {
-        id: "e1".into(),
-        title: "E1: formation from symmetric configs (election path), probability-1 termination"
-            .into(),
-        header: ["n", "rho(I)", "success", "mean cyc", "med cyc", "p95 cyc", "mean bits"]
-            .map(String::from)
-            .to_vec(),
+    rr.report(
+        "e1",
+        "E1: formation from symmetric configs (election path), probability-1 termination",
+        &["n", "rho(I)", "success", "mean cyc", "med cyc", "p95 cyc", "mean bits"],
         rows,
-        trials,
-        wall_s: t0.elapsed().as_secs_f64(),
-    }
+        t0,
+    )
 }
 
 /// E2 — Randomness budget: 1 bit/cycle (ours) vs continuous draws (YY-style).
 pub fn e2(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
-    let engine = ctx.engine();
+    let mut rr = Rows::new(ctx);
     let mut rows = Vec::new();
-    let mut trials = 0;
     for &n in if ctx.quick { &[8usize, 12][..] } else { &[8usize, 12, 16, 24][..] } {
         let rho = if n % 4 == 0 { 4 } else { 3 };
         let spec = |i: u64| {
@@ -131,8 +204,8 @@ pub fn e2(ctx: &ExpCtx) -> ExperimentReport {
         ours.add_trials(ctx.seeds(16), |i, _| spec(i));
         let mut yy = Campaign::new(format!("e2 yy n={n}"), 2);
         yy.add_trials(ctx.seeds(16), |i, _| spec(i).algorithm(AlgorithmSpec::YyStyle));
-        let ao = run_row(&engine, &ours, &mut trials);
-        let ay = run_row(&engine, &yy, &mut trials);
+        let ao = rr.row(&ours);
+        let ay = rr.row(&yy);
         rows.push(vec![
             n.to_string(),
             format!("{:.2}", ao.success),
@@ -147,26 +220,20 @@ pub fn e2(ctx: &ExpCtx) -> ExperimentReport {
             ),
         ]);
     }
-    ExperimentReport {
-        id: "e2".into(),
-        title:
-            "E2: random bits — ours (1 bit/active election cycle) vs YY-style (64-bit continuous draws)"
-                .into(),
-        header: ["n", "ours ok", "ours bits", "ours b/cyc", "yy ok", "yy bits", "yy b/cyc", "ratio"]
-            .map(String::from)
-            .to_vec(),
+    rr.report(
+        "e2",
+        "E2: random bits — ours (1 bit/active election cycle) vs YY-style (64-bit continuous draws)",
+        &["n", "ours ok", "ours bits", "ours b/cyc", "yy ok", "yy bits", "yy b/cyc", "ratio"],
         rows,
-        trials,
-        wall_s: t0.elapsed().as_secs_f64(),
-    }
+        t0,
+    )
 }
 
 /// E3 — Theorem 2: any pattern from any configuration, across schedulers.
 pub fn e3(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
-    let engine = ctx.engine();
+    let mut rr = Rows::new(ctx);
     let mut rows = Vec::new();
-    let mut trials = 0;
     let kinds = [
         SchedulerKind::Fsync,
         SchedulerKind::Ssync,
@@ -190,7 +257,7 @@ pub fn e3(ctx: &ExpCtx) -> ExperimentReport {
                     .scheduler(kind)
                     .budget(600_000)
             });
-            let a = run_row(&engine, &c, &mut trials);
+            let a = rr.row(&c);
             rows.push(vec![
                 kind.to_string(),
                 n.to_string(),
@@ -201,24 +268,20 @@ pub fn e3(ctx: &ExpCtx) -> ExperimentReport {
             ]);
         }
     }
-    ExperimentReport {
-        id: "e3".into(),
-        title: "E3: arbitrary pattern formation across execution models (Theorem 2)".into(),
-        header: ["scheduler", "n", "sym", "success", "mean cyc", "p95 cyc"]
-            .map(String::from)
-            .to_vec(),
+    rr.report(
+        "e3",
+        "E3: arbitrary pattern formation across execution models (Theorem 2)",
+        &["scheduler", "n", "sym", "success", "mean cyc", "p95 cyc"],
         rows,
-        trials,
-        wall_s: t0.elapsed().as_secs_f64(),
-    }
+        t0,
+    )
 }
 
 /// E4 — Full asynchrony with pauses and tiny δ (non-rigid movement).
 pub fn e4(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
-    let engine = ctx.engine();
+    let mut rr = Rows::new(ctx);
     let mut rows = Vec::new();
-    let mut trials = 0;
     let deltas: &[f64] = if ctx.quick { &[1e-1, 1e-3] } else { &[1.0, 1e-1, 1e-2, 1e-3, 1e-4] };
     for &delta in deltas {
         let mut c = Campaign::new(format!("e4 delta={delta:.0e}"), 4);
@@ -231,7 +294,7 @@ pub fn e4(ctx: &ExpCtx) -> ExperimentReport {
             .delta(delta)
             .budget(1_000_000)
         });
-        let a = run_row(&engine, &c, &mut trials);
+        let a = rr.row(&c);
         rows.push(vec![
             format!("{delta:.0e}"),
             format!("{:.2}", a.success),
@@ -240,23 +303,21 @@ pub fn e4(ctx: &ExpCtx) -> ExperimentReport {
             format!("{:.1}", a.mean_bits),
         ]);
     }
-    ExperimentReport {
-        id: "e4".into(),
-        title: "E4: ASYNC adversary with pauses, sweeping the minimum-progress δ".into(),
-        header: ["delta", "success", "mean cyc", "p95 cyc", "mean bits"].map(String::from).to_vec(),
+    rr.report(
+        "e4",
+        "E4: ASYNC adversary with pauses, sweeping the minimum-progress δ",
+        &["delta", "success", "mean cyc", "p95 cyc", "mean bits"],
         rows,
-        trials,
-        wall_s: t0.elapsed().as_secs_f64(),
-    }
+        t0,
+    )
 }
 
 /// E5 — Chirality independence: random per-robot handedness vs a shared
 /// global frame; identical success for ours.
 pub fn e5(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
-    let engine = ctx.engine();
+    let mut rr = Rows::new(ctx);
     let mut rows = Vec::new();
-    let mut trials = 0;
     for (label, randomize) in [("shared frame", false), ("random chirality", true)] {
         for &sym in &[false, true] {
             let mut c = Campaign::new(format!("e5 {label} sym={sym}"), 5);
@@ -271,7 +332,7 @@ pub fn e5(ctx: &ExpCtx) -> ExperimentReport {
                     .randomize_frames(randomize)
                     .budget(2_000_000)
             });
-            let a = run_row(&engine, &c, &mut trials);
+            let a = rr.row(&c);
             rows.push(vec![
                 label.to_string(),
                 if sym { "ρ=4".into() } else { "ρ=1".to_string() },
@@ -280,24 +341,21 @@ pub fn e5(ctx: &ExpCtx) -> ExperimentReport {
             ]);
         }
     }
-    ExperimentReport {
-        id: "e5".into(),
-        title: "E5: no chirality assumption — identical success with mirrored/rotated frames"
-            .into(),
-        header: ["frames", "sym", "success", "mean cyc"].map(String::from).to_vec(),
+    rr.report(
+        "e5",
+        "E5: no chirality assumption — identical success with mirrored/rotated frames",
+        &["frames", "sym", "success", "mean cyc"],
         rows,
-        trials,
-        wall_s: t0.elapsed().as_secs_f64(),
-    }
+        t0,
+    )
 }
 
 /// E6 — Forming patterns with `ρ(I) ∤ ρ(F)`: impossible deterministically,
 /// done by the randomized algorithm.
 pub fn e6(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
-    let engine = ctx.engine();
+    let mut rr = Rows::new(ctx);
     let mut rows = Vec::new();
-    let mut trials = 0;
     for &(n, rho) in if ctx.quick {
         &[(8usize, 4usize)][..]
     } else {
@@ -316,8 +374,8 @@ pub fn e6(ctx: &ExpCtx) -> ExperimentReport {
             // It stalls by design; a short budget proves it.
             spec(i).algorithm(AlgorithmSpec::Deterministic).budget(5_000)
         });
-        let ao = run_row(&engine, &ours, &mut trials);
-        let ad = run_row(&engine, &det, &mut trials);
+        let ao = rr.row(&ours);
+        let ad = rr.row(&det);
         rows.push(vec![
             n.to_string(),
             rho.to_string(),
@@ -326,24 +384,20 @@ pub fn e6(ctx: &ExpCtx) -> ExperimentReport {
             format!("{:.2}", ad.success),
         ]);
     }
-    ExperimentReport {
-        id: "e6".into(),
-        title: "E6: ρ(I) ∤ ρ(F) instances — randomized succeeds, deterministic cannot".into(),
-        header: ["n", "rho(I)", "rho(F)", "ours success", "deterministic success"]
-            .map(String::from)
-            .to_vec(),
+    rr.report(
+        "e6",
+        "E6: ρ(I) ∤ ρ(F) instances — randomized succeeds, deterministic cannot",
+        &["n", "rho(I)", "rho(F)", "ours success", "deterministic success"],
         rows,
-        trials,
-        wall_s: t0.elapsed().as_secs_f64(),
-    }
+        t0,
+    )
 }
 
 /// E7 — Patterns with multiplicity points (Section 5 / Appendix C).
 pub fn e7(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
-    let engine = ctx.engine();
+    let mut rr = Rows::new(ctx);
     let mut rows = Vec::new();
-    let mut trials = 0;
     let cases: &[(usize, usize, bool)] = if ctx.quick {
         &[(8, 6, false), (8, 6, true)]
     } else {
@@ -370,7 +424,7 @@ pub fn e7(ctx: &ExpCtx) -> ExperimentReport {
                 .multiplicity_detection(true)
                 .budget(2_000_000)
         });
-        let a = run_row(&engine, &c, &mut trials);
+        let a = rr.row(&c);
         rows.push(vec![
             n.to_string(),
             distinct.to_string(),
@@ -379,22 +433,20 @@ pub fn e7(ctx: &ExpCtx) -> ExperimentReport {
             format!("{:.0}", a.mean_cycles),
         ]);
     }
-    ExperimentReport {
-        id: "e7".into(),
-        title: "E7: multiplicity-point patterns with multiplicity detection (Appendix C)".into(),
-        header: ["n", "distinct", "center mult", "success", "mean cyc"].map(String::from).to_vec(),
+    rr.report(
+        "e7",
+        "E7: multiplicity-point patterns with multiplicity detection (Appendix C)",
+        &["n", "distinct", "center mult", "success", "mean cyc"],
         rows,
-        trials,
-        wall_s: t0.elapsed().as_secs_f64(),
-    }
+        t0,
+    )
 }
 
 /// E8 — Ablation of the adversary knobs (pause probability, batch size).
 pub fn e8(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
-    let engine = ctx.engine();
+    let mut rr = Rows::new(ctx);
     let mut rows = Vec::new();
-    let mut trials = 0;
     let pauses: &[f64] = if ctx.quick { &[0.0, 0.5] } else { &[0.0, 0.25, 0.5, 0.75, 0.9] };
     for &pause in pauses {
         let mut c = Campaign::new(format!("e8 pause={pause:.2}"), 8);
@@ -407,7 +459,7 @@ pub fn e8(ctx: &ExpCtx) -> ExperimentReport {
             .async_config(AsyncConfig { pause_prob: pause, ..AsyncConfig::default() })
             .budget(3_000_000)
         });
-        let a = run_row(&engine, &c, &mut trials);
+        let a = rr.row(&c);
         rows.push(vec![
             format!("{pause:.2}"),
             format!("{:.2}", a.success),
@@ -415,14 +467,13 @@ pub fn e8(ctx: &ExpCtx) -> ExperimentReport {
             format!("{:.0}", a.p95_cycles),
         ]);
     }
-    ExperimentReport {
-        id: "e8".into(),
-        title: "E8: adversary ablation — pause probability of the ASYNC scheduler".into(),
-        header: ["pause prob", "success", "mean cyc", "p95 cyc"].map(String::from).to_vec(),
+    rr.report(
+        "e8",
+        "E8: adversary ablation — pause probability of the ASYNC scheduler",
+        &["pause prob", "success", "mean cyc", "p95 cyc"],
         rows,
-        trials,
-        wall_s: t0.elapsed().as_secs_f64(),
-    }
+        t0,
+    )
 }
 
 /// E9 — Analysis-kernel scalability: wall time of the geometric kernels.
@@ -476,6 +527,8 @@ pub fn e9(ctx: &ExpCtx) -> ExperimentReport {
         rows,
         trials: 0,
         wall_s: t0.elapsed().as_secs_f64(),
+        phases: Vec::new(),
+        traces: Vec::new(),
     }
 }
 

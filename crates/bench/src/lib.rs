@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod report;
 
 use apf_sim::Outcome;
+use apf_trace::PhaseKind;
 
 /// One simulation run's distilled result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,16 +30,43 @@ pub struct RunResult {
     pub bits: u64,
     /// Total distance traveled.
     pub distance: f64,
+    /// Cycles per algorithm phase (indexed by [`PhaseKind::index`]).
+    pub phase_cycles: [u64; PhaseKind::COUNT],
+    /// Random bits per algorithm phase (indexed by [`PhaseKind::index`]).
+    pub phase_bits: [u64; PhaseKind::COUNT],
+}
+
+impl Default for RunResult {
+    fn default() -> Self {
+        RunResult {
+            formed: false,
+            steps: 0,
+            cycles: 0,
+            bits: 0,
+            distance: 0.0,
+            phase_cycles: [0; PhaseKind::COUNT],
+            phase_bits: [0; PhaseKind::COUNT],
+        }
+    }
 }
 
 impl From<Outcome> for RunResult {
     fn from(o: Outcome) -> Self {
+        let mut phase_cycles = [0u64; PhaseKind::COUNT];
+        let mut phase_bits = [0u64; PhaseKind::COUNT];
+        for kind in PhaseKind::ALL {
+            let pm = o.metrics.phase(kind);
+            phase_cycles[kind.index()] = pm.cycles;
+            phase_bits[kind.index()] = pm.random_bits;
+        }
         RunResult {
             formed: o.formed,
             steps: o.metrics.steps,
-            cycles: o.metrics.cycles,
-            bits: o.metrics.random_bits,
-            distance: o.metrics.distance,
+            cycles: o.metrics.cycles(),
+            bits: o.metrics.random_bits(),
+            distance: o.metrics.distance(),
+            phase_cycles,
+            phase_bits,
         }
     }
 }
@@ -136,7 +164,7 @@ mod tests {
 
     #[test]
     fn aggregate_statistics() {
-        let r = |formed, cycles, bits| RunResult { formed, steps: 0, cycles, bits, distance: 0.0 };
+        let r = |formed, cycles, bits| RunResult { formed, cycles, bits, ..RunResult::default() };
         let a = Aggregate::of(&[r(true, 10, 5), r(true, 30, 15), r(false, 99, 0)]);
         assert_eq!(a.runs, 3);
         assert!((a.success - 2.0 / 3.0).abs() < 1e-12);

@@ -6,6 +6,28 @@
 
 use crate::print_table;
 
+/// One algorithm phase's share of an experiment's successful trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseLine {
+    /// The phase label (e.g. `"rsb-election"`).
+    pub label: String,
+    /// Total LCM cycles spent in this phase.
+    pub cycles: f64,
+    /// Total random bits drawn in this phase.
+    pub bits: f64,
+}
+
+impl PhaseLine {
+    /// Bits per cycle within this phase (0 when no cycles).
+    pub fn bits_per_cycle(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.bits / self.cycles
+        }
+    }
+}
+
 /// One experiment's finished table plus throughput accounting.
 #[derive(Debug, Clone)]
 pub struct ExperimentReport {
@@ -21,6 +43,11 @@ pub struct ExperimentReport {
     pub trials: usize,
     /// Wall-clock seconds for the whole experiment.
     pub wall_s: f64,
+    /// Per-phase cycle/bit totals over every successful trial of the
+    /// experiment (empty for timing-only experiments).
+    pub phases: Vec<PhaseLine>,
+    /// JSONL trace files written for failed/outlier trials (`--trace-out`).
+    pub traces: Vec<String>,
 }
 
 impl ExperimentReport {
@@ -33,10 +60,25 @@ impl ExperimentReport {
         }
     }
 
-    /// Prints the table and a timing footer.
+    /// Prints the table, the per-phase breakdown, and a timing footer.
     pub fn print(&self) {
         let header: Vec<&str> = self.header.iter().map(String::as_str).collect();
         print_table(&self.title, &header, &self.rows);
+        if !self.phases.is_empty() {
+            println!("per-phase (successful trials):");
+            for p in &self.phases {
+                println!(
+                    "  {:<14} cycles {:>12.0}  bits {:>10.0}  bits/cycle {:.3}",
+                    p.label,
+                    p.cycles,
+                    p.bits,
+                    p.bits_per_cycle()
+                );
+            }
+        }
+        for t in &self.traces {
+            println!("trace: {t}");
+        }
         if self.trials > 0 {
             println!(
                 "[{}] {} trials in {:.2}s ({:.1} trials/s)",
@@ -67,7 +109,22 @@ impl ExperimentReport {
         s.push_str("],");
         s.push_str(&format!("\"trials\":{},", self.trials));
         s.push_str(&format!("\"wall_s\":{},", json_f64(self.wall_s)));
-        s.push_str(&format!("\"trials_per_sec\":{}", json_f64(self.trials_per_sec())));
+        s.push_str(&format!("\"trials_per_sec\":{},", json_f64(self.trials_per_sec())));
+        s.push_str("\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"phase\":{},\"cycles\":{},\"bits\":{},\"bits_per_cycle\":{}}}",
+                json_string(&p.label),
+                json_f64(p.cycles),
+                json_f64(p.bits),
+                json_f64(p.bits_per_cycle())
+            ));
+        }
+        s.push_str("],");
+        s.push_str(&format!("\"traces\":{}", json_string_array(&self.traces)));
         s.push('}');
         s
     }
@@ -146,6 +203,8 @@ mod tests {
             rows: vec![vec!["8".into(), "1.00".into()]],
             trials: 16,
             wall_s: 2.0,
+            phases: vec![PhaseLine { label: "rsb-election".into(), cycles: 100.0, bits: 40.0 }],
+            traces: vec!["out/e1-trial0-failed.jsonl".into()],
         }
     }
 
@@ -157,6 +216,15 @@ mod tests {
         assert!(j.contains("\\\"quotes\\\""));
         assert!(j.contains("\"trials\":16"));
         assert!(j.contains("\"trials_per_sec\":8"));
+        assert!(j.contains("\"phases\":[{\"phase\":\"rsb-election\""));
+        assert!(j.contains("\"bits_per_cycle\":0.4"));
+        assert!(j.contains("\"traces\":[\"out/e1-trial0-failed.jsonl\"]"));
+    }
+
+    #[test]
+    fn phase_line_rate_handles_zero_cycles() {
+        let p = PhaseLine { label: "gather".into(), cycles: 0.0, bits: 0.0 };
+        assert_eq!(p.bits_per_cycle(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Campaign-level observability: trace-digest determinism across worker
+//! counts, traced re-runs, and failure-trace dumping.
+
+use apf_bench::engine::{
+    trace_failures, AlgorithmSpec, Campaign, Engine, RunSpec, TRACE_EVENT_LIMIT,
+};
+use apf_scheduler::SchedulerKind;
+use apf_trace::{PhaseKind, TraceSummary};
+
+fn small_campaign() -> Campaign {
+    let mut c = Campaign::new("obs", 11);
+    c.add_trials(6, |i, _seed| {
+        RunSpec::new(
+            apf_patterns::symmetric_configuration(8, 4, 100 + i),
+            apf_patterns::random_pattern(8, 200 + i),
+        )
+        .scheduler(SchedulerKind::RoundRobin)
+        .budget(400_000)
+    });
+    c
+}
+
+/// The per-trial *event streams* — not just the merged statistics — must be
+/// bit-identical for any worker count.
+#[test]
+fn event_stream_digests_identical_across_jobs() {
+    let c = small_campaign();
+    let r1 = Engine::new().jobs(1).trace_digests(true).run(&c);
+    let r4 = Engine::new().jobs(4).trace_digests(true).run(&c);
+    let d1 = r1.digests.expect("digests requested");
+    let d4 = r4.digests.expect("digests requested");
+    assert_eq!(d1.len(), c.len());
+    assert_eq!(d1, d4, "trace digests must not depend on --jobs");
+    assert_eq!(r1.stats, r4.stats, "merged statistics must not depend on --jobs");
+    // Distinct trials must produce distinct streams (distinct seeds).
+    assert!(d1.windows(2).any(|w| w[0] != w[1]) || d1.len() < 2);
+}
+
+/// Tracing a trial must not change its outcome, and the produced JSONL must
+/// replay cleanly with bits/cycle ≤ 1 on the election phase (the paper's
+/// 1-bit claim).
+#[test]
+fn traced_rerun_matches_and_respects_bit_budget() {
+    let spec = RunSpec::new(
+        apf_patterns::symmetric_configuration(8, 4, 100),
+        apf_patterns::random_pattern(8, 200),
+    )
+    .scheduler(SchedulerKind::RoundRobin)
+    .budget(400_000);
+    let plain = spec.run();
+    let traced = spec.run_traced(Vec::new(), TRACE_EVENT_LIMIT).expect("valid spec");
+    assert_eq!(traced.result, plain, "tracing must not perturb the trial");
+    assert!(!traced.truncated);
+    assert!(traced.io_error.is_none());
+
+    let text = String::from_utf8(traced.writer).expect("JSONL is UTF-8");
+    let summary = TraceSummary::from_lines(text.lines()).expect("trace must parse");
+    assert!(summary.is_clean(), "violations: {:?}", summary.violations);
+    assert_eq!(summary.events, traced.events);
+    assert_eq!(summary.cycles, plain.cycles);
+    assert_eq!(summary.bits, plain.bits);
+    assert_eq!(summary.formed, Some(plain.formed));
+    let election = &summary.per_phase[PhaseKind::RsbElection.index()];
+    assert!(election.cycles > 0, "symmetric start must hit the election");
+    assert!(
+        election.bits_per_cycle() <= 1.0,
+        "paper claim: at most 1 bit per election cycle, got {}",
+        election.bits_per_cycle()
+    );
+    assert!(summary.max_election_bits <= 1);
+}
+
+/// `trace_failures` dumps JSONL for failed trials and the dumps parse.
+#[test]
+fn trace_failures_dumps_failed_trials() {
+    let mut c = Campaign::new("det fail", 13);
+    c.add_trials(3, |i, _seed| {
+        RunSpec::new(
+            apf_patterns::symmetric_configuration(8, 4, 300 + i),
+            apf_patterns::random_pattern(8, 400 + i),
+        )
+        .algorithm(AlgorithmSpec::Deterministic)
+        .scheduler(SchedulerKind::RoundRobin)
+        .budget(2_000)
+    });
+    let report = Engine::new().jobs(2).collect_results(true).run(&c);
+    let results = report.results.expect("collection requested");
+    assert!(results.iter().all(|r| !r.formed), "deterministic must stall on symmetric");
+
+    let dir = std::env::temp_dir().join(format!("apf-obs-test-{}", std::process::id()));
+    let written = trace_failures(&c, &results, &dir, 2).expect("traces written");
+    assert_eq!(written.len(), 2, "capped at max_traces");
+    for path in &written {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.ends_with("-failed.jsonl"), "unexpected name {name}");
+        let text = std::fs::read_to_string(path).expect("trace readable");
+        let summary = TraceSummary::from_lines(text.lines()).expect("trace must parse");
+        assert_eq!(summary.formed, Some(false));
+        assert!(summary.is_clean(), "violations: {:?}", summary.violations);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Worker accounting: busy time and trial counts cover the campaign.
+#[test]
+fn worker_stats_cover_all_trials() {
+    let c = small_campaign();
+    let report = Engine::new().jobs(2).run(&c);
+    let counted: usize = report.workers.iter().map(|w| w.trials).sum();
+    assert_eq!(counted, c.len());
+    assert!(report.utilization() > 0.0 && report.utilization() <= 1.0);
+    let (idx, wall) = report.longest_trial.expect("trials ran");
+    assert!(idx < c.len());
+    assert!(wall.as_nanos() > 0);
+}

@@ -25,18 +25,24 @@ use crate::analysis::Analysis;
 use apf_geometry::angle::normalize_angle;
 use apf_geometry::symmetry::ViewAnalysis;
 use apf_geometry::{Configuration, Point, PolarPoint, Tol};
-use apf_sim::{ComputeError, Decision};
+use apf_sim::{ComputeError, Decision, PhaseKind};
 
 pub use phase1::ZFrame;
 
 /// Runs one activation of `ψ_DPF` for the observer, given the selected
 /// robot.
 ///
+/// The returned [`PhaseKind`] names the paper phase that produced the
+/// decision: [`PhaseKind::DpfFrame`] while Phase 1 establishes `Z`,
+/// [`PhaseKind::DpfPopulate`] for Phase 2 and its pre-phases,
+/// [`PhaseKind::DpfRotate`] for Phase 3, and [`PhaseKind::DpfIdle`] when no
+/// phase has work for this robot this cycle.
+///
 /// # Errors
 ///
 /// Returns [`ComputeError`] on configurations that violate the phase
 /// invariants (which would indicate a bug upstream, not a legal input).
-pub fn act(a: &Analysis, rs: usize) -> Result<Decision, ComputeError> {
+pub fn act(a: &Analysis, rs: usize) -> Result<(Decision, PhaseKind), ComputeError> {
     let plan = TargetPlan::new(a, rs)?;
     let dbg = std::env::var_os("APF_DEBUG").is_some();
 
@@ -46,7 +52,7 @@ pub fn act(a: &Analysis, rs: usize) -> Result<Decision, ComputeError> {
             if dbg {
                 eprintln!("[dpf me={} rs={rs}] phase1 acting: {decision:?}", a.me);
             }
-            Ok(decision)
+            Ok((decision, PhaseKind::DpfFrame))
         }
         phase1::FrameStatus::Ready(zf) => {
             // Pre-phase: no robot other than r_max may sit on the zero ray.
@@ -54,30 +60,30 @@ pub fn act(a: &Analysis, rs: usize) -> Result<Decision, ComputeError> {
                 if dbg {
                     eprintln!("[dpf me={} rs={rs}] clear_zero_ray: {d:?}", a.me);
                 }
-                return Ok(d);
+                return Ok((d, PhaseKind::DpfPopulate));
             }
             // Special pre-phase when only two pattern points lie on C(F).
             if let Some(d) = phase2::fix_enclosing_circle(a, rs, &zf, &plan)? {
                 if dbg {
                     eprintln!("[dpf me={} rs={rs}] fix_enclosing_circle: {d:?}", a.me);
                 }
-                return Ok(d);
+                return Ok((d, PhaseKind::DpfPopulate));
             }
             // Phase 2: populate the circles outside-in.
             if let Some(d) = phase2::populate_circles(a, rs, &zf, &plan)? {
                 if dbg {
                     eprintln!("[dpf me={} rs={rs} rmax={}] populate: {d:?}", a.me, zf.rmax);
                 }
-                return Ok(d);
+                return Ok((d, PhaseKind::DpfPopulate));
             }
             // Phase 3: rotate robots to their final positions.
             if let Some(d) = phase3::rotate_to_targets(a, rs, &zf, &plan)? {
                 if dbg {
                     eprintln!("[dpf me={} rs={rs} rmax={}] rotate: {d:?}", a.me, zf.rmax);
                 }
-                return Ok(d);
+                return Ok((d, PhaseKind::DpfRotate));
             }
-            Ok(Decision::Stay)
+            Ok((Decision::Stay, PhaseKind::DpfIdle))
         }
     }
 }

@@ -47,7 +47,7 @@ pub use analysis::Analysis;
 pub use builder::{validate_instance, BuildError, SimulationBuilder};
 
 use apf_geometry::{are_similar, match_up_to_similarity, Path, Point};
-use apf_sim::{BitSource, ComputeError, Decision, RobotAlgorithm, Snapshot};
+use apf_sim::{BitSource, ComputeError, Decision, PhaseKind, RobotAlgorithm, Snapshot};
 
 /// The paper's algorithm as an oblivious robot algorithm.
 ///
@@ -69,6 +69,14 @@ impl RobotAlgorithm for FormPattern {
         snapshot: &Snapshot,
         bits: &mut dyn BitSource,
     ) -> Result<Decision, ComputeError> {
+        self.compute_tagged(snapshot, bits).map(|(decision, _)| decision)
+    }
+
+    fn compute_tagged(
+        &self,
+        snapshot: &Snapshot,
+        bits: &mut dyn BitSource,
+    ) -> Result<(Decision, PhaseKind), ComputeError> {
         let mut a = Analysis::new(snapshot)?;
         if a.n() < 7 {
             return Err(ComputeError::new(format!(
@@ -86,23 +94,23 @@ impl RobotAlgorithm for FormPattern {
 
         // 1. Terminal configuration: stay.
         if are_similar(a.config.points(), &a.pattern, &a.tol) {
-            return Ok(Decision::Stay);
+            return Ok((Decision::Stay, PhaseKind::Terminal));
         }
 
         // 2. Multiplicity extension: relocate center points (F̃) and run the
         //    final gather step when its condition holds.
         match multiplicity::preprocess(&mut a)? {
-            multiplicity::MultiStep::Gather(d) => return Ok(d),
+            multiplicity::MultiStep::Gather(d) => return Ok((d, PhaseKind::Gather)),
             multiplicity::MultiStep::Proceed | multiplicity::MultiStep::Transformed => {}
         }
         // With F̃ swapped in, the terminal check applies to F̃ as well.
         if are_similar(a.config.points(), &a.pattern, &a.tol) {
-            return Ok(Decision::Stay);
+            return Ok((Decision::Stay, PhaseKind::Terminal));
         }
 
         // 3. Completion move: one robot is one move away from finishing.
         if let Some(d) = completion_move(&a)? {
-            return Ok(d);
+            return Ok((d, PhaseKind::Completion));
         }
 
         // 4./5. Symmetry breaking, then deterministic formation.

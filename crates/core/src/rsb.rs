@@ -35,7 +35,7 @@
 use crate::analysis::Analysis;
 use apf_geometry::angle::signed_angle_diff;
 use apf_geometry::{path, Point, PolarPoint};
-use apf_sim::{BitSource, ComputeError, Decision};
+use apf_sim::{BitSource, ComputeError, Decision, PhaseKind};
 
 /// Fraction of the feasible radius the descending robot targets: must leave
 /// it strictly inside `D(l_F/2)` and strictly alone in `D(2|r|)`.
@@ -43,19 +43,29 @@ const SELECTED_RADIUS_FACTOR: f64 = 0.4;
 
 /// Runs one activation of `ψ_RSB` for the observer.
 ///
+/// The returned [`PhaseKind`] names the sub-phase that produced the
+/// decision: [`PhaseKind::RsbShift`] for the shift protocol,
+/// [`PhaseKind::RsbElected`]/[`PhaseKind::RsbElection`] inside `ψ_RSB|Q`,
+/// and [`PhaseKind::RsbAsymmetric`] for the deterministic `ψ_RSB|Qc`
+/// descent. Only the election ever draws randomness — the inspector checks
+/// its cycles against the paper's one-bit bound.
+///
 /// # Errors
 ///
 /// Returns [`ComputeError`] if the configuration is outside every branch's
 /// domain (no regular structure *and* no unique maximal-view robot) — by
 /// Property 1 this cannot happen for valid inputs.
-pub fn select_a_robot(a: &Analysis, bits: &mut dyn BitSource) -> Result<Decision, ComputeError> {
+pub fn select_a_robot(
+    a: &Analysis,
+    bits: &mut dyn BitSource,
+) -> Result<(Decision, PhaseKind), ComputeError> {
     if let Some(shifted) = a.shifted() {
-        return Ok(act_shifted(a, shifted));
+        return Ok((act_shifted(a, shifted), PhaseKind::RsbShift));
     }
     if let Some(regular) = a.regular() {
         return act_regular(a, regular, bits);
     }
-    act_asymmetric(a)
+    Ok((act_asymmetric(a)?, PhaseKind::RsbAsymmetric))
 }
 
 /// The configuration contains an ε-shifted regular set: drive the shift
@@ -154,12 +164,12 @@ fn act_regular(
     a: &Analysis,
     q: &apf_geometry::symmetry::RegularSet,
     bits: &mut dyn BitSource,
-) -> Result<Decision, ComputeError> {
+) -> Result<(Decision, PhaseKind), ComputeError> {
     let tol = &a.tol;
     let c = q.center;
     if !q.indices.contains(&a.me) {
         // Non-members hold still during the election.
-        return Ok(Decision::Stay);
+        return Ok((Decision::Stay, PhaseKind::RsbElection));
     }
     let my_pos = a.my_pos();
     let my_r = my_pos.dist(c);
@@ -174,21 +184,21 @@ fn act_regular(
     if my_r < 0.875 * members_min {
         // I am elected and aware of it: create a 1/8-shifted regular set by
         // moving on my circle toward my angularly nearest neighbor.
-        return Ok(create_shift(a, c));
+        return Ok((create_shift(a, c), PhaseKind::RsbElected));
     }
     if tol.lt(members_min, my_r) {
         // Someone is strictly closer: wait.
-        return Ok(Decision::Stay);
+        return Ok((Decision::Stay, PhaseKind::RsbElection));
     }
     // I am among the closest members: flip the cycle's coin.
     let d = (0..a.n())
         .filter(|&i| !q.indices.contains(&i))
         .map(|i| a.config.point(i).dist(c))
         .fold(f64::INFINITY, f64::min);
-    if bits.bit() {
+    let decision = if bits.bit() {
         // Toward the center by |r|/8.
         let p = path::radial_to(c, my_pos, my_r * (1.0 - 0.125));
-        Ok(Decision::Move(a.denormalize_path(&p)))
+        Decision::Move(a.denormalize_path(&p))
     } else {
         // Away by min((d − |r|)/2, |r|/7) — possibly a null move. Unlike the
         // paper's exact-arithmetic robots, we additionally keep members a
@@ -203,11 +213,12 @@ fn act_regular(
             my_r / 7.0
         };
         if away <= tol.eps {
-            return Ok(Decision::Stay);
+            return Ok((Decision::Stay, PhaseKind::RsbElection));
         }
         let p = path::radial_to(c, my_pos, my_r + away);
-        Ok(Decision::Move(a.denormalize_path(&p)))
-    }
+        Decision::Move(a.denormalize_path(&p))
+    };
+    Ok((decision, PhaseKind::RsbElection))
 }
 
 /// The elected robot moves on its circle by `α_min(P)/8` toward its
@@ -321,7 +332,9 @@ mod tests {
             let a = analysis_for(&pts, me, pattern7());
             assert!(a.regular().is_none() && a.shifted().is_none(), "workload must be in Qc");
             let mut bits = NullBits;
-            match select_a_robot(&a, &mut bits).unwrap() {
+            let (decision, phase) = select_a_robot(&a, &mut bits).unwrap();
+            assert_eq!(phase, PhaseKind::RsbAsymmetric);
+            match decision {
                 Decision::Move(_) => movers += 1,
                 Decision::Stay => {}
             }
@@ -347,7 +360,7 @@ mod tests {
                     return; // done
                 }
                 let mut bits = NullBits;
-                if let Decision::Move(p) = select_a_robot(&a, &mut bits).unwrap() {
+                if let (Decision::Move(p), _) = select_a_robot(&a, &mut bits).unwrap() {
                     // p is in the observer's local frame = global translated
                     // by -current[me]; map destination back to global.
                     let dest = p.destination();
@@ -373,7 +386,8 @@ mod tests {
         let a = analysis_for(&pts, 2, apf_patterns::random_pattern(8, 5));
         assert!(a.regular().is_some());
         let mut bits = CountingBits::new(9);
-        let _ = select_a_robot(&a, &mut bits).unwrap();
+        let (_, phase) = select_a_robot(&a, &mut bits).unwrap();
+        assert_eq!(phase, PhaseKind::RsbElection);
         assert_eq!(bits.bits_drawn(), 1, "one random bit per election cycle");
     }
 
@@ -383,7 +397,7 @@ mod tests {
         for seed in 0..8u64 {
             let a = analysis_for(&pts, 0, apf_patterns::random_pattern(8, 5));
             let mut bits = CountingBits::new(seed);
-            if let Decision::Move(p) = select_a_robot(&a, &mut bits).unwrap() {
+            if let (Decision::Move(p), _) = select_a_robot(&a, &mut bits).unwrap() {
                 // The move must stay on the robot's half-line from the
                 // center: start, end and center are collinear.
                 let start = p.start();
@@ -406,7 +420,8 @@ mod tests {
         let a = analysis_for(&pts, 0, apf_patterns::random_pattern(8, 5));
         assert!(a.regular().is_some(), "radius-perturbed ring keeps its regular set");
         let mut bits = NullBits;
-        let d = select_a_robot(&a, &mut bits).unwrap();
+        let (d, phase) = select_a_robot(&a, &mut bits).unwrap();
+        assert_eq!(phase, PhaseKind::RsbElected);
         match d {
             Decision::Move(p) => {
                 // The move is on the robot's circle: constant distance to the
@@ -445,16 +460,17 @@ mod tests {
         assert!((sh.epsilon - 0.125).abs() < 1e-2, "epsilon = {}", sh.epsilon);
         let mut bits = NullBits;
         match select_a_robot(&a, &mut bits).unwrap() {
-            Decision::Move(p) => {
+            (Decision::Move(p), phase) => {
+                assert_eq!(phase, PhaseKind::RsbShift);
                 let c_local = (Point::ORIGIN - pts[3].to_vector()).to_vector().to_point();
                 assert!((p.destination().dist(c_local) - 0.6).abs() < 1e-6);
             }
-            Decision::Stay => panic!("member must descend"),
+            (Decision::Stay, _) => panic!("member must descend"),
         }
         // The shifted robot itself stays during stage 2.
         let a0 = analysis_for(&pts, 0, pattern.clone());
         let mut bits0 = NullBits;
-        assert_eq!(select_a_robot(&a0, &mut bits0).unwrap(), Decision::Stay);
+        assert_eq!(select_a_robot(&a0, &mut bits0).unwrap().0, Decision::Stay);
 
         // Once everyone is on the same circle, the shifted robot widens the
         // shift toward 1/4.
@@ -465,7 +481,7 @@ mod tests {
         let sh1 = a1.shifted().expect("still shifted");
         assert_eq!(sh1.shifted_robot, 0);
         let mut bits1 = NullBits;
-        match select_a_robot(&a1, &mut bits1).unwrap() {
+        match select_a_robot(&a1, &mut bits1).unwrap().0 {
             Decision::Move(p) => {
                 let c_local = (Point::ORIGIN - pts[0].to_vector()).to_vector().to_point();
                 let r0 = p.start().dist(c_local);

@@ -61,6 +61,17 @@ impl Action {
             Action::Move { robot, .. } => robot,
         }
     }
+
+    /// Whether this is a Look action (used by the engine's step-level trace
+    /// events to split a batch into looks and moves).
+    pub fn is_look(&self) -> bool {
+        matches!(self, Action::Look { .. })
+    }
+
+    /// Whether this is a Move action.
+    pub fn is_move(&self) -> bool {
+        matches!(self, Action::Move { .. })
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +92,13 @@ mod tests {
     fn action_robot_accessor() {
         assert_eq!(Action::Look { robot: 3 }.robot(), 3);
         assert_eq!(Action::Move { robot: 5, distance: 0.1, end_phase: true }.robot(), 5);
+    }
+
+    #[test]
+    fn action_kind_predicates() {
+        let look = Action::Look { robot: 0 };
+        let mv = Action::Move { robot: 0, distance: 0.1, end_phase: false };
+        assert!(look.is_look() && !look.is_move());
+        assert!(mv.is_move() && !mv.is_look());
     }
 }

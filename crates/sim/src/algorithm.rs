@@ -2,6 +2,7 @@
 
 use crate::snapshot::Snapshot;
 use apf_geometry::Path;
+use apf_trace::PhaseKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -133,6 +134,28 @@ pub trait RobotAlgorithm {
         snapshot: &Snapshot,
         bits: &mut dyn BitSource,
     ) -> Result<Decision, ComputeError>;
+
+    /// Like [`RobotAlgorithm::compute`], additionally tagging the decision
+    /// with the algorithm phase that produced it (for per-phase metrics and
+    /// tracing). The default tags everything [`PhaseKind::Untagged`].
+    ///
+    /// Implementations overriding this must keep `compute` behaviorally
+    /// identical (same decisions, same randomness draws) — the engine uses
+    /// `compute_tagged` for real cycles and `compute` for side-effect-free
+    /// probes, and the two must agree. The easiest way is to put the logic
+    /// here and delegate `compute` to `self.compute_tagged(..).map(|(d, _)| d)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComputeError`] when the snapshot violates the algorithm's
+    /// documented preconditions.
+    fn compute_tagged(
+        &self,
+        snapshot: &Snapshot,
+        bits: &mut dyn BitSource,
+    ) -> Result<(Decision, PhaseKind), ComputeError> {
+        Ok((self.compute(snapshot, bits)?, PhaseKind::Untagged))
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;

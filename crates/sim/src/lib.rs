@@ -30,9 +30,14 @@ pub mod snapshot;
 pub mod world;
 
 pub use algorithm::{BitSource, ComputeError, CountingBits, Decision, NullBits, RobotAlgorithm};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, PhaseMetrics};
 pub use snapshot::Snapshot;
 pub use world::{Outcome, StopReason, World, WorldConfig};
+
+// Algorithms tag their decisions with these and engines install sinks;
+// re-exported so downstream crates do not need a separate apf-trace import
+// for the common cases.
+pub use apf_trace::{PhaseKind, TraceEvent, TraceSink};
 
 // The bench crate's parallel trial engine moves run results and specs across
 // worker threads; keep these types `Send + Sync` by construction. A trait

@@ -5,6 +5,7 @@ use crate::metrics::Metrics;
 use crate::snapshot::Snapshot;
 use apf_geometry::{are_similar, Configuration, Frame, Path, Point, Tol};
 use apf_scheduler::{Action, PhaseView, Scheduler};
+use apf_trace::{PhaseKind, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,6 +25,10 @@ pub struct WorldConfig {
     pub randomize_frames: bool,
     /// Whether to record every configuration for later rendering.
     pub record_trace: bool,
+    /// Whether to measure Compute wall time into the per-phase metrics.
+    /// Off by default: an `Instant::now` pair per cycle is measurable
+    /// overhead in million-trial campaigns.
+    pub time_compute: bool,
 }
 
 impl Default for WorldConfig {
@@ -34,6 +39,7 @@ impl Default for WorldConfig {
             multiplicity_detection: false,
             randomize_frames: true,
             record_trace: false,
+            time_compute: false,
         }
     }
 }
@@ -66,6 +72,37 @@ pub struct Outcome {
 struct PendingMove {
     path: Path, // global frame
     traveled: f64,
+    /// Phase that computed the path; move distance and interruptions are
+    /// attributed to it.
+    phase: PhaseKind,
+}
+
+/// Wraps a robot's bit source to emit one trace event per draw. Only
+/// constructed when a sink is installed — the untraced path hands the
+/// algorithm its counting source directly.
+struct TracingBits<'a> {
+    inner: &'a mut CountingBits,
+    sink: &'a mut dyn TraceSink,
+    step: u64,
+    robot: u32,
+}
+
+impl BitSource for TracingBits<'_> {
+    fn bit(&mut self) -> bool {
+        let heads = self.inner.bit();
+        self.sink.record(&TraceEvent::CoinFlip { step: self.step, robot: self.robot, heads });
+        heads
+    }
+
+    fn word(&mut self, n: u32) -> u64 {
+        let word = self.inner.word(n);
+        self.sink.record(&TraceEvent::RandomWord { step: self.step, robot: self.robot, bits: n });
+        word
+    }
+
+    fn bits_drawn(&self) -> u64 {
+        self.inner.bits_drawn()
+    }
 }
 
 /// The global simulation state: robot positions, in-flight moves, frames,
@@ -82,6 +119,12 @@ pub struct World {
     config: WorldConfig,
     metrics: Metrics,
     trace: Vec<Vec<Point>>,
+    seed: u64,
+    /// Last tagged phase per robot (drives `PhaseChange` events).
+    robot_phase: Vec<PhaseKind>,
+    /// Installed trace sink, if any. `None` is the fast path: no event is
+    /// constructed at all.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl World {
@@ -161,7 +204,43 @@ impl World {
             config,
             metrics: Metrics::default(),
             trace,
+            seed,
+            robot_phase: vec![PhaseKind::Untagged; n],
+            sink: None,
         }
+    }
+
+    /// Installs a trace sink. Sinks reporting [`TraceSink::enabled`]` ==
+    /// false` are dropped on the spot — installing one is exactly
+    /// equivalent to installing none, which is what makes the disabled
+    /// path cost a single `Option` branch per event site.
+    ///
+    /// Emits [`TraceEvent::TrialStart`] into the sink immediately.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        if !sink.enabled() {
+            self.sink = None;
+            return;
+        }
+        let mut sink = sink;
+        sink.record(&TraceEvent::TrialStart {
+            robots: self.positions.len() as u32,
+            seed: self.seed,
+        });
+        self.sink = Some(sink);
+    }
+
+    /// Whether an (enabled) sink is installed.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Flushes and removes the installed sink, returning it.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_deref_mut() {
+            s.flush_sink();
+        }
+        sink
     }
 
     /// Current robot positions (global frame).
@@ -179,11 +258,10 @@ impl World {
         &self.pattern_global
     }
 
-    /// Metrics accumulated so far.
+    /// Metrics accumulated so far. Random bits are attributed per cycle
+    /// (and therefore per phase) as each Compute returns.
     pub fn metrics(&self) -> Metrics {
-        let mut m = self.metrics;
-        m.random_bits = self.bits.iter().map(|b| b.bits_drawn()).sum();
-        m
+        self.metrics
     }
 
     /// Recorded configurations (empty unless
@@ -256,6 +334,14 @@ impl World {
             .collect();
         let actions = self.scheduler.next(&phases);
         assert!(!actions.is_empty(), "scheduler returned an empty step");
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let looks = actions.iter().filter(|a| a.is_look()).count() as u32;
+            sink.record(&TraceEvent::StepBegin {
+                step: self.metrics.steps,
+                looks,
+                moves: actions.len() as u32 - looks,
+            });
+        }
 
         // Look actions observe the step's initial configuration; collect the
         // snapshot positions once.
@@ -288,20 +374,40 @@ impl World {
     }
 
     /// Runs until the pattern is formed or the step budget is exhausted.
+    ///
+    /// When a sink is installed, emits [`TraceEvent::Formed`] (on success)
+    /// and a closing [`TraceEvent::TrialEnd`], then flushes the sink.
     pub fn run(&mut self, max_steps: u64) -> Outcome {
         for _ in 0..max_steps {
             if self.is_formed() {
-                return self.outcome(StopReason::Formed);
+                return self.finish(StopReason::Formed);
             }
             if let Err(e) = self.step() {
-                return self.outcome(StopReason::AlgorithmError(e));
+                return self.finish(StopReason::AlgorithmError(e));
             }
         }
         if self.is_formed() {
-            self.outcome(StopReason::Formed)
+            self.finish(StopReason::Formed)
         } else {
-            self.outcome(StopReason::StepBudget)
+            self.finish(StopReason::StepBudget)
         }
+    }
+
+    fn finish(&mut self, reason: StopReason) -> Outcome {
+        let outcome = self.outcome(reason);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            if outcome.formed {
+                sink.record(&TraceEvent::Formed { step: outcome.metrics.steps });
+            }
+            sink.record(&TraceEvent::TrialEnd {
+                step: outcome.metrics.steps,
+                formed: outcome.formed,
+                cycles: outcome.metrics.cycles(),
+                bits: outcome.metrics.random_bits(),
+            });
+            sink.flush_sink();
+        }
+        outcome
     }
 
     fn outcome(&self, reason: StopReason) -> Outcome {
@@ -330,9 +436,36 @@ impl World {
     }
 
     fn apply_look(&mut self, robot: usize, observed: &[Point]) -> Result<(), ComputeError> {
-        self.metrics.cycles += 1;
+        let step = self.metrics.steps;
         let snapshot = self.snapshot_at(robot, observed);
-        let decision = self.algorithm.compute(&snapshot, &mut self.bits[robot])?;
+        let bits_before = self.bits[robot].bits_drawn();
+        let timer = self.config.time_compute.then(std::time::Instant::now);
+        let result = match self.sink.as_deref_mut() {
+            Some(sink) => {
+                sink.record(&TraceEvent::Look { step, robot: robot as u32 });
+                let mut tracing =
+                    TracingBits { inner: &mut self.bits[robot], sink, step, robot: robot as u32 };
+                self.algorithm.compute_tagged(&snapshot, &mut tracing)
+            }
+            None => self.algorithm.compute_tagged(&snapshot, &mut self.bits[robot]),
+        };
+        let drawn = self.bits[robot].bits_drawn() - bits_before;
+        let (decision, phase) = match result {
+            Ok(tagged) => tagged,
+            Err(e) => {
+                // The failing Compute still consumed a cycle and its bits.
+                self.metrics.record_cycle(PhaseKind::Untagged);
+                self.metrics.record_bits(PhaseKind::Untagged, drawn);
+                return Err(e);
+            }
+        };
+        self.metrics.record_cycle(phase);
+        self.metrics.record_bits(phase, drawn);
+        if let Some(t) = timer {
+            self.metrics.record_compute_ns(phase, t.elapsed().as_nanos() as u64);
+        }
+        let mut moved = false;
+        let mut path_len = 0.0;
         match decision {
             Decision::Stay => {}
             Decision::Move(local_path) => {
@@ -344,15 +477,31 @@ impl World {
                 );
                 let global = frame.path_to_global(&local_path);
                 if global.length() > self.config.tol.eps {
-                    self.metrics.active_cycles += 1;
-                    self.pending[robot] = Some(PendingMove { path: global, traveled: 0.0 });
+                    self.metrics.record_active(phase);
+                    moved = true;
+                    path_len = global.length();
+                    self.pending[robot] = Some(PendingMove { path: global, traveled: 0.0, phase });
                 }
+            }
+        }
+        let previous = self.robot_phase[robot];
+        self.robot_phase[robot] = phase;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(&TraceEvent::Decide { step, robot: robot as u32, phase, moved, path_len });
+            if previous != phase {
+                sink.record(&TraceEvent::PhaseChange {
+                    step,
+                    robot: robot as u32,
+                    from: previous,
+                    to: phase,
+                });
             }
         }
         Ok(())
     }
 
     fn apply_move(&mut self, robot: usize, distance: f64, end_phase: bool) {
+        let step = self.metrics.steps;
         let pm = self.pending[robot].as_mut().expect("validated by step()");
         let length = pm.path.length();
         let mut target = (pm.traveled + distance.max(0.0)).min(length);
@@ -366,15 +515,31 @@ impl World {
         }
         let advanced = target - pm.traveled;
         pm.traveled = target;
+        let traveled = pm.traveled;
+        let phase = pm.phase;
         let new_pos = pm.path.point_at(target);
-        self.metrics.distance += advanced;
+        self.metrics.record_distance(phase, advanced);
         let arrived = target >= length - 1e-12;
         if end_phase && !arrived {
-            self.metrics.interrupted_moves += 1;
+            self.metrics.record_interrupt(phase);
         }
         self.positions[robot] = new_pos;
         if end_phase || arrived {
             self.pending[robot] = None;
+        }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(&TraceEvent::MoveSlice {
+                step,
+                robot: robot as u32,
+                advanced,
+                traveled,
+                length,
+                end_phase,
+                arrived,
+            });
+            if end_phase && !arrived {
+                sink.record(&TraceEvent::Interrupt { step, robot: robot as u32, traveled, length });
+            }
         }
     }
 }
@@ -534,10 +699,13 @@ mod tests {
         let m = w.metrics();
         // FSYNC: every step with all-idle robots performs 4 looks; BitBurner
         // never moves so every step is a Look round.
-        assert_eq!(m.cycles, 24);
-        assert_eq!(m.random_bits, 24);
+        assert_eq!(m.cycles(), 24);
+        assert_eq!(m.random_bits(), 24);
         assert!((m.bits_per_cycle() - 1.0).abs() < 1e-12);
-        assert_eq!(m.active_cycles, 0);
+        assert_eq!(m.active_cycles(), 0);
+        // BitBurner does not override compute_tagged: everything lands in
+        // the Untagged bucket and totals round-trip it.
+        assert_eq!(m.phase(apf_trace::PhaseKind::Untagged).cycles, 24);
     }
 
     #[test]
@@ -641,11 +809,134 @@ mod tests {
     #[test]
     fn would_any_move_is_side_effect_free() {
         let mut w = world_with(Box::new(ToCentroid), Box::new(FsyncScheduler::new()));
-        let bits_before = w.metrics().random_bits;
+        let bits_before = w.metrics().random_bits();
         let moved = w.would_any_move().unwrap();
         assert!(moved);
-        assert_eq!(w.metrics().random_bits, bits_before);
+        assert_eq!(w.metrics().random_bits(), bits_before);
         assert!(!w.any_pending());
+    }
+
+    #[test]
+    fn tracing_emits_a_consistent_stream() {
+        use apf_trace::{TraceEvent, TraceSummary, VecSink};
+        use std::sync::{Arc, Mutex};
+
+        let init = square();
+        let pattern = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.1, 0.0),
+        ];
+        let mut w = World::new(
+            init,
+            pattern,
+            Box::new(BitBurner),
+            Box::new(FsyncScheduler::new()),
+            WorldConfig::default(),
+            11,
+        );
+        let shared = Arc::new(Mutex::new(VecSink::new()));
+        w.set_sink(Box::new(Arc::clone(&shared)));
+        assert!(w.has_sink());
+        let outcome = w.run(8);
+        let events = shared.lock().unwrap().events().to_vec();
+        assert!(matches!(events[0], TraceEvent::TrialStart { robots: 4, seed: 11 }));
+        assert!(matches!(events.last(), Some(TraceEvent::TrialEnd { .. })));
+
+        let summary = TraceSummary::from_events(&events);
+        assert!(summary.is_clean(), "violations: {:?}", summary.violations);
+        assert!(summary.complete);
+        // The replayed stream agrees with the engine's own metrics.
+        assert_eq!(summary.cycles, outcome.metrics.cycles());
+        assert_eq!(summary.bits, outcome.metrics.random_bits());
+        assert_eq!(summary.last_step, outcome.metrics.steps);
+    }
+
+    #[test]
+    fn tracing_covers_moves_and_interrupts() {
+        use apf_trace::{TraceEvent, TraceSummary, VecSink};
+        use std::sync::{Arc, Mutex};
+
+        // End every move phase after a half-length slice: each move is
+        // interrupted exactly once (half > delta, half < full).
+        struct Chopper;
+        impl Scheduler for Chopper {
+            fn next(&mut self, phases: &[PhaseView]) -> Vec<Action> {
+                if let Some((robot, p)) = phases.iter().enumerate().find(|(_, p)| !p.is_idle()) {
+                    vec![Action::Move { robot, distance: p.remaining() * 0.5, end_phase: true }]
+                } else {
+                    vec![Action::Look { robot: 0 }]
+                }
+            }
+            fn name(&self) -> &'static str {
+                "chopper"
+            }
+        }
+        let init = square();
+        let mut w = World::new(
+            init.clone(),
+            init,
+            Box::new(ToCentroid),
+            Box::new(Chopper),
+            WorldConfig::default(),
+            4,
+        );
+        let shared = Arc::new(Mutex::new(VecSink::new()));
+        w.set_sink(Box::new(Arc::clone(&shared)));
+        w.step().unwrap(); // Look -> pending move
+        w.step().unwrap(); // half slice + end_phase -> interrupt
+        let events = shared.lock().unwrap().events().to_vec();
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::MoveSlice { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Interrupt { .. })));
+        let summary = TraceSummary::from_events(&events);
+        assert!(summary.is_clean(), "violations: {:?}", summary.violations);
+        assert_eq!(summary.interrupts, 1);
+        assert_eq!(w.metrics().interrupted_moves(), 1);
+        assert!((summary.distance - w.metrics().distance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_sinks_are_dropped_and_change_nothing() {
+        use apf_trace::NullSink;
+
+        let run = |install_disabled: bool| {
+            let mut w = world_with(Box::new(BitBurner), Box::new(FsyncScheduler::new()));
+            if install_disabled {
+                w.set_sink(Box::new(NullSink));
+                assert!(!w.has_sink(), "disabled sinks must be dropped at install");
+            }
+            for _ in 0..6 {
+                w.step().unwrap();
+            }
+            (w.metrics(), w.positions().to_vec())
+        };
+        let (m_plain, p_plain) = run(false);
+        let (m_null, p_null) = run(true);
+        assert_eq!(m_plain, m_null);
+        assert_eq!(p_plain, p_null);
+    }
+
+    #[test]
+    fn take_sink_flushes_and_detaches() {
+        use apf_trace::CountingSink;
+        use std::sync::{Arc, Mutex};
+
+        let mut w = world_with(Box::new(BitBurner), Box::new(FsyncScheduler::new()));
+        let shared = Arc::new(Mutex::new(CountingSink::new()));
+        w.set_sink(Box::new(Arc::clone(&shared)));
+        w.step().unwrap();
+        let sink = w.take_sink();
+        assert!(sink.is_some());
+        assert!(!w.has_sink());
+        let after_take = shared.lock().unwrap().count();
+        assert!(after_take > 0);
+        w.step().unwrap();
+        assert_eq!(shared.lock().unwrap().count(), after_take, "detached sink sees no more events");
+        // The boxed handle still forwards if reinstalled.
+        let mut sink = sink.unwrap();
+        sink.record(&apf_trace::TraceEvent::Formed { step: 1 });
+        assert_eq!(shared.lock().unwrap().count(), after_take + 1);
     }
 
     #[test]

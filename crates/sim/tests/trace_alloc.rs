@@ -1,0 +1,72 @@
+//! A disabled trace sink must be free: installing [`apf_trace::NullSink`]
+//! adds zero events and zero heap allocations to the simulation hot path.
+//!
+//! This file holds exactly one test because it swaps the global allocator
+//! for a counting wrapper — other tests in the same binary would race the
+//! counters.
+
+use apf_core::FormPattern;
+use apf_scheduler::SchedulerKind;
+use apf_sim::{World, WorldConfig};
+use apf_trace::NullSink;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn build_world(seed: u64) -> World {
+    World::new(
+        apf_patterns::symmetric_configuration(8, 4, 42),
+        apf_patterns::random_pattern(8, 43),
+        Box::new(FormPattern::new()),
+        SchedulerKind::RoundRobin.build(seed),
+        WorldConfig::default(),
+        seed,
+    )
+}
+
+/// Runs `world` for `steps` engine steps and returns the allocations the
+/// run performed.
+fn allocations_during(world: &mut World, steps: usize) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..steps {
+        let _ = world.step();
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn disabled_sink_adds_no_events_and_no_allocations() {
+    let mut plain = build_world(7);
+    let mut gated = build_world(7);
+    gated.set_sink(Box::new(NullSink));
+    // A disabled sink is discarded at installation: no sink is retained, so
+    // zero events can ever be recorded.
+    assert!(!gated.has_sink(), "disabled sinks must be dropped on install");
+
+    let a = allocations_during(&mut plain, 500);
+    let b = allocations_during(&mut gated, 500);
+    assert!(a > 0, "sanity: the simulation allocates (snapshots, analysis)");
+    assert_eq!(a, b, "a disabled sink must add zero allocations to the hot path");
+}

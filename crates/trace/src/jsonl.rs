@@ -1,0 +1,378 @@
+//! JSONL serialization of trace events, and its parser.
+//!
+//! One event per line, a flat JSON object whose `"ev"` key names the
+//! variant. The workspace is offline (no serde); the format is small and
+//! fixed, so both directions are hand-rolled — like the report code in
+//! `apf-bench`. Floats are printed with Rust's shortest round-trip `{}`
+//! formatting, so a parsed trace is bit-identical to the emitted one.
+
+use crate::event::{PhaseKind, TraceEvent};
+use std::fmt::Write as _;
+
+/// Serializes one event as a single JSON line (no trailing newline).
+pub fn to_json_line(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    write_json_line(ev, &mut s);
+    s
+}
+
+/// Serializes one event into `out` (no trailing newline). The buffer is
+/// cleared first, so sinks can reuse one allocation for the whole stream.
+pub fn write_json_line(ev: &TraceEvent, out: &mut String) {
+    out.clear();
+    match *ev {
+        TraceEvent::TrialStart { robots, seed } => {
+            let _ = write!(out, "{{\"ev\":\"trial_start\",\"robots\":{robots},\"seed\":{seed}}}");
+        }
+        TraceEvent::StepBegin { step, looks, moves } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"step\",\"step\":{step},\"looks\":{looks},\"moves\":{moves}}}"
+            );
+        }
+        TraceEvent::Look { step, robot } => {
+            let _ = write!(out, "{{\"ev\":\"look\",\"step\":{step},\"robot\":{robot}}}");
+        }
+        TraceEvent::CoinFlip { step, robot, heads } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"coin\",\"step\":{step},\"robot\":{robot},\"heads\":{heads}}}"
+            );
+        }
+        TraceEvent::RandomWord { step, robot, bits } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"word\",\"step\":{step},\"robot\":{robot},\"bits\":{bits}}}"
+            );
+        }
+        TraceEvent::Decide { step, robot, phase, moved, path_len } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"decide\",\"step\":{step},\"robot\":{robot},\"phase\":\"{}\",\"moved\":{moved},\"path_len\":{}}}",
+                phase.label(),
+                f64_json(path_len)
+            );
+        }
+        TraceEvent::PhaseChange { step, robot, from, to } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"phase\",\"step\":{step},\"robot\":{robot},\"from\":\"{}\",\"to\":\"{}\"}}",
+                from.label(),
+                to.label()
+            );
+        }
+        TraceEvent::MoveSlice { step, robot, advanced, traveled, length, end_phase, arrived } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"move\",\"step\":{step},\"robot\":{robot},\"advanced\":{},\"traveled\":{},\"length\":{},\"end_phase\":{end_phase},\"arrived\":{arrived}}}",
+                f64_json(advanced),
+                f64_json(traveled),
+                f64_json(length)
+            );
+        }
+        TraceEvent::Interrupt { step, robot, traveled, length } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"interrupt\",\"step\":{step},\"robot\":{robot},\"traveled\":{},\"length\":{}}}",
+                f64_json(traveled),
+                f64_json(length)
+            );
+        }
+        TraceEvent::Formed { step } => {
+            let _ = write!(out, "{{\"ev\":\"formed\",\"step\":{step}}}");
+        }
+        TraceEvent::TrialEnd { step, formed, cycles, bits } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"trial_end\",\"step\":{step},\"formed\":{formed},\"cycles\":{cycles},\"bits\":{bits}}}"
+            );
+        }
+    }
+}
+
+/// Finite floats print with round-trip precision; NaN/inf (not valid JSON)
+/// become `null` and parse back as an error — a trace must not contain them.
+fn f64_json(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Why a line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed trace line: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A scanned key/value pair; values keep their raw JSON token text.
+struct Field<'a> {
+    key: &'a str,
+    value: &'a str,
+}
+
+/// Scans one flat JSON object (string/number/bool values, no nesting, as
+/// emitted by [`write_json_line`]) into raw fields.
+fn scan_object(line: &str) -> Result<Vec<Field<'_>>, ParseError> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| ParseError::new("not a JSON object"))?;
+    let mut fields = Vec::with_capacity(8);
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // Key.
+        let r = rest
+            .strip_prefix('"')
+            .ok_or_else(|| ParseError::new(format!("expected a key at: {rest}")))?;
+        let close = r.find('"').ok_or_else(|| ParseError::new("unterminated key"))?;
+        let key = &r[..close];
+        let r = r[close + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| ParseError::new(format!("missing ':' after key {key:?}")))?;
+        let r = r.trim_start();
+        // Value: a string token or a bare token up to the next ',' or end.
+        let (value, tail) = if let Some(v) = r.strip_prefix('"') {
+            let close = v.find('"').ok_or_else(|| ParseError::new("unterminated string value"))?;
+            (&r[..close + 2], &v[close + 1..])
+        } else {
+            let end = r.find(',').unwrap_or(r.len());
+            let token = r[..end].trim();
+            if token.is_empty() {
+                return Err(ParseError::new(format!("empty value for key {key:?}")));
+            }
+            (token, &r[end.min(r.len())..])
+        };
+        fields.push(Field { key, value });
+        let tail = tail.trim_start();
+        rest = match tail.strip_prefix(',') {
+            Some(t) => t.trim_start(),
+            None if tail.is_empty() => tail,
+            None => return Err(ParseError::new(format!("expected ',' at: {tail}"))),
+        };
+    }
+    Ok(fields)
+}
+
+struct Fields<'a>(Vec<Field<'a>>);
+
+impl<'a> Fields<'a> {
+    fn raw(&self, key: &str) -> Result<&'a str, ParseError> {
+        self.0
+            .iter()
+            .find(|f| f.key == key)
+            .map(|f| f.value)
+            .ok_or_else(|| ParseError::new(format!("missing key {key:?}")))
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, ParseError> {
+        let raw = self.raw(key)?;
+        raw.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| ParseError::new(format!("key {key:?} is not a string: {raw}")))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ParseError> {
+        let raw = self.raw(key)?;
+        raw.parse().map_err(|_| ParseError::new(format!("key {key:?} is not a u64: {raw}")))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, ParseError> {
+        let raw = self.raw(key)?;
+        raw.parse().map_err(|_| ParseError::new(format!("key {key:?} is not a u32: {raw}")))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, ParseError> {
+        let raw = self.raw(key)?;
+        let x: f64 =
+            raw.parse().map_err(|_| ParseError::new(format!("key {key:?} is not a f64: {raw}")))?;
+        if x.is_finite() {
+            Ok(x)
+        } else {
+            Err(ParseError::new(format!("key {key:?} is not finite: {raw}")))
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, ParseError> {
+        match self.raw(key)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(ParseError::new(format!("key {key:?} is not a bool: {other}"))),
+        }
+    }
+
+    fn phase(&self, key: &str) -> Result<PhaseKind, ParseError> {
+        let label = self.str(key)?;
+        PhaseKind::from_label(label)
+            .ok_or_else(|| ParseError::new(format!("unknown phase label {label:?}")))
+    }
+}
+
+/// Parses one JSONL line back into a [`TraceEvent`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on anything that [`write_json_line`] would not
+/// emit — the inspector treats that as a corrupted trace.
+pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+    let f = Fields(scan_object(line)?);
+    match f.str("ev")? {
+        "trial_start" => {
+            Ok(TraceEvent::TrialStart { robots: f.u32("robots")?, seed: f.u64("seed")? })
+        }
+        "step" => Ok(TraceEvent::StepBegin {
+            step: f.u64("step")?,
+            looks: f.u32("looks")?,
+            moves: f.u32("moves")?,
+        }),
+        "look" => Ok(TraceEvent::Look { step: f.u64("step")?, robot: f.u32("robot")? }),
+        "coin" => Ok(TraceEvent::CoinFlip {
+            step: f.u64("step")?,
+            robot: f.u32("robot")?,
+            heads: f.bool("heads")?,
+        }),
+        "word" => Ok(TraceEvent::RandomWord {
+            step: f.u64("step")?,
+            robot: f.u32("robot")?,
+            bits: f.u32("bits")?,
+        }),
+        "decide" => Ok(TraceEvent::Decide {
+            step: f.u64("step")?,
+            robot: f.u32("robot")?,
+            phase: f.phase("phase")?,
+            moved: f.bool("moved")?,
+            path_len: f.f64("path_len")?,
+        }),
+        "phase" => Ok(TraceEvent::PhaseChange {
+            step: f.u64("step")?,
+            robot: f.u32("robot")?,
+            from: f.phase("from")?,
+            to: f.phase("to")?,
+        }),
+        "move" => Ok(TraceEvent::MoveSlice {
+            step: f.u64("step")?,
+            robot: f.u32("robot")?,
+            advanced: f.f64("advanced")?,
+            traveled: f.f64("traveled")?,
+            length: f.f64("length")?,
+            end_phase: f.bool("end_phase")?,
+            arrived: f.bool("arrived")?,
+        }),
+        "interrupt" => Ok(TraceEvent::Interrupt {
+            step: f.u64("step")?,
+            robot: f.u32("robot")?,
+            traveled: f.f64("traveled")?,
+            length: f.f64("length")?,
+        }),
+        "formed" => Ok(TraceEvent::Formed { step: f.u64("step")? }),
+        "trial_end" => Ok(TraceEvent::TrialEnd {
+            step: f.u64("step")?,
+            formed: f.bool("formed")?,
+            cycles: f.u64("cycles")?,
+            bits: f.u64("bits")?,
+        }),
+        other => Err(ParseError::new(format!("unknown event kind {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TrialStart { robots: 8, seed: u64::MAX },
+            TraceEvent::StepBegin { step: 1, looks: 8, moves: 0 },
+            TraceEvent::Look { step: 1, robot: 0 },
+            TraceEvent::CoinFlip { step: 1, robot: 0, heads: true },
+            TraceEvent::RandomWord { step: 2, robot: 7, bits: 64 },
+            TraceEvent::Decide {
+                step: 1,
+                robot: 0,
+                phase: PhaseKind::RsbElection,
+                moved: true,
+                path_len: 0.12345678901234567,
+            },
+            TraceEvent::PhaseChange {
+                step: 3,
+                robot: 2,
+                from: PhaseKind::RsbShift,
+                to: PhaseKind::DpfFrame,
+            },
+            TraceEvent::MoveSlice {
+                step: 4,
+                robot: 1,
+                advanced: 1e-3,
+                traveled: 0.25,
+                length: 1.5,
+                end_phase: true,
+                arrived: false,
+            },
+            TraceEvent::Interrupt { step: 4, robot: 1, traveled: 0.25, length: 1.5 },
+            TraceEvent::Formed { step: 9 },
+            TraceEvent::TrialEnd { step: 10, formed: true, cycles: 42, bits: 7 },
+        ]
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        for ev in samples() {
+            let line = to_json_line(&ev);
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "line: {line}");
+            // Serializing the parsed event reproduces the exact line.
+            assert_eq!(to_json_line(&back), line);
+        }
+    }
+
+    #[test]
+    fn lines_are_single_line_json_objects() {
+        for ev in samples() {
+            let line = to_json_line(&ev);
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"ev\":\"nope\",\"step\":1}",
+            "{\"ev\":\"look\",\"step\":1}",                    // missing robot
+            "{\"ev\":\"look\",\"step\":-1,\"robot\":0}",       // negative step
+            "{\"ev\":\"look\",\"step\":1,\"robot\":\"zero\"}", // wrong type
+            "{\"ev\":\"decide\",\"step\":1,\"robot\":0,\"phase\":\"bogus\",\"moved\":true,\"path_len\":0}",
+            "{\"ev\":\"formed\",\"step\":1",                   // unterminated
+            "{\"ev\":\"move\",\"step\":1,\"robot\":0,\"advanced\":null,\"traveled\":0,\"length\":1,\"end_phase\":false,\"arrived\":false}",
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parser_tolerates_whitespace() {
+        let line = "{ \"ev\": \"look\", \"step\": 3, \"robot\": 2 }";
+        assert_eq!(parse_line(line).unwrap(), TraceEvent::Look { step: 3, robot: 2 });
+    }
+}

@@ -1,0 +1,445 @@
+//! Trace consumers: the [`TraceSink`] trait and the provided sinks.
+
+use crate::event::TraceEvent;
+use crate::jsonl::write_json_line;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A consumer of the simulation's trace event stream.
+///
+/// The engine holds the installed sink as `Option<Box<dyn TraceSink>>` and
+/// drops sinks whose [`TraceSink::enabled`] is false at installation time,
+/// so the *disabled* path is one `Option::is_some` branch per event site —
+/// no event is even constructed. Implementations must be cheap: `record` is
+/// called from the simulation hot loop.
+pub trait TraceSink: Send {
+    /// Whether this sink wants events at all. A `false` here lets callers
+    /// keep one code path while paying nothing for tracing (the engine
+    /// discards the sink on installation).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output (writers). Called by the engine when the
+    /// run finishes; a no-op for in-memory sinks.
+    fn flush_sink(&mut self) {}
+}
+
+/// A sink that consumes nothing and reports itself disabled. Installing it
+/// is exactly equivalent to installing no sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Collects every event in memory. For tests and short runs — an unbounded
+/// trace of a budget-exhausted trial can reach millions of events; prefer
+/// [`RingSink`] or [`JsonlSink`] there.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events recorded so far, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Keeps the *last* `cap` events — a bounded flight recorder: memory stays
+/// fixed on arbitrarily long runs, and on failure the window ending at the
+/// failure is exactly what a post-mortem wants.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    cap: usize,
+    dropped: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+impl RingSink {
+    /// A ring keeping at most `cap` events (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "ring sink needs capacity >= 1");
+        RingSink { cap, dropped: 0, events: VecDeque::with_capacity(cap) }
+    }
+
+    /// The retained window, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events evicted from the front of the window.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(*event);
+    }
+}
+
+/// Counts events without storing them (tests, throughput probes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    count: u64,
+}
+
+impl CountingSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, _event: &TraceEvent) {
+        self.count += 1;
+    }
+}
+
+/// A shared read handle onto a [`HashSink`]'s digest.
+#[derive(Debug, Clone)]
+pub struct HashProbe(Arc<AtomicU64>);
+
+impl HashProbe {
+    /// The digest accumulated so far.
+    pub fn digest(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Order-sensitive FNV-1a digest over the serialized (JSONL) event stream.
+///
+/// Two runs have equal digests iff their serialized traces are byte-equal —
+/// the cheap way to assert that an *event stream*, not just the final
+/// result, is bit-identical (e.g. across `--jobs` values). The digest is
+/// published through an atomic so the probe can outlive the sink, which the
+/// engine consumes by value.
+#[derive(Debug)]
+pub struct HashSink {
+    state: u64,
+    line: String,
+    shared: Arc<AtomicU64>,
+}
+
+impl Default for HashSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashSink {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        HashSink {
+            state: FNV_OFFSET,
+            line: String::new(),
+            shared: Arc::new(AtomicU64::new(FNV_OFFSET)),
+        }
+    }
+
+    /// A handle that reads the digest while (and after) the sink is owned
+    /// elsewhere.
+    pub fn probe(&self) -> HashProbe {
+        HashProbe(Arc::clone(&self.shared))
+    }
+
+    /// The digest accumulated so far.
+    pub fn digest(&self) -> u64 {
+        self.state
+    }
+}
+
+impl TraceSink for HashSink {
+    fn record(&mut self, event: &TraceEvent) {
+        write_json_line(event, &mut self.line);
+        let mut h = self.state;
+        for b in self.line.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // The newline separates events, matching the on-disk format.
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(FNV_PRIME);
+        self.state = h;
+        self.shared.store(h, Ordering::Release);
+    }
+}
+
+/// Forwarding through a shared handle lets a caller install a sink into an
+/// engine (which takes ownership) and still read it afterwards:
+/// `Box::new(Arc::clone(&shared))` goes in, the original `Arc` stays out.
+impl<T: TraceSink> TraceSink for Arc<std::sync::Mutex<T>> {
+    fn enabled(&self) -> bool {
+        self.lock().map(|s| s.enabled()).unwrap_or(false)
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        if let Ok(mut s) = self.lock() {
+            s.record(event);
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        if let Ok(mut s) = self.lock() {
+            s.flush_sink();
+        }
+    }
+}
+
+/// Streams events as JSON lines into any [`Write`], one event per line,
+/// reusing a single line buffer (no per-event allocation).
+///
+/// An optional event limit bounds trace size on runaway trials: once
+/// reached, the sink writes one `trial_end`-shaped marker comment and drops
+/// further events. I/O errors are sticky and exposed via
+/// [`JsonlSink::io_error`]; `record` itself stays infallible because it is
+/// called from the simulation hot loop.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+    line: String,
+    written: u64,
+    limit: u64,
+    truncated: bool,
+    io_error: Option<std::io::ErrorKind>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A sink with no event limit.
+    pub fn new(writer: W) -> Self {
+        Self::with_limit(writer, u64::MAX)
+    }
+
+    /// A sink that stops writing after `limit` events.
+    pub fn with_limit(writer: W, limit: u64) -> Self {
+        JsonlSink {
+            writer,
+            line: String::with_capacity(128),
+            written: 0,
+            limit,
+            truncated: false,
+            io_error: None,
+        }
+    }
+
+    /// Events written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether the event limit was hit.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The first I/O error encountered, if any.
+    pub fn io_error(&self) -> Option<std::io::ErrorKind> {
+        self.io_error
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.io_error.is_some() || self.truncated {
+            return;
+        }
+        if self.written >= self.limit {
+            self.truncated = true;
+            // A parseable marker: inspectors see the stream was cut here.
+            let _ = self.writer.write_all(
+                format!("{{\"ev\":\"step\",\"step\":{},\"looks\":0,\"moves\":0}}\n", event.step())
+                    .as_bytes(),
+            );
+            return;
+        }
+        write_json_line(event, &mut self.line);
+        self.line.push('\n');
+        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+            self.io_error = Some(e.kind());
+        }
+        self.written += 1;
+    }
+
+    fn flush_sink(&mut self) {
+        if let Err(e) = self.writer.flush() {
+            self.io_error.get_or_insert(e.kind());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PhaseKind;
+    use crate::jsonl::parse_line;
+
+    fn ev(step: u64) -> TraceEvent {
+        TraceEvent::Look { step, robot: (step % 5) as u32 }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(VecSink::new().enabled());
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut s = VecSink::new();
+        for i in 0..4 {
+            s.record(&ev(i));
+        }
+        let steps: Vec<u64> = s.events().iter().map(TraceEvent::step).collect();
+        assert_eq!(steps, [0, 1, 2, 3]);
+        assert_eq!(s.into_events().len(), 4);
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_tail() {
+        let mut s = RingSink::new(3);
+        for i in 0..10 {
+            s.record(&ev(i));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 7);
+        let steps: Vec<u64> = s.events().map(TraceEvent::step).collect();
+        assert_eq!(steps, [7, 8, 9]);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::new();
+        for i in 0..5 {
+            s.record(&ev(i));
+        }
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn hash_sink_is_order_sensitive_and_probe_matches() {
+        let mut a = HashSink::new();
+        let mut b = HashSink::new();
+        let pa = a.probe();
+        a.record(&ev(1));
+        a.record(&ev(2));
+        b.record(&ev(2));
+        b.record(&ev(1));
+        assert_ne!(a.digest(), b.digest(), "order must matter");
+        assert_eq!(pa.digest(), a.digest());
+
+        let mut c = HashSink::new();
+        c.record(&ev(1));
+        c.record(&ev(2));
+        assert_eq!(c.digest(), a.digest(), "same stream, same digest");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.record(&TraceEvent::TrialStart { robots: 8, seed: 3 });
+        s.record(&TraceEvent::Decide {
+            step: 1,
+            robot: 2,
+            phase: PhaseKind::DpfRotate,
+            moved: false,
+            path_len: 0.0,
+        });
+        s.flush_sink();
+        assert_eq!(s.written(), 2);
+        assert!(s.io_error().is_none());
+        let bytes = s.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            parse_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_sinks_forward_through_the_handle() {
+        use std::sync::Mutex;
+        let shared = Arc::new(Mutex::new(VecSink::new()));
+        let mut boxed: Box<dyn TraceSink> = Box::new(Arc::clone(&shared));
+        assert!(boxed.enabled());
+        boxed.record(&ev(1));
+        boxed.record(&ev(2));
+        drop(boxed);
+        assert_eq!(shared.lock().unwrap().events().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_truncates_at_limit() {
+        let mut s = JsonlSink::with_limit(Vec::new(), 3);
+        for i in 0..10 {
+            s.record(&ev(i));
+        }
+        assert_eq!(s.written(), 3);
+        assert!(s.truncated());
+        let text = String::from_utf8(s.into_inner()).unwrap();
+        // 3 events + 1 truncation marker, all parseable.
+        assert_eq!(text.lines().count(), 4);
+        for line in text.lines() {
+            parse_line(line).unwrap();
+        }
+    }
+}

@@ -33,7 +33,10 @@ fn main() {
         let o = world.run(5_000_000);
         println!(
             "{label} -> formed={} cycles={} interrupted moves={} bits={}",
-            o.formed, o.metrics.cycles, o.metrics.interrupted_moves, o.metrics.random_bits
+            o.formed,
+            o.metrics.cycles(),
+            o.metrics.interrupted_moves(),
+            o.metrics.random_bits()
         );
         assert!(o.formed, "the adversary must not prevent formation");
     }

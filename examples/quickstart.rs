@@ -33,9 +33,9 @@ fn main() {
     println!(
         "formed = {} | {} LCM cycles, {} random bits, total distance {:.2}",
         outcome.formed,
-        outcome.metrics.cycles,
-        outcome.metrics.random_bits,
-        outcome.metrics.distance
+        outcome.metrics.cycles(),
+        outcome.metrics.random_bits(),
+        outcome.metrics.distance()
     );
     assert!(outcome.formed, "the pattern must be formed with probability 1");
 }

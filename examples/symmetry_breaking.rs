@@ -51,8 +51,8 @@ fn main() {
         "election won at engine step {:?} of {}; {} random bits drawn in total ({:.3} per cycle)",
         selected_at,
         outcome.metrics.steps,
-        outcome.metrics.random_bits,
+        outcome.metrics.random_bits(),
         outcome.metrics.bits_per_cycle()
     );
-    println!("pattern formed = {} after {} cycles", outcome.formed, outcome.metrics.cycles);
+    println!("pattern formed = {} after {} cycles", outcome.formed, outcome.metrics.cycles());
 }

@@ -19,4 +19,20 @@ cargo test --workspace -q
 echo "==> harness --quick --jobs 2 e1"
 cargo run -q --release -p apf-bench --bin harness -- --quick --jobs 2 e1
 
+echo "==> trace smoke: harness --trace-out + apf-cli trace"
+# E6's deterministic baseline always stalls on symmetric configs, so the
+# harness is guaranteed to dump failure traces; each must be well-formed
+# JSONL that the inspector replays without legality violations.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run -q --release -p apf-bench --bin harness -- --quick --jobs 2 --trace-out "$TRACE_DIR" e6
+found=0
+for f in "$TRACE_DIR"/*.jsonl; do
+    [ -e "$f" ] || break
+    found=1
+    cargo run -q --release --bin apf-cli -- trace "$f" > /dev/null \
+        || { echo "trace inspection failed: $f"; exit 1; }
+done
+[ "$found" = 1 ] || { echo "harness --trace-out produced no traces"; exit 1; }
+
 echo "OK"

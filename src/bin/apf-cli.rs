@@ -1,17 +1,27 @@
-//! Command-line simulation runner.
+//! Command-line simulation runner and trace inspector.
 //!
 //! ```text
 //! apf-cli [--n 8] [--sym RHO | --asym] [--pattern random|line|grid|star|polygon]
 //!         [--scheduler fsync|ssync|async|rr] [--seed S] [--budget STEPS]
-//!         [--delta D] [--multiplicity] [--svg PATH] [--quiet]
+//!         [--delta D] [--multiplicity] [--svg PATH] [--trace PATH] [--quiet]
+//! apf-cli trace FILE [--replay] [--robot N]
 //! ```
 //!
 //! Runs one pattern-formation simulation and reports the outcome; with
-//! `--svg` it also renders the trajectories.
+//! `--svg` it also renders the trajectories, with `--trace` it streams the
+//! run's full event trace as JSONL.
+//!
+//! The `trace` subcommand inspects a JSONL trace (as written by `--trace`
+//! or the harness's `--trace-out`): by default it prints a summary —
+//! per-phase cycle/bit tallies including the paper's ≤ 1 bit/cycle check,
+//! per-robot timelines, and any legality violations; with `--replay` it
+//! prints every event as a human-readable line (optionally for one robot
+//! only). Exit codes: 0 clean, 1 violations found, 2 malformed JSONL.
 
 use apf::prelude::*;
 use apf::render::{Style, SvgScene};
 use apf::scheduler::SchedulerKind;
+use apf::trace::{describe, parse_line, JsonlSink, TraceSummary};
 
 struct Args {
     n: usize,
@@ -23,7 +33,76 @@ struct Args {
     delta: f64,
     multiplicity: bool,
     svg: Option<String>,
+    trace: Option<String>,
     quiet: bool,
+}
+
+/// The `trace` subcommand: summarize or replay a JSONL trace file.
+fn trace_main(args: &[String]) -> ! {
+    let mut file: Option<String> = None;
+    let mut replay = false;
+    let mut robot: Option<u32> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--replay" => replay = true,
+            "--robot" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --robot needs a value");
+                    std::process::exit(2);
+                });
+                robot = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("error: --robot: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "apf-cli trace FILE [--replay] [--robot N]\n\
+                     summarize (default) or replay a JSONL event trace\n\
+                     exit codes: 0 clean, 1 violations, 2 malformed"
+                );
+                std::process::exit(0);
+            }
+            f if f.starts_with('-') => {
+                eprintln!("error: unknown flag {f} (try --help)");
+                std::process::exit(2);
+            }
+            _ if file.is_none() => file = Some(arg.clone()),
+            _ => {
+                eprintln!("error: more than one trace file given");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: trace needs a FILE (try --help)");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {file}: {e}");
+        std::process::exit(2);
+    });
+    if replay {
+        for (i, line) in text.lines().enumerate() {
+            let event = parse_line(line).unwrap_or_else(|e| {
+                eprintln!("error: {file}:{}: {e}", i + 1);
+                std::process::exit(2);
+            });
+            if robot.is_none_or(|r| event.robot() == Some(r)) {
+                println!("{:>8}  {}", i + 1, describe(&event));
+            }
+        }
+    }
+    let summary = match TraceSummary::from_lines(text.lines()) {
+        Ok(s) => s,
+        Err((line_no, e)) => {
+            eprintln!("error: {file}:{line_no}: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", summary.render());
+    std::process::exit(if summary.is_clean() { 0 } else { 1 });
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
         delta: 1e-3,
         multiplicity: false,
         svg: None,
+        trace: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -67,13 +147,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--multiplicity" => args.multiplicity = true,
             "--svg" => args.svg = Some(value(&mut it)?),
+            "--trace" => args.trace = Some(value(&mut it)?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "apf-cli: run one pattern-formation simulation\n\
                      flags: --n N --sym RHO|--asym --pattern random|line|grid|star|polygon\n\
                      \x20      --scheduler fsync|ssync|async|rr --seed S --budget STEPS\n\
-                     \x20      --delta D --multiplicity --svg PATH --quiet"
+                     \x20      --delta D --multiplicity --svg PATH --trace PATH --quiet\n\
+                     subcommands: trace FILE [--replay] [--robot N]  inspect a JSONL trace"
                 );
                 std::process::exit(0);
             }
@@ -112,6 +194,10 @@ fn pattern_for(args: &Args) -> Result<Vec<apf::geometry::Point>, String> {
 }
 
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("trace") {
+        trace_main(&raw[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -145,7 +231,24 @@ fn main() {
         }
     };
 
+    if let Some(path) = &args.trace {
+        match std::fs::File::create(path) {
+            Ok(f) => world.set_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let outcome = world.run(args.budget);
+    if let Some(path) = &args.trace {
+        // The run flushed the sink; dropping it here flushes the BufWriter.
+        drop(world.take_sink());
+        if !args.quiet {
+            println!("wrote trace {path}");
+        }
+    }
     if !args.quiet {
         println!(
             "formed = {} ({:?})\nmetrics: {}",

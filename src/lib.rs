@@ -18,7 +18,9 @@
 //! * [`core`] — the paper's algorithm (`ψ_RSB` + `ψ_DPF`);
 //! * [`patterns`] — pattern and initial-configuration generators;
 //! * [`baselines`] — comparison algorithms;
-//! * [`render`] — SVG/ASCII rendering of configurations and traces.
+//! * [`render`] — SVG/ASCII rendering of configurations and traces;
+//! * [`trace`] — structured event tracing: typed events, sinks (JSONL,
+//!   ring buffer, hashing), and the trace inspector.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@ pub use apf_patterns as patterns;
 pub use apf_render as render;
 pub use apf_scheduler as scheduler;
 pub use apf_sim as sim;
+pub use apf_trace as trace;
 
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {

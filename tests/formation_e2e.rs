@@ -67,7 +67,7 @@ fn forms_from_symmetric_under_every_scheduler() {
             3_000_000,
         );
         assert!(o.formed, "{kind}: {:?}", o.reason);
-        assert!(o.metrics.random_bits > 0, "{kind}: the election must flip coins");
+        assert!(o.metrics.random_bits() > 0, "{kind}: the election must flip coins");
     }
 }
 
@@ -190,7 +190,7 @@ fn seeds_are_reproducible() {
         .build()
         .unwrap();
         let o = w.run(2_000_000);
-        (o.formed, o.metrics.steps, o.metrics.random_bits, o.final_positions)
+        (o.formed, o.metrics.steps, o.metrics.random_bits(), o.final_positions)
     };
     let a = run();
     let b = run();
