@@ -269,6 +269,24 @@ impl RunSpec {
         Ok(world.run(self.budget).into())
     }
 
+    /// Runs the trial with a [`HashSink`] installed and returns the result
+    /// together with the FNV-1a digest of the serialized event stream.
+    ///
+    /// The digest equals `HashSink`'s over the exact JSONL byte stream, so
+    /// it can be compared directly against a digest computed from a trace
+    /// file's bytes — the contract the golden-trace conformance corpus
+    /// (`apf-conformance`) checks on every CI run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when validation rejects the instance.
+    pub fn try_run_digest(&self) -> Result<(RunResult, u64), BuildError> {
+        let sink = HashSink::new();
+        let probe = sink.probe();
+        let result = self.try_run_with_sink(Box::new(sink))?;
+        Ok((result, probe.digest()))
+    }
+
     /// Re-runs the trial streaming its full event trace as JSONL into
     /// `writer` (at most `limit` events; use [`TRACE_EVENT_LIMIT`] for the
     /// harness default). Because trials are deterministic in their spec,

@@ -22,13 +22,17 @@
 //! * [`AsyncScheduler`] — the full adversary: random interleavings, partial
 //!   moves, pauses (with an aging bonus that enforces fairness);
 //! * [`RoundRobinScheduler`] — a deterministic ASYNC schedule for
-//!   reproducible unit tests.
+//!   reproducible unit tests;
+//! * [`ScriptedScheduler`] — replays a recorded action script with legality
+//!   filtering, so edited/shrunk schedules stay executable (the conformance
+//!   fuzzer's counterexample reducer is built on it).
 
 pub mod action;
 pub mod asynchronous;
 pub mod fsync;
 pub mod kind;
 pub mod round_robin;
+pub mod scripted;
 pub mod ssync;
 
 pub use action::{Action, PhaseView};
@@ -36,6 +40,7 @@ pub use asynchronous::{AsyncConfig, AsyncScheduler};
 pub use fsync::FsyncScheduler;
 pub use kind::SchedulerKind;
 pub use round_robin::RoundRobinScheduler;
+pub use scripted::ScriptedScheduler;
 pub use ssync::SsyncScheduler;
 
 /// A scheduling adversary: decides which robots act, and how far moving

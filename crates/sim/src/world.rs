@@ -333,7 +333,9 @@ impl World {
             })
             .collect();
         let actions = self.scheduler.next(&phases);
-        assert!(!actions.is_empty(), "scheduler returned an empty step");
+        if actions.is_empty() {
+            self.invariant_failure("scheduler returned an empty step");
+        }
         if let Some(sink) = self.sink.as_deref_mut() {
             let looks = actions.iter().filter(|a| a.is_look()).count() as u32;
             sink.record(&TraceEvent::StepBegin {
@@ -351,19 +353,21 @@ impl World {
         // legal ASYNC behavior; this one makes FSYNC rounds exact).
         for action in &actions {
             if let Action::Look { robot } = *action {
-                assert!(
-                    self.pending[robot].is_none(),
-                    "scheduler issued Look for a non-idle robot {robot}"
-                );
+                if self.pending[robot].is_some() {
+                    self.invariant_failure(&format!(
+                        "scheduler issued Look for a non-idle robot {robot}"
+                    ));
+                }
                 self.apply_look(robot, &observed)?;
             }
         }
         for action in &actions {
             if let Action::Move { robot, distance, end_phase } = *action {
-                assert!(
-                    self.pending[robot].is_some(),
-                    "scheduler issued Move for an idle robot {robot}"
-                );
+                if self.pending[robot].is_none() {
+                    self.invariant_failure(&format!(
+                        "scheduler issued Move for an idle robot {robot}"
+                    ));
+                }
                 self.apply_move(robot, distance, end_phase);
             }
         }
@@ -391,6 +395,28 @@ impl World {
         } else {
             self.finish(StopReason::StepBudget)
         }
+    }
+
+    /// Reports an engine invariant violation: gives the installed sink one
+    /// last chance to persist post-mortem evidence (see
+    /// [`TraceSink::crash_dump`] — a `CrashDumpSink` writes its last-N
+    /// event window to disk here), then panics with `msg`. The crash-dump
+    /// hook runs *before* the unwind starts, so evidence survives even
+    /// under `panic = "abort"`.
+    #[cold]
+    fn invariant_failure(&mut self, msg: &str) -> ! {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.crash_dump();
+        }
+        panic!("engine invariant violated: {msg}");
+    }
+
+    /// Injects an invariant violation, exercising the crash-dump path
+    /// end-to-end. Test-only: real violations come from buggy schedulers,
+    /// which conformance tests cannot construct through safe public APIs.
+    #[doc(hidden)]
+    pub fn debug_fail_invariant(&mut self, msg: &str) -> ! {
+        self.invariant_failure(msg)
     }
 
     fn finish(&mut self, reason: StopReason) -> Outcome {

@@ -18,8 +18,10 @@
 //!   last-N window), [`JsonlSink`] (streaming JSON-lines writer, one event
 //!   per line, hand-rolled — no serde in this offline workspace),
 //!   [`HashSink`] (order-sensitive FNV-1a digest of the serialized stream,
-//!   for bit-identical determinism checks), [`CountingSink`] and
-//!   [`NullSink`] (tests);
+//!   for bit-identical determinism checks), [`CrashDumpSink`] (a flight
+//!   recorder that persists its last-N window to disk on engine invariant
+//!   violations and panic unwinds), [`TeeSink`] (fan-out to two sinks),
+//!   [`CountingSink`] and [`NullSink`] (tests);
 //! * [`jsonl`] — the serialization format and its parser, so captured
 //!   traces round-trip;
 //! * [`inspect`] — [`inspect::TraceSummary`]: replays an event stream,
@@ -40,5 +42,6 @@ pub use event::{PhaseKind, TraceEvent};
 pub use inspect::{describe, PhaseTally, RobotTally, TraceSummary};
 pub use jsonl::{parse_line, to_json_line, ParseError};
 pub use sink::{
-    CountingSink, HashProbe, HashSink, JsonlSink, NullSink, RingSink, TraceSink, VecSink,
+    CountingSink, CrashDumpSink, HashProbe, HashSink, JsonlSink, NullSink, RingSink, TeeSink,
+    TraceSink, VecSink,
 };

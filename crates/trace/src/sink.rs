@@ -4,6 +4,7 @@ use crate::event::TraceEvent;
 use crate::jsonl::write_json_line;
 use std::collections::VecDeque;
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,6 +29,11 @@ pub trait TraceSink: Send {
     /// Flushes any buffered output (writers). Called by the engine when the
     /// run finishes; a no-op for in-memory sinks.
     fn flush_sink(&mut self) {}
+
+    /// The engine is about to panic on an internal invariant violation:
+    /// persist whatever post-mortem evidence this sink holds. A no-op for
+    /// ordinary sinks; [`CrashDumpSink`] writes its retained window to disk.
+    fn crash_dump(&mut self) {}
 }
 
 /// A sink that consumes nothing and reports itself disabled. Installing it
@@ -85,10 +91,16 @@ pub struct RingSink {
 }
 
 impl RingSink {
-    /// A ring keeping at most `cap` events (`cap ≥ 1`).
+    /// A ring keeping at most `cap` events. `cap == 0` is legal and retains
+    /// nothing (every event counts as dropped) — useful to disable a crash
+    /// window without special-casing the caller.
     pub fn new(cap: usize) -> Self {
-        assert!(cap >= 1, "ring sink needs capacity >= 1");
         RingSink { cap, dropped: 0, events: VecDeque::with_capacity(cap) }
+    }
+
+    /// The configured window capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// The retained window, oldest first.
@@ -114,6 +126,10 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn record(&mut self, event: &TraceEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
         if self.events.len() == self.cap {
             self.events.pop_front();
             self.dropped += 1;
@@ -235,6 +251,138 @@ impl<T: TraceSink> TraceSink for Arc<std::sync::Mutex<T>> {
     fn flush_sink(&mut self) {
         if let Ok(mut s) = self.lock() {
             s.flush_sink();
+        }
+    }
+
+    fn crash_dump(&mut self) {
+        if let Ok(mut s) = self.lock() {
+            s.crash_dump();
+        }
+    }
+}
+
+/// Fans every event out to two sinks — e.g. a live in-memory [`VecSink`] for
+/// an invariant checker plus a [`CrashDumpSink`] flight recorder. Compose
+/// tees for more than two consumers.
+pub struct TeeSink {
+    a: Box<dyn TraceSink>,
+    b: Box<dyn TraceSink>,
+}
+
+impl TeeSink {
+    /// A sink forwarding to both `a` and `b` (in that order).
+    pub fn new(a: Box<dyn TraceSink>, b: Box<dyn TraceSink>) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        self.a.record(event);
+        self.b.record(event);
+    }
+
+    fn flush_sink(&mut self) {
+        self.a.flush_sink();
+        self.b.flush_sink();
+    }
+
+    fn crash_dump(&mut self) {
+        self.a.crash_dump();
+        self.b.crash_dump();
+    }
+}
+
+/// A bounded flight recorder that writes its window to disk when the run
+/// dies: a [`RingSink`] plus a dump path.
+///
+/// The window is persisted as plain JSONL (replayable by the inspector as a
+/// windowed trace) through three triggers:
+///
+/// * the engine's [`TraceSink::crash_dump`] hook — fired by `World` just
+///   before it panics on an internal invariant violation;
+/// * `Drop` **during a panic unwind** — covers panics the engine did not
+///   anticipate (algorithm bugs, scheduler bugs), because the unwinding
+///   stack drops the `World` and with it this sink;
+/// * an explicit [`CrashDumpSink::dump_now`] — for harnesses (e.g. the
+///   conformance fuzzer) that detect a violation outside the engine.
+///
+/// Each trigger writes at most once; I/O errors are swallowed on the panic
+/// paths (a crash dump must never turn one failure into two) and surfaced by
+/// `dump_now`.
+pub struct CrashDumpSink {
+    ring: RingSink,
+    path: PathBuf,
+    dumped: bool,
+}
+
+impl CrashDumpSink {
+    /// A crash dump sink retaining the last `cap` events, writing them to
+    /// `path` when triggered.
+    pub fn new(path: impl Into<PathBuf>, cap: usize) -> Self {
+        CrashDumpSink { ring: RingSink::new(cap), path: path.into(), dumped: false }
+    }
+
+    /// The dump destination.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a dump was already written.
+    pub fn has_dumped(&self) -> bool {
+        self.dumped
+    }
+
+    /// Events currently retained in the window.
+    pub fn window_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Events evicted from the window so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Writes the retained window to the dump path now (idempotent: later
+    /// triggers are no-ops once a dump exists).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating or writing the dump file.
+    pub fn dump_now(&mut self) -> std::io::Result<&Path> {
+        if !self.dumped {
+            let mut text = String::with_capacity(self.ring.len() * 96);
+            let mut line = String::with_capacity(96);
+            for event in self.ring.events() {
+                write_json_line(event, &mut line);
+                text.push_str(&line);
+                text.push('\n');
+            }
+            std::fs::write(&self.path, text)?;
+            self.dumped = true;
+        }
+        Ok(&self.path)
+    }
+}
+
+impl TraceSink for CrashDumpSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.ring.record(event);
+    }
+
+    fn crash_dump(&mut self) {
+        let _ = self.dump_now();
+    }
+}
+
+impl Drop for CrashDumpSink {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.dump_now();
         }
     }
 }
@@ -363,6 +511,111 @@ mod tests {
         assert_eq!(s.dropped(), 7);
         let steps: Vec<u64> = s.events().map(TraceEvent::step).collect();
         assert_eq!(steps, [7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_sink_window_is_exact_across_many_wrap_cycles() {
+        // The retained window must be exactly the last `cap` events no
+        // matter how many times the ring wrapped.
+        for cap in [1usize, 2, 3, 7] {
+            let mut s = RingSink::new(cap);
+            let total: u64 = (cap as u64) * 5 + 3; // several full wrap cycles
+            for i in 0..total {
+                s.record(&ev(i));
+                // Invariant after every record: window = last min(i+1, cap).
+                let expect_len = ((i + 1) as usize).min(cap);
+                assert_eq!(s.len(), expect_len, "cap {cap} after {i}");
+            }
+            assert_eq!(s.capacity(), cap);
+            assert_eq!(s.dropped(), total - cap as u64);
+            let got: Vec<u64> = s.events().map(TraceEvent::step).collect();
+            let want: Vec<u64> = (total - cap as u64..total).collect();
+            assert_eq!(got, want, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn ring_sink_cap_zero_retains_nothing() {
+        let mut s = RingSink::new(0);
+        for i in 0..10 {
+            s.record(&ev(i));
+        }
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 10, "every event counts as dropped");
+        assert_eq!(s.events().count(), 0);
+    }
+
+    #[test]
+    fn ring_sink_cap_one_keeps_only_the_newest() {
+        let mut s = RingSink::new(1);
+        assert!(s.is_empty());
+        for i in 0..4 {
+            s.record(&ev(i));
+            let got: Vec<u64> = s.events().map(TraceEvent::step).collect();
+            assert_eq!(got, [i]);
+        }
+        assert_eq!(s.dropped(), 3);
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_both() {
+        use std::sync::Mutex;
+        let left = Arc::new(Mutex::new(VecSink::new()));
+        let right = Arc::new(Mutex::new(CountingSink::new()));
+        let mut tee = TeeSink::new(Box::new(Arc::clone(&left)), Box::new(Arc::clone(&right)));
+        assert!(tee.enabled());
+        for i in 0..3 {
+            tee.record(&ev(i));
+        }
+        tee.flush_sink();
+        assert_eq!(left.lock().unwrap().events().len(), 3);
+        assert_eq!(right.lock().unwrap().count(), 3);
+    }
+
+    #[test]
+    fn crash_dump_sink_writes_window_on_demand() {
+        let dir = std::env::temp_dir().join("apf-crash-dump-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("on-demand.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut s = CrashDumpSink::new(&path, 4);
+        for i in 0..10 {
+            s.record(&ev(i));
+        }
+        assert!(!s.has_dumped());
+        assert_eq!(s.window_len(), 4);
+        assert_eq!(s.dropped(), 6);
+        s.dump_now().unwrap();
+        assert!(s.has_dumped());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let steps: Vec<u64> = text.lines().map(|l| parse_line(l).unwrap().step()).collect();
+        assert_eq!(steps, [6, 7, 8, 9], "exactly the last-N window");
+        // Idempotent: a second trigger does not rewrite.
+        s.record(&ev(99));
+        s.crash_dump();
+        let text2 = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, text2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_dump_sink_flushes_on_panic_unwind() {
+        let dir = std::env::temp_dir().join("apf-crash-dump-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unwind.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let path_clone = path.clone();
+        let result = std::panic::catch_unwind(move || {
+            let mut s = CrashDumpSink::new(&path_clone, 8);
+            s.record(&ev(1));
+            s.record(&ev(2));
+            panic!("simulated engine failure");
+        });
+        assert!(result.is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "window flushed by Drop during unwind");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

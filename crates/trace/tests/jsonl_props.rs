@@ -1,0 +1,149 @@
+//! Property tests of the hand-rolled JSONL codec: encode → decode must
+//! round-trip bit-identically over arbitrary event sequences, including the
+//! float edge cases (`-0.0`, subnormals, huge magnitudes, shortest-format
+//! boundaries) the codec's `{}` formatting is trusted to handle.
+
+use apf_trace::{parse_line, to_json_line, PhaseKind, TraceEvent, TraceSummary};
+use proptest::prelude::*;
+
+/// Finite f64 from raw bits, with non-finite draws folded to interesting
+/// finite values instead of rejected (keeps the sample budget intact).
+fn finite(bits: u64) -> f64 {
+    let x = f64::from_bits(bits);
+    if x.is_finite() {
+        x
+    } else {
+        // Map the NaN/inf space onto boundary cases worth testing.
+        match bits % 5 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::MIN_POSITIVE,
+            3 => 5e-324, // smallest positive subnormal
+            _ => f64::MAX,
+        }
+    }
+}
+
+fn phase(selector: u8) -> PhaseKind {
+    PhaseKind::ALL[selector as usize % PhaseKind::COUNT]
+}
+
+/// Decode one arbitrary event from primitive draws. `variant` picks the
+/// event kind; the other fields are reinterpreted per variant so every draw
+/// yields a valid event. `robot_cap` bounds robot indices (and the
+/// `TrialStart` robot count): [`TraceSummary`] allocates per-robot state
+/// indexed by robot id, so streams destined for replay must keep ids small,
+/// while pure codec tests can exercise the full `u32` range.
+fn event(variant: u8, a: u64, b: u64, c: u64, flags: u8, robot_cap: u32) -> TraceEvent {
+    let step = a;
+    let robot = (b % u64::from(robot_cap)) as u32;
+    let x = finite(b);
+    let y = finite(c);
+    let f1 = flags & 1 != 0;
+    let f2 = flags & 2 != 0;
+    match variant % 11 {
+        0 => TraceEvent::TrialStart { robots: robot, seed: c },
+        1 => TraceEvent::StepBegin { step, looks: robot, moves: (c % 1000) as u32 },
+        2 => TraceEvent::Look { step, robot },
+        3 => TraceEvent::CoinFlip { step, robot, heads: f1 },
+        4 => TraceEvent::RandomWord { step, robot, bits: (c % 4096) as u32 },
+        5 => TraceEvent::Decide { step, robot, phase: phase(flags), moved: f1, path_len: y },
+        6 => TraceEvent::PhaseChange {
+            step,
+            robot,
+            from: phase(flags),
+            to: phase(flags.wrapping_add(flags >> 4)),
+        },
+        7 => TraceEvent::MoveSlice {
+            step,
+            robot,
+            advanced: x,
+            traveled: y,
+            length: finite(a ^ c),
+            end_phase: f1,
+            arrived: f2,
+        },
+        8 => TraceEvent::Interrupt { step, robot, traveled: x, length: y },
+        9 => TraceEvent::Formed { step },
+        _ => TraceEvent::TrialEnd { step, formed: f1, cycles: b, bits: c },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn single_events_round_trip_bit_identically(
+        variant in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        flags in any::<u8>(),
+    ) {
+        let ev = event(variant, a, b, c, flags, u32::MAX);
+        let line = to_json_line(&ev);
+        prop_assert!(!line.contains('\n'), "single line: {line}");
+        let back = match parse_line(&line) {
+            Ok(e) => e,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("{line}: {e}"),
+            )),
+        };
+        // Value equality (note -0.0 == 0.0 under PartialEq)...
+        prop_assert_eq!(back, ev);
+        // ...and byte equality of the re-serialization, which catches
+        // anything PartialEq cannot see (e.g. a lost -0.0 sign).
+        prop_assert_eq!(to_json_line(&back), line);
+    }
+
+    #[test]
+    fn event_sequences_survive_the_line_oriented_path(
+        seed in any::<u64>(),
+        draws in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()),
+            0..40,
+        ),
+    ) {
+        let events: Vec<TraceEvent> = draws
+            .iter()
+            .map(|&(v, a, b, f)| event(v, a, b, a ^ b ^ seed, f, 64))
+            .collect();
+        let text: String =
+            events.iter().map(|e| to_json_line(e) + "\n").collect();
+        let parsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| parse_line(l).expect("emitted lines must parse"))
+            .collect();
+        prop_assert_eq!(parsed.len(), events.len());
+        for (p, e) in parsed.iter().zip(events.iter()) {
+            prop_assert_eq!(to_json_line(p), to_json_line(e));
+        }
+        // The inspector's line-oriented entry point must accept every
+        // emitted stream without codec errors (legality violations are
+        // fine — these are arbitrary sequences, not legal executions).
+        let summary = TraceSummary::from_lines(text.lines());
+        prop_assert!(summary.is_ok());
+    }
+
+    #[test]
+    fn whitespace_padding_is_tolerated(
+        variant in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        flags in any::<u8>(),
+    ) {
+        let ev = event(variant, a, b, a.wrapping_mul(b | 1), flags, u32::MAX);
+        let line = to_json_line(&ev);
+        // Re-space the separators the way a hand-edited trace might.
+        let padded = line
+            .replace("\",\"", "\" , \"")
+            .replace(":", ": ");
+        let back = match parse_line(&padded) {
+            Ok(e) => e,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("{padded}: {e}"),
+            )),
+        };
+        prop_assert_eq!(to_json_line(&back), line);
+    }
+}

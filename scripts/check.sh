@@ -16,6 +16,17 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> conformance: golden corpus digest check"
+cargo run -q --release --bin apf-cli -- conformance corpus
+
+echo "==> conformance: fixed-seed fuzzer smoke"
+# Deterministic in the seed for any --jobs value; any counterexample is
+# shrunk and dumped as a replayable script.
+FUZZ_DIR="$(mktemp -d)"
+trap 'rm -rf "$FUZZ_DIR" "${TRACE_DIR:-}"' EXIT
+cargo run -q --release --bin apf-cli -- conformance fuzz \
+    --schedules 16 --seed 12648430 --jobs 2 --dump-dir "$FUZZ_DIR"
+
 echo "==> harness --quick --jobs 2 e1"
 cargo run -q --release -p apf-bench --bin harness -- --quick --jobs 2 e1
 
@@ -24,7 +35,6 @@ echo "==> trace smoke: harness --trace-out + apf-cli trace"
 # harness is guaranteed to dump failure traces; each must be well-formed
 # JSONL that the inspector replays without legality violations.
 TRACE_DIR="$(mktemp -d)"
-trap 'rm -rf "$TRACE_DIR"' EXIT
 cargo run -q --release -p apf-bench --bin harness -- --quick --jobs 2 --trace-out "$TRACE_DIR" e6
 found=0
 for f in "$TRACE_DIR"/*.jsonl; do

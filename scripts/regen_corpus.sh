@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden-trace conformance corpus (tests/corpus/) from the
+# current engine, then re-verifies it.
+#
+# Run this ONLY when a behavioral change is intentional: the diff of
+# tests/corpus/ in the resulting commit is the reviewable record of what
+# drifted. `apf-cli conformance corpus` prints the event-level diff before
+# you regenerate — read it first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> current drift (informational; fails only on I/O errors)"
+cargo run -q --release --bin apf-cli -- conformance corpus || true
+
+echo "==> regenerating tests/corpus/"
+cargo run -q --release --bin apf-cli -- conformance regen
+
+echo "==> re-verifying"
+cargo run -q --release --bin apf-cli -- conformance corpus
+
+echo "OK — review 'git diff tests/corpus/' before committing"

@@ -17,6 +17,24 @@
 //! per-robot timelines, and any legality violations; with `--replay` it
 //! prints every event as a human-readable line (optionally for one robot
 //! only). Exit codes: 0 clean, 1 violations found, 2 malformed JSONL.
+//!
+//! The `conformance` subcommand drives the golden-trace corpus and the
+//! adversarial schedule fuzzer (`apf-conformance`):
+//!
+//! ```text
+//! apf-cli conformance corpus [--dir DIR]
+//! apf-cli conformance regen  [--dir DIR]
+//! apf-cli conformance fuzz   [--schedules N] [--seed S] [--jobs J]
+//!                            [--dump-dir DIR] [--no-formation-check]
+//! ```
+//!
+//! `corpus` replays every golden and fails (exit 1) on digest drift,
+//! printing the event diff at the first divergence; `regen` rewrites the
+//! goldens and manifest from the current engine (run it when drift is
+//! intentional, and review the diff); `fuzz` runs a seeded campaign of
+//! pathological schedules, shrinking any violation to a minimal reproducer
+//! (written under `--dump-dir`). Exit codes: 0 clean, 1 findings, 2 usage
+//! or I/O errors.
 
 use apf::prelude::*;
 use apf::render::{Style, SvgScene};
@@ -103,6 +121,137 @@ fn trace_main(args: &[String]) -> ! {
     };
     print!("{}", summary.render());
     std::process::exit(if summary.is_clean() { 0 } else { 1 });
+}
+
+/// The `conformance` subcommand: corpus verification/regeneration and the
+/// schedule fuzzer.
+fn conformance_main(args: &[String]) -> ! {
+    let usage = "apf-cli conformance corpus|regen [--dir DIR]\n\
+                 apf-cli conformance fuzz [--schedules N] [--seed S] [--jobs J]\n\
+                 \x20                        [--dump-dir DIR] [--no-formation-check]";
+    let Some(mode) = args.first().map(String::as_str) else {
+        eprintln!("error: conformance needs a mode\n{usage}");
+        std::process::exit(2);
+    };
+    let mut dir = apf_conformance::default_corpus_dir();
+    let mut schedules: u64 = 16;
+    let mut seed: u64 = 0xC0FFEE;
+    let mut jobs: usize = 1;
+    let mut dump_dir: Option<String> = None;
+    let mut formation_check = true;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_fail = |e: &dyn std::fmt::Display| -> ! {
+            eprintln!("error: {flag}: {e}");
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--dir" => dir = value().into(),
+            "--schedules" => {
+                schedules = value().parse().unwrap_or_else(|e| parse_fail(&e));
+            }
+            "--seed" => seed = value().parse().unwrap_or_else(|e| parse_fail(&e)),
+            "--jobs" => jobs = value().parse().unwrap_or_else(|e| parse_fail(&e)),
+            "--dump-dir" => dump_dir = Some(value()),
+            "--no-formation-check" => formation_check = false,
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown flag {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match mode {
+        "corpus" => {
+            let reports = apf_conformance::verify(&dir).unwrap_or_else(|e| {
+                eprintln!("error: reading corpus in {}: {e}", dir.display());
+                std::process::exit(2);
+            });
+            let mut drifted = 0;
+            for r in &reports {
+                if r.ok() {
+                    println!("ok    {} ({:016x}, {} events)", r.name, r.live_digest, r.live_events);
+                } else {
+                    drifted += 1;
+                    println!(
+                        "DRIFT {} manifest={} file={} live={:016x}",
+                        r.name,
+                        r.manifest_digest.map_or("missing".into(), |d| format!("{d:016x}")),
+                        r.file_digest.map_or("missing".into(), |d| format!("{d:016x}")),
+                        r.live_digest
+                    );
+                    print!("{}", r.diff);
+                }
+            }
+            if drifted > 0 {
+                println!(
+                    "{drifted}/{} cases drifted; regenerate with `apf-cli conformance regen` \
+                     if intentional",
+                    reports.len()
+                );
+            }
+            std::process::exit(if drifted == 0 { 0 } else { 1 });
+        }
+        "regen" => {
+            let entries = apf_conformance::regenerate(&dir).unwrap_or_else(|e| {
+                eprintln!("error: writing corpus in {}: {e}", dir.display());
+                std::process::exit(2);
+            });
+            for e in &entries {
+                println!("wrote {} ({:016x}, {} events)", e.name, e.digest, e.events);
+            }
+            println!("manifest: {}", dir.join("manifest.txt").display());
+            std::process::exit(0);
+        }
+        "fuzz" => {
+            let cfg = apf_conformance::FuzzConfig {
+                require_formation: formation_check,
+                ..apf_conformance::FuzzConfig::default()
+            };
+            let report = apf_conformance::fuzz_campaign(&cfg, seed, schedules, jobs);
+            println!(
+                "fuzz: {} schedules, {} clean, {} counterexamples (seed {seed:#x})",
+                report.schedules,
+                report.clean,
+                report.counterexamples.len()
+            );
+            for ce in &report.counterexamples {
+                println!(
+                    "  schedule {}: {} ({} batches, shrunk from {})",
+                    ce.schedule_index,
+                    ce.violations.iter().map(|v| v.kind).collect::<Vec<_>>().join(","),
+                    ce.script.len(),
+                    ce.original_len
+                );
+                for v in &ce.violations {
+                    println!("    [{}] {}", v.kind, v.detail);
+                }
+                if let Some(dump) = &dump_dir {
+                    match apf_conformance::dump_counterexample(std::path::Path::new(dump), ce) {
+                        Ok(p) => println!("    reproducer: {}", p.display()),
+                        Err(e) => {
+                            eprintln!("error: writing reproducer: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            std::process::exit(if report.is_clean() { 0 } else { 1 });
+        }
+        other => {
+            eprintln!("error: unknown conformance mode {other}\n{usage}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -197,6 +346,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("trace") {
         trace_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("conformance") {
+        conformance_main(&raw[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -3,12 +3,16 @@
 //! Robots observe the world through private frames with random rotation,
 //! scale and handedness; the algorithm's global behavior must not depend on
 //! them. These tests compare runs with shared vs randomized frames and
-//! verify mirror-invariance of the geometric core.
+//! verify mirror-invariance of the geometric core — each simulation-driving
+//! scenario under every scheduler kind (FSYNC, SSYNC, ASYNC).
+
+mod common;
 
 use apf::geometry::{Frame, Point, Tol};
 use apf::prelude::*;
 use apf::sim::Snapshot;
 use apf_sim::{Decision, NullBits, RobotAlgorithm};
+use common::for_each_scheduler;
 
 #[test]
 fn random_frames_do_not_affect_success() {
@@ -19,17 +23,19 @@ fn random_frames_do_not_affect_success() {
     // frame-independent.
     let initial = apf::patterns::asymmetric_configuration(8, 7);
     let target = apf::patterns::random_pattern(8, 8);
-    for randomize in [false, true] {
-        let mut w = SimulationBuilder::new(initial.clone(), target.clone())
-            .scheduler(SchedulerKind::RoundRobin)
-            .seed(99)
-            .randomize_frames(randomize)
-            .build()
-            .unwrap();
-        let o = w.run(2_000_000);
-        assert!(o.formed, "randomize_frames={randomize}: {:?}", o.reason);
-        assert!(apf::geometry::are_similar(&o.final_positions, &target, &Tol::default()));
-    }
+    for_each_scheduler(|kind| {
+        for randomize in [false, true] {
+            let mut w = SimulationBuilder::new(initial.clone(), target.clone())
+                .scheduler(kind)
+                .seed(99)
+                .randomize_frames(randomize)
+                .build()
+                .unwrap();
+            let o = w.run(2_000_000);
+            assert!(o.formed, "randomize_frames={randomize}: {:?}", o.reason);
+            assert!(apf::geometry::are_similar(&o.final_positions, &target, &Tol::default()));
+        }
+    });
 }
 
 #[test]
@@ -85,19 +91,21 @@ fn mirrored_world_runs_equivalently() {
     let target = apf::patterns::random_pattern(8, 28);
     let mirror =
         |pts: &[Point]| -> Vec<Point> { pts.iter().map(|p| Point::new(p.x, -p.y)).collect() };
-    let mut straight = SimulationBuilder::new(initial.clone(), target.clone())
-        .scheduler(SchedulerKind::RoundRobin)
-        .seed(31)
-        .build()
-        .unwrap();
-    let mut mirrored = SimulationBuilder::new(mirror(&initial), mirror(&target))
-        .scheduler(SchedulerKind::RoundRobin)
-        .seed(31)
-        .build()
-        .unwrap();
-    let a = straight.run(3_000_000);
-    let b = mirrored.run(3_000_000);
-    assert!(a.formed && b.formed);
+    for_each_scheduler(|kind| {
+        let mut straight = SimulationBuilder::new(initial.clone(), target.clone())
+            .scheduler(kind)
+            .seed(31)
+            .build()
+            .unwrap();
+        let mut mirrored = SimulationBuilder::new(mirror(&initial), mirror(&target))
+            .scheduler(kind)
+            .seed(31)
+            .build()
+            .unwrap();
+        let a = straight.run(3_000_000);
+        let b = mirrored.run(3_000_000);
+        assert!(a.formed && b.formed);
+    });
 }
 
 #[test]
@@ -106,12 +114,14 @@ fn pattern_can_be_formed_as_mirror_image() {
     // axis of symmetry) may legitimately be formed as its own mirror image.
     let initial = apf::patterns::asymmetric_configuration(8, 37);
     let target = apf::patterns::random_pattern(8, 38);
-    let mut w = SimulationBuilder::new(initial, target.clone())
-        .scheduler(SchedulerKind::Async)
-        .seed(41)
-        .build()
-        .unwrap();
-    let o = w.run(3_000_000);
-    assert!(o.formed);
-    assert!(apf::geometry::are_similar(&o.final_positions, &target, &Tol::default()));
+    for_each_scheduler(|kind| {
+        let mut w = SimulationBuilder::new(initial.clone(), target.clone())
+            .scheduler(kind)
+            .seed(41)
+            .build()
+            .unwrap();
+        let o = w.run(3_000_000);
+        assert!(o.formed);
+        assert!(apf::geometry::are_similar(&o.final_positions, &target, &Tol::default()));
+    });
 }

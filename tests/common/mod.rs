@@ -1,0 +1,24 @@
+//! Shared helpers for the end-to-end suites.
+
+use apf::prelude::*;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The scheduler matrix the simulation-driving e2e scenarios run under:
+/// every synchrony model of the paper, from fully synchronous rounds to the
+/// fully asynchronous adversary.
+pub const SCHEDULER_MATRIX: [SchedulerKind; 3] =
+    [SchedulerKind::Fsync, SchedulerKind::Ssync, SchedulerKind::Async];
+
+/// Runs `scenario` once per scheduler kind in [`SCHEDULER_MATRIX`],
+/// reporting which kind failed before propagating the panic. Scenarios stay
+/// scheduler-agnostic: anything that must hold for the algorithm holds for
+/// every synchrony model, so a scenario passing under FSYNC but not ASYNC
+/// is a finding, not a flake.
+pub fn for_each_scheduler(scenario: impl Fn(SchedulerKind)) {
+    for kind in SCHEDULER_MATRIX {
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| scenario(kind))) {
+            eprintln!("scenario failed under the {kind:?} scheduler");
+            resume_unwind(panic);
+        }
+    }
+}

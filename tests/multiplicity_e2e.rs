@@ -1,24 +1,29 @@
-//! End-to-end tests of the multiplicity extension (Section 5, Appendix C).
+//! End-to-end tests of the multiplicity extension (Section 5, Appendix C),
+//! each scenario under every scheduler kind (FSYNC, SSYNC, ASYNC).
+
+mod common;
 
 use apf::geometry::{Configuration, Point, Tol};
 use apf::prelude::*;
+use common::for_each_scheduler;
 
 #[test]
 fn forms_pattern_with_doubled_points() {
     let n = 8;
-    let mut world = SimulationBuilder::new(
-        apf::patterns::asymmetric_configuration(n, 3),
-        apf::patterns::pattern_with_multiplicity(n, 6, 17),
-    )
-    .scheduler(SchedulerKind::RoundRobin)
-    .seed(2)
-    .multiplicity_detection(true)
-    .build()
-    .unwrap();
-    let o = world.run(3_000_000);
-    assert!(o.formed, "{:?}", o.reason);
-    let groups = Configuration::new(o.final_positions).multiplicity_groups(&Tol::default());
-    assert_eq!(groups.len(), 6, "two doubled positions expected");
+    let initial = apf::patterns::asymmetric_configuration(n, 3);
+    let target = apf::patterns::pattern_with_multiplicity(n, 6, 17);
+    for_each_scheduler(|kind| {
+        let mut world = SimulationBuilder::new(initial.clone(), target.clone())
+            .scheduler(kind)
+            .seed(2)
+            .multiplicity_detection(true)
+            .build()
+            .unwrap();
+        let o = world.run(3_000_000);
+        assert!(o.formed, "{:?}", o.reason);
+        let groups = Configuration::new(o.final_positions).multiplicity_groups(&Tol::default());
+        assert_eq!(groups.len(), 6, "two doubled positions expected");
+    });
 }
 
 #[test]
@@ -31,51 +36,56 @@ fn forms_pattern_with_center_multiplicity() {
     by_r.sort_by(|&a, &b| target[a].dist(c).partial_cmp(&target[b].dist(c)).unwrap());
     target[by_r[0]] = c;
     target[by_r[1]] = c;
+    let initial = apf::patterns::asymmetric_configuration(n, 5);
 
-    let mut world = SimulationBuilder::new(apf::patterns::asymmetric_configuration(n, 5), target)
-        .scheduler(SchedulerKind::RoundRobin)
-        .seed(4)
-        .multiplicity_detection(true)
-        .build()
-        .unwrap();
-    let o = world.run(4_000_000);
-    assert!(o.formed, "{:?}", o.reason);
-    let cfg = Configuration::new(o.final_positions.clone());
-    let center = cfg.sec().center;
-    let at_center = o.final_positions.iter().filter(|p| p.dist(center) < 1e-4).count();
-    assert_eq!(at_center, 2, "two robots must gather at the center");
+    for_each_scheduler(|kind| {
+        let mut world = SimulationBuilder::new(initial.clone(), target.clone())
+            .scheduler(kind)
+            .seed(4)
+            .multiplicity_detection(true)
+            .build()
+            .unwrap();
+        let o = world.run(4_000_000);
+        assert!(o.formed, "{:?}", o.reason);
+        let cfg = Configuration::new(o.final_positions.clone());
+        let center = cfg.sec().center;
+        let at_center = o.final_positions.iter().filter(|p| p.dist(center) < 1e-4).count();
+        assert_eq!(at_center, 2, "two robots must gather at the center");
+    });
 }
 
 #[test]
-fn multiplicity_under_async_scheduler() {
+fn multiplicity_under_every_scheduler() {
     let n = 8;
-    let mut world = SimulationBuilder::new(
-        apf::patterns::asymmetric_configuration(n, 7),
-        apf::patterns::pattern_with_multiplicity(n, 7, 19),
-    )
-    .scheduler(SchedulerKind::Async)
-    .seed(6)
-    .multiplicity_detection(true)
-    .build()
-    .unwrap();
-    let o = world.run(4_000_000);
-    assert!(o.formed, "{:?}", o.reason);
+    let initial = apf::patterns::asymmetric_configuration(n, 7);
+    let target = apf::patterns::pattern_with_multiplicity(n, 7, 19);
+    for_each_scheduler(|kind| {
+        let mut world = SimulationBuilder::new(initial.clone(), target.clone())
+            .scheduler(kind)
+            .seed(6)
+            .multiplicity_detection(true)
+            .build()
+            .unwrap();
+        let o = world.run(4_000_000);
+        assert!(o.formed, "{:?}", o.reason);
+    });
 }
 
 #[test]
 fn multiplicity_from_symmetric_start() {
     let n = 8;
-    let mut world = SimulationBuilder::new(
-        apf::patterns::symmetric_configuration(n, 4, 9),
-        apf::patterns::pattern_with_multiplicity(n, 6, 29),
-    )
-    .scheduler(SchedulerKind::RoundRobin)
-    .seed(8)
-    .multiplicity_detection(true)
-    .build()
-    .unwrap();
-    let o = world.run(4_000_000);
-    assert!(o.formed, "{:?}", o.reason);
+    let initial = apf::patterns::symmetric_configuration(n, 4, 9);
+    let target = apf::patterns::pattern_with_multiplicity(n, 6, 29);
+    for_each_scheduler(|kind| {
+        let mut world = SimulationBuilder::new(initial.clone(), target.clone())
+            .scheduler(kind)
+            .seed(8)
+            .multiplicity_detection(true)
+            .build()
+            .unwrap();
+        let o = world.run(4_000_000);
+        assert!(o.formed, "{:?}", o.reason);
+    });
 }
 
 #[test]
@@ -88,18 +98,21 @@ fn single_center_point_is_supported_without_detection() {
     let mut by_r: Vec<usize> = (0..n).collect();
     by_r.sort_by(|&a, &b| target[a].dist(c).partial_cmp(&target[b].dist(c)).unwrap());
     target[by_r[0]] = c;
+    let initial = apf::patterns::asymmetric_configuration(n, 11);
 
-    let mut world = SimulationBuilder::new(apf::patterns::asymmetric_configuration(n, 11), target)
-        .scheduler(SchedulerKind::RoundRobin)
-        .seed(10)
-        .build()
-        .unwrap();
-    let o = world.run(4_000_000);
-    assert!(o.formed, "{:?}", o.reason);
-    let cfg = Configuration::new(o.final_positions.clone());
-    let center = cfg.sec().center;
-    let at_center = o.final_positions.iter().filter(|p| p.dist(center) < 1e-4).count();
-    assert_eq!(at_center, 1);
+    for_each_scheduler(|kind| {
+        let mut world = SimulationBuilder::new(initial.clone(), target.clone())
+            .scheduler(kind)
+            .seed(10)
+            .build()
+            .unwrap();
+        let o = world.run(4_000_000);
+        assert!(o.formed, "{:?}", o.reason);
+        let cfg = Configuration::new(o.final_positions.clone());
+        let center = cfg.sec().center;
+        let at_center = o.final_positions.iter().filter(|p| p.dist(center) < 1e-4).count();
+        assert_eq!(at_center, 1);
+    });
 }
 
 #[test]
@@ -108,22 +121,29 @@ fn multiplicity_collisions_are_only_at_pattern_points() {
     // multiplicity point of the (possibly transformed) pattern — robots
     // never collide by accident.
     let n = 8;
+    let initial = apf::patterns::asymmetric_configuration(n, 13);
     let target = apf::patterns::pattern_with_multiplicity(n, 6, 47);
-    let mut world = SimulationBuilder::new(apf::patterns::asymmetric_configuration(n, 13), target)
-        .scheduler(SchedulerKind::RoundRobin)
-        .seed(12)
-        .multiplicity_detection(true)
-        .record_trace(true)
-        .build()
-        .unwrap();
-    let o = world.run(3_000_000);
-    assert!(o.formed);
-    let tol = Tol::default();
-    for (t, cfg) in world.trace().iter().enumerate() {
-        let c = Configuration::new(cfg.clone());
-        for (_, members) in c.multiplicity_groups(&tol) {
-            assert!(members.len() <= 2, "unexpected multiplicity {} at step {t}", members.len());
+    for_each_scheduler(|kind| {
+        let mut world = SimulationBuilder::new(initial.clone(), target.clone())
+            .scheduler(kind)
+            .seed(12)
+            .multiplicity_detection(true)
+            .record_trace(true)
+            .build()
+            .unwrap();
+        let o = world.run(3_000_000);
+        assert!(o.formed);
+        let tol = Tol::default();
+        for (t, cfg) in world.trace().iter().enumerate() {
+            let c = Configuration::new(cfg.clone());
+            for (_, members) in c.multiplicity_groups(&tol) {
+                assert!(
+                    members.len() <= 2,
+                    "unexpected multiplicity {} at step {t}",
+                    members.len()
+                );
+            }
         }
-    }
+    });
     let _ = Point::ORIGIN;
 }

@@ -59,6 +59,18 @@ impl UniformSample for u32 {
     }
 }
 
+impl UniformSample for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 16) as u16
+    }
+}
+
+impl UniformSample for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+
 impl UniformSample for f64 {
     /// Uniform in `[0, 1)` with 53 bits of precision.
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
