@@ -17,6 +17,8 @@
 //! * [`GatherToCenter`] — every robot walks to the center of `C(P)`; a
 //!   trivial workload for calibrating simulator overhead in benchmarks.
 
+#![forbid(unsafe_code)]
+
 use apf_core::analysis::Analysis;
 use apf_core::{dpf, FormPattern};
 use apf_geometry::{are_similar, Path, Point};

@@ -255,6 +255,7 @@ impl RunSpec {
     /// Panics if the instance is invalid (the experiment generators only
     /// emit valid ones).
     pub fn run(&self) -> RunResult {
+        // apf-lint: allow(panic-policy) — documented panic (# Panics): generators emit valid instances
         self.try_run().expect("experiment instance must be valid")
     }
 
@@ -313,6 +314,7 @@ impl RunSpec {
         let sink = Arc::try_unwrap(shared)
             .unwrap_or_else(|_| unreachable!("world dropped its sink handle"))
             .into_inner()
+            // apf-lint: allow(panic-policy) — poisoning requires a panic that already failed the trial
             .expect("trace sink lock poisoned");
         Ok(TracedRun {
             result,
@@ -390,6 +392,7 @@ pub fn trace_failures(
         let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
         let traced = spec
             .run_traced(file, TRACE_EVENT_LIMIT)
+            // apf-lint: allow(panic-policy) — same spec built and ran earlier in this campaign
             .expect("spec already ran once; it must still build");
         if let Some(kind) = traced.io_error {
             return Err(std::io::Error::new(kind, format!("writing {}", path.display())));
@@ -613,7 +616,7 @@ impl PercentileBuffer {
             return 0.0;
         }
         let mut v = self.samples.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v[((v.len() as f64 - 1.0) * q).round() as usize]
     }
 }
@@ -938,6 +941,7 @@ impl Engine {
                                     let probe = sink.probe();
                                     let r = spec
                                         .try_run_with_sink(Box::new(sink))
+                                        // apf-lint: allow(panic-policy) — generators emit valid instances (see run())
                                         .expect("experiment instance must be valid");
                                     digests.push(probe.digest());
                                     r
@@ -984,6 +988,7 @@ impl Engine {
             }
 
             for handle in handles {
+                // apf-lint: allow(panic-policy) — a worker panic must abort the campaign, not hang it
                 let (chunk_outs, stats, longest) = handle.join().expect("engine worker panicked");
                 for (c, data) in chunk_outs {
                     chunks[c] = Some(data);
@@ -1002,6 +1007,7 @@ impl Engine {
         let mut digests = self.digests.then(|| Vec::with_capacity(n));
         for slot in chunks {
             let (agg, chunk_results, chunk_digests) =
+            // apf-lint: allow(panic-policy) — the atomic cursor hands every chunk to exactly one worker
                 slot.expect("every chunk must be claimed by a worker");
             stats.merge(&agg);
             if let Some(all) = results.as_mut() {

@@ -414,6 +414,7 @@ pub fn e7(ctx: &ExpCtx) -> ExperimentReport {
                 let cfg = Configuration::new(pat.clone());
                 let c = cfg.sec().center;
                 let groups = cfg.multiplicity_groups(&Tol::default());
+                // apf-lint: allow(panic-policy) — pattern_with_multiplicity always yields ≥ 1 group
                 let (_, members) = groups.iter().max_by_key(|(_, m)| m.len()).unwrap().clone();
                 for i in members {
                     pat[i] = c;

@@ -10,6 +10,8 @@
 //! [`engine::Engine`]; see the [`engine`] module docs for the determinism
 //! guarantee.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod experiments;
 pub mod report;
@@ -97,7 +99,7 @@ impl Aggregate {
         let ok: Vec<&RunResult> = results.iter().filter(|r| r.formed).collect();
         let success = if runs == 0 { 0.0 } else { ok.len() as f64 / runs as f64 };
         let mut cycles: Vec<f64> = ok.iter().map(|r| r.cycles as f64).collect();
-        cycles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        cycles.sort_by(f64::total_cmp);
         let mean =
             |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
         let pct = |v: &[f64], q: f64| {

@@ -194,6 +194,7 @@ impl Scheduler for FuzzScheduler {
             });
         }
         if self.steps <= self.script_steps {
+            // apf-lint: allow(panic-policy) — single-threaded use; poisoning needs a prior panic
             self.script.lock().expect("fuzz script lock").push(batch.clone());
         }
         batch
@@ -370,6 +371,7 @@ fn run_one(cfg: &FuzzConfig, seed: u64) -> (Vec<Vec<Action>>, Vec<Violation>) {
     world.set_sink(Box::new(Arc::clone(&sink)));
     let outcome = world.run(cfg.step_budget);
     drop(world);
+    // apf-lint: allow(panic-policy) — single-threaded use; poisoning needs a prior panic
     let events = sink.lock().expect("fuzz sink lock").events().to_vec();
     let mut violations = check_events(cfg, &events, outcome.formed, true);
     if let apf_sim::StopReason::AlgorithmError(e) = &outcome.reason {
@@ -381,6 +383,7 @@ fn run_one(cfg: &FuzzConfig, seed: u64) -> (Vec<Vec<Action>>, Vec<Violation>) {
             },
         );
     }
+    // apf-lint: allow(panic-policy) — single-threaded use; poisoning needs a prior panic
     let script = script.lock().expect("fuzz script lock").clone();
     (script, violations)
 }
@@ -395,6 +398,7 @@ pub fn replay_violates(cfg: &FuzzConfig, seed: u64, script: &[Vec<Action>], kind
     let sink = Arc::new(Mutex::new(VecSink::new()));
     world.set_sink(Box::new(Arc::clone(&sink)));
     let outcome = world.run(script.len() as u64);
+    // apf-lint: allow(panic-policy) — single-threaded use; poisoning needs a prior panic
     let events = sink.lock().expect("fuzz sink lock").events().to_vec();
     check_events(cfg, &events, outcome.formed, false).iter().any(|v| v.kind == kind)
 }
@@ -468,6 +472,7 @@ pub fn fuzz_campaign(
                 }
                 let seed = trial_seed(campaign_seed, i as u64);
                 let out = run_one(cfg, seed);
+                // apf-lint: allow(panic-policy) — each slot is touched by exactly one worker
                 *slots[i].lock().expect("fuzz slot lock") = Some(out);
             });
         }
@@ -475,6 +480,7 @@ pub fn fuzz_campaign(
     let mut report = FuzzReport { schedules, ..FuzzReport::default() };
     for (i, slot) in slots.into_iter().enumerate() {
         let (script, violations) =
+        // apf-lint: allow(panic-policy) — workers either fill every slot or panic the scope
             slot.into_inner().expect("fuzz slot lock").expect("every slot filled");
         if violations.is_empty() {
             report.clean += 1;

@@ -26,6 +26,8 @@
 //! violations flush a last-N event window to disk before panicking (see
 //! `World::step` and `TraceSink::crash_dump`).
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod fuzz;
 

@@ -155,6 +155,7 @@ impl TargetPlan {
                     .cmp(&multiplicity_of(x)) // fewer duplicates wins
                     .then(va.view(x).cmp(va.view(y)))
             })
+            // apf-lint: allow(panic-policy) — caller checked F' non-empty (plan precondition)
             .expect("F' is non-empty");
         let fmax_polar = PolarPoint::from_cartesian(f_prime[fmax], Point::ORIGIN);
         if tol.is_zero(fmax_polar.radius) {
@@ -207,7 +208,7 @@ impl TargetPlan {
 
         // Distinct circle radii, strictly decreasing.
         let mut radii: Vec<f64> = targets.iter().map(|t| t.radius).collect();
-        radii.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        radii.sort_by(|x, y| y.total_cmp(x));
         let mut circles: Vec<f64> = Vec::new();
         for r in radii {
             if tol.is_zero(r) {

@@ -215,11 +215,9 @@ fn emerge_from_center(a: &Analysis, others: &[usize], clearance: f64) -> Decisio
     let rstar = *others
         .iter()
         .min_by(|&&x, &&y| {
-            a.radius(x)
-                .partial_cmp(&a.radius(y))
-                .unwrap()
-                .then(a.polar(x).angle.partial_cmp(&a.polar(y).angle).unwrap())
+            a.radius(x).total_cmp(&a.radius(y)).then(a.polar(x).angle.total_cmp(&a.polar(y).angle))
         })
+        // apf-lint: allow(panic-policy) — n ≥ 2 is a formPattern precondition, so others ≠ ∅
         .expect("others is non-empty");
     let rstar_polar = a.polar(rstar);
     // Angular gap from r* to its nearest other robot.

@@ -90,14 +90,14 @@ pub fn fix_enclosing_circle(
     let c1 = plan.circles[0];
     let mut t_pair: Vec<f64> =
         plan.targets.iter().filter(|t| tol.eq(t.radius, c1)).map(|t| t.angle).collect();
-    t_pair.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    t_pair.sort_by(f64::total_cmp);
     debug_assert_eq!(t_pair.len(), 2);
     let (t_lo, t_hi) = (t_pair[0], t_pair[1]);
 
     let mut on_c1: Vec<usize> =
         prime_robots(a, rs).into_iter().filter(|&i| tol.eq(a.radius(i), c1)).collect();
     on_c1.sort_by(|&x, &y| {
-        zf.angle_of(a.config.point(x)).partial_cmp(&zf.angle_of(a.config.point(y))).unwrap()
+        zf.angle_of(a.config.point(x)).total_cmp(&zf.angle_of(a.config.point(y)))
     });
 
     // Satisfied: exactly two robots, at the two target angles.
@@ -118,6 +118,7 @@ pub fn fix_enclosing_circle(
     // Three or more robots on C(P): the extremal two head for the targets,
     // the middle ones spread out between them.
     let r_lo = on_c1[0];
+    // apf-lint: allow(panic-policy) — this branch is only reached with ≥ 3 robots on C(P)
     let r_hi = *on_c1.last().expect("non-empty");
     let a_lo = zf.angle_of(a.config.point(r_lo));
     let a_hi = zf.angle_of(a.config.point(r_hi));
@@ -248,9 +249,9 @@ fn prime_robots(a: &Analysis, rs: usize) -> Vec<usize> {
 /// equal radii, and raw `f64` ordering would let per-frame normalization
 /// noise make robots disagree on who acts), then `Z`-angle.
 fn cmp_z(a: &Analysis, zf: &ZFrame, x: usize, y: usize) -> std::cmp::Ordering {
-    a.tol.cmp(a.radius(x), a.radius(y)).then_with(|| {
-        zf.angle_of(a.config.point(x)).partial_cmp(&zf.angle_of(a.config.point(y))).unwrap()
-    })
+    a.tol
+        .cmp(a.radius(x), a.radius(y))
+        .then_with(|| zf.angle_of(a.config.point(x)).total_cmp(&zf.angle_of(a.config.point(y))))
 }
 
 fn ang_close(x: f64, y: f64, tol: &apf_geometry::Tol) -> bool {
@@ -384,7 +385,7 @@ fn excess_on_c1(
     let m1 = plan.counts[0];
     let mut sorted: Vec<usize> = on_c1.to_vec();
     sorted.sort_by(|&x, &y| {
-        zf.angle_of(a.config.point(x)).partial_cmp(&zf.angle_of(a.config.point(y))).unwrap()
+        zf.angle_of(a.config.point(x)).total_cmp(&zf.angle_of(a.config.point(y)))
     });
     let k = sorted.len();
     let keepers = &sorted[k - m1..];
@@ -393,7 +394,7 @@ fn excess_on_c1(
     // Polygon vertices: (2j+1)·π/m1 — symmetric about the zero ray, none on
     // it.
     let mut poly: Vec<f64> = (0..m1).map(|j| (2 * j + 1) as f64 * PI / m1 as f64).collect();
-    poly.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    poly.sort_by(f64::total_cmp);
     let keepers_placed = keepers
         .iter()
         .zip(poly.iter())
@@ -524,7 +525,7 @@ fn rotate_with_constraints(
             .filter(|&&i| i != a.me && i != rs)
             .map(|&i| zf.angle_of(a.config.point(i)))
             .collect();
-        neighbors.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        neighbors.sort_by(f64::total_cmp);
         if !neighbors.is_empty() {
             if increasing {
                 // Neighbor behind me (largest angle below my_z, cyclically).
@@ -536,6 +537,7 @@ fn rotate_with_constraints(
                 let behind = if behind.is_finite() {
                     behind
                 } else {
+                    // apf-lint: allow(panic-policy) — guarded by !neighbors.is_empty() above
                     neighbors.last().copied().unwrap() - TAU
                 };
                 target = target.min(behind + PI - margin);
@@ -548,6 +550,7 @@ fn rotate_with_constraints(
                 let ahead = if ahead.is_finite() {
                     ahead
                 } else {
+                    // apf-lint: allow(panic-policy) — guarded by !neighbors.is_empty() above
                     neighbors.first().copied().unwrap() + TAU
                 };
                 target = target.max(ahead - PI + margin);

@@ -32,12 +32,12 @@ pub fn rotate_to_targets(
         let mut robots: Vec<usize> =
             (0..a.n()).filter(|&i| i != rs && tol.eq(a.radius(i), ci)).collect();
         robots.sort_by(|&x, &y| {
-            zf.angle_of(a.config.point(x)).partial_cmp(&zf.angle_of(a.config.point(y))).unwrap()
+            zf.angle_of(a.config.point(x)).total_cmp(&zf.angle_of(a.config.point(y)))
         });
         // Targets on this circle, sorted by Z-angle.
         let mut targets: Vec<f64> =
             plan.targets.iter().filter(|t| tol.eq(t.radius, ci)).map(|t| t.angle).collect();
-        targets.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        targets.sort_by(f64::total_cmp);
         if robots.len() != targets.len() {
             return Err(ComputeError::new("phase 3 invoked before circles were populated"));
         }

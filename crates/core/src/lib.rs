@@ -37,6 +37,8 @@
 //! assert!(outcome.formed);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod builder;
 pub mod dpf;

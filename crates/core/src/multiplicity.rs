@@ -75,6 +75,7 @@ pub fn preprocess(a: &mut Analysis) -> Result<MultiStep, ComputeError> {
     let fmax = (0..a.pattern.len())
         .filter(|&i| !tol.is_zero(a.pattern[i].dist(Point::ORIGIN)))
         .max_by(|&x, &y| va.view(x).cmp(va.view(y)))
+        // apf-lint: allow(panic-policy) — multiplicity preprocessing requires |F̃| ≥ 2 points
         .expect("more than one distinct pattern location");
     let r_min = a
         .pattern
@@ -82,6 +83,7 @@ pub fn preprocess(a: &mut Analysis) -> Result<MultiStep, ComputeError> {
         .map(|p| p.dist(Point::ORIGIN))
         .filter(|&r| !tol.is_zero(r))
         .fold(f64::INFINITY, f64::min);
+    // apf-lint: allow(panic-policy) — fmax was filtered to off-center points just above
     let dir = (a.pattern[fmax] - Point::ORIGIN).normalized().expect("f_max is off-center");
     let g_f = Point::ORIGIN + dir * (r_min / 2.0);
 
@@ -110,7 +112,7 @@ fn gather_step(a: &Analysis, m: usize, center_group: &[usize]) -> Option<Decisio
     }
     // The m closest robots.
     let mut by_radius: Vec<usize> = (0..n).collect();
-    by_radius.sort_by(|&x, &y| a.radius(x).partial_cmp(&a.radius(y)).unwrap());
+    by_radius.sort_by(|&x, &y| a.radius(x).total_cmp(&a.radius(y)));
     let inner = &by_radius[..m];
     let rest = &by_radius[m..];
     // The boundary must be unambiguous.

@@ -268,6 +268,7 @@ fn act_asymmetric(a: &Analysis) -> Result<Decision, ComputeError> {
     let rmax = *eligible
         .iter()
         .max_by(|&&x, &&y| views.view(x).cmp(views.view(y)))
+        // apf-lint: allow(panic-policy) — guarded by the eligible.is_empty() error above
         .expect("eligible is non-empty");
     // Uniqueness of the maximum among eligible robots.
     let max_count = eligible.iter().filter(|&&i| views.view(i) == views.view(rmax)).count();

@@ -80,7 +80,7 @@ impl Configuration {
     /// Distances of all robots from `center`, sorted ascending.
     pub fn sorted_radii(&self, center: Point) -> Vec<f64> {
         let mut r: Vec<f64> = self.points.iter().map(|p| p.dist(center)).collect();
-        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        r.sort_by(f64::total_cmp);
         r
     }
 

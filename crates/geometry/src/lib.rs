@@ -40,6 +40,8 @@
 //! assert!(tol.eq(sec.radius, 1.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod angle;
 pub mod circle;
 pub mod config;

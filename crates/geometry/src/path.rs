@@ -98,6 +98,7 @@ impl PathSegment {
         match *self {
             PathSegment::Line { from, to } => {
                 let len = from.dist(to);
+                // apf-lint: allow(no-float-eq) — exact-zero guard against 0/0 in the lerp below
                 if len == 0.0 {
                     from
                 } else {
@@ -105,6 +106,7 @@ impl PathSegment {
                 }
             }
             PathSegment::Arc { center, radius, start_angle, orientation, .. } => {
+                // apf-lint: allow(no-float-eq) — exact-zero guard against d / radius below
                 if radius == 0.0 {
                     return center;
                 }
@@ -177,6 +179,7 @@ impl Path {
 
     /// Final destination.
     pub fn destination(&self) -> Point {
+        // apf-lint: allow(panic-policy) — Path is only constructible non-empty
         self.segments.last().unwrap().end()
     }
 
@@ -229,9 +232,11 @@ pub fn rotate_on_circle(center: Point, p: Point, delta: f64) -> Path {
 /// `target_radius > 0`.
 pub fn radial_to(center: Point, p: Point, target_radius: f64) -> Path {
     let v = p - center;
+    // apf-lint: allow(no-float-eq) — exact-zero target: walking to the center itself is fine
     if target_radius == 0.0 {
         return Path::straight(p, center);
     }
+    // apf-lint: allow(panic-policy) — documented panic (see # Panics): p == center is a caller bug
     let u = v.normalized().expect("radial movement from the center is undefined");
     Path::straight(p, center + u * target_radius)
 }

@@ -35,6 +35,7 @@ impl PolarPoint {
     pub fn from_cartesian(p: Point, center: Point) -> Self {
         let v = p - center;
         let r = v.norm();
+        // apf-lint: allow(no-float-eq) — exact-zero guard: only r == 0 leaves the angle undefined
         if r == 0.0 {
             PolarPoint { radius: 0.0, angle: 0.0 }
         } else {
@@ -70,11 +71,7 @@ pub fn to_polar(points: &[Point], center: Point) -> Vec<PolarPoint> {
 pub fn indices_by_angle(polar: &[PolarPoint]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..polar.len()).collect();
     idx.sort_by(|&a, &b| {
-        polar[a]
-            .angle
-            .partial_cmp(&polar[b].angle)
-            .unwrap()
-            .then(polar[a].radius.partial_cmp(&polar[b].radius).unwrap())
+        polar[a].angle.total_cmp(&polar[b].angle).then(polar[a].radius.total_cmp(&polar[b].radius))
     });
     idx
 }

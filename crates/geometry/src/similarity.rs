@@ -111,12 +111,8 @@ pub fn match_up_to_similarity(a: &[Point], b: &[Point], tol: &Tol) -> Option<Sim
         .collect();
 
     // Anchor: a point of `a` with maximal radius (on the unit circle).
-    let anchor = pa
-        .iter()
-        .enumerate()
-        .max_by(|x, y| x.1.radius.partial_cmp(&y.1.radius).unwrap())
-        .map(|(i, _)| i)
-        .unwrap();
+    let anchor =
+        pa.iter().enumerate().max_by(|x, y| x.1.radius.total_cmp(&y.1.radius)).map(|(i, _)| i)?;
     let ra = pa[anchor].radius;
 
     for mirrored in [false, true] {

@@ -107,7 +107,7 @@ impl RegularSet {
             .map(|&i| PolarPoint::from_cartesian(config.point(i), self.center))
             .collect();
         let mut angles: Vec<f64> = polar.iter().map(|p| p.angle).collect();
-        angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        angles.sort_by(f64::total_cmp);
         let m = angles.len();
         let mut axes: Vec<f64> = (0..m)
             .map(|i| {
@@ -117,7 +117,7 @@ impl RegularSet {
                 normalize_angle(a + gap / 2.0) % PI
             })
             .collect();
-        axes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        axes.sort_by(f64::total_cmp);
         axes.dedup_by(|a, b| (*a - *b).abs() <= tol.angle_eps);
         axes
     }
@@ -144,7 +144,7 @@ pub fn check_regular_around(points: &[Point], center: Point, tol: &Tol) -> Optio
     if polar.iter().any(|p| tol.is_zero(p.radius)) {
         return None;
     }
-    polar.sort_by(|a, b| a.angle.partial_cmp(&b.angle).unwrap());
+    polar.sort_by(|a, b| a.angle.total_cmp(&b.angle));
 
     let gaps: Vec<f64> =
         (0..m).map(|i| normalize_angle(polar[(i + 1) % m].angle - polar[i].angle)).collect();
@@ -274,7 +274,7 @@ pub fn regular_set_of(config: &Configuration, tol: &Tol) -> Option<RegularSet> {
     by_radius.sort_by(|&a, &b| {
         let ra = config.point(a).dist(c_sec);
         let rb = config.point(b).dist(c_sec);
-        ra.partial_cmp(&rb).unwrap()
+        ra.total_cmp(&rb)
     });
     let radii: Vec<f64> = by_radius.iter().map(|&i| config.point(i).dist(c_sec)).collect();
     let mut radius_cuts: Vec<usize> = Vec::new();
@@ -364,7 +364,7 @@ fn sort_by_angle(indices: &mut [usize], config: &Configuration, center: Point) {
     indices.sort_by(|&a, &b| {
         let pa = PolarPoint::from_cartesian(config.point(a), center);
         let pb = PolarPoint::from_cartesian(config.point(b), center);
-        pa.angle.partial_cmp(&pb.angle).unwrap()
+        pa.angle.total_cmp(&pb.angle)
     });
 }
 
@@ -424,7 +424,7 @@ pub(crate) fn fit_slot_model(
     let mut order: Vec<usize> = (0..points.len()).collect();
     let init_polar: Vec<PolarPoint> =
         points.iter().map(|&p| PolarPoint::from_cartesian(p, init)).collect();
-    order.sort_by(|&a, &b| init_polar[a].angle.partial_cmp(&init_polar[b].angle).unwrap());
+    order.sort_by(|&a, &b| init_polar[a].angle.total_cmp(&init_polar[b].angle));
 
     let mut c = init;
     let mut alpha = if biangular {

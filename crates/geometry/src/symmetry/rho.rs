@@ -90,7 +90,7 @@ pub fn axes_of_symmetry(config: &Configuration, center: Point, tol: &Tol) -> Vec
             *c -= std::f64::consts::PI;
         }
     }
-    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup_by(|a, b| (*a - *b).abs() <= tol.angle_eps);
 
     candidates.into_iter().filter(|&phi| reflection_maps_to_self(&polar, phi, tol)).collect()

@@ -91,7 +91,7 @@ fn find_shifted_subset(config: &Configuration, tol: &Tol) -> Option<ShiftedRegul
         // Member candidates: radius prefixes of the other robots (the
         // election keeps members strictly inside the innermost non-member).
         let mut others: Vec<usize> = (0..n).filter(|&i| i != r_idx).collect();
-        others.sort_by(|&a, &b| radii[a].partial_cmp(&radii[b]).unwrap());
+        others.sort_by(|&a, &b| radii[a].total_cmp(&radii[b]));
         for j in 1..others.len() {
             // Prefix of size j is well defined only at strict boundaries.
             if j < others.len() && !tol.lt(radii[others[j - 1]], radii[others[j]]) {
@@ -159,7 +159,7 @@ fn try_complete(
     if polar.iter().any(|(_, pp)| tol.is_zero(pp.radius)) {
         return None;
     }
-    polar.sort_by(|a, b| a.1.angle.partial_cmp(&b.1.angle).unwrap());
+    polar.sort_by(|a, b| a.1.angle.total_cmp(&b.1.angle));
     let angles: Vec<f64> = polar.iter().map(|(_, pp)| pp.angle).collect();
     let gaps: Vec<f64> = (0..k).map(|i| normalize_angle(angles[(i + 1) % k] - angles[i])).collect();
     if k >= 2 && gaps.iter().any(|&g| tol.ang_is_zero(g)) {
@@ -318,7 +318,7 @@ fn refine_center(
         .map(|(i, &p)| (PolarPoint::from_cartesian(p, init).angle, Some(i)))
         .collect();
     entries.push((normalize_angle(theta_hint), None));
-    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0));
     let hole_slot = entries.iter().position(|(_, i)| i.is_none())?;
     let mut slots: Vec<usize> = Vec::with_capacity(member_pts.len());
     let mut ordered_pts: Vec<Point> = Vec::with_capacity(member_pts.len());
@@ -387,7 +387,7 @@ fn verify_shifted(
     indices.sort_by(|&a, &b| {
         let pa = PolarPoint::from_cartesian(config.point(a), center).angle;
         let pb = PolarPoint::from_cartesian(config.point(b), center).angle;
-        pa.partial_cmp(&pb).unwrap()
+        pa.total_cmp(&pb)
     });
     Some(ShiftedRegularSet {
         indices,
@@ -411,7 +411,7 @@ fn alpha_min_config(config: &Configuration, center: Point, tol: &Tol) -> Option<
         }
         angles.push(pp.angle);
     }
-    angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    angles.sort_by(f64::total_cmp);
     let n = angles.len();
     let mut best = f64::INFINITY;
     for i in 0..n {

@@ -107,6 +107,7 @@ fn weiszfeld_step(points: &[Point], x: Point) -> Point {
 
     match at_vertex {
         None => {
+            // apf-lint: allow(no-float-eq) — exact-zero guard: den sums strictly positive weights
             if den == 0.0 {
                 x
             } else {
@@ -141,6 +142,7 @@ fn weiszfeld_step_excluding(points: &[Point], x: Point, excl: Point) -> Point {
         num = num + (p - Point::ORIGIN) * w;
         den += w;
     }
+    // apf-lint: allow(no-float-eq) — exact-zero guard against num / den on an all-excluded set
     if den == 0.0 {
         x
     } else {

@@ -1,0 +1,312 @@
+//! `lint.toml` — per-rule scoping and allowlists.
+//!
+//! The linter must run before anything else builds, so it parses its config
+//! with a tiny hand-rolled TOML-subset reader instead of a dependency. The
+//! subset is exactly what `lint.toml` needs: `[section]` / `[rules.<name>]`
+//! headers, `key = "string"`, `key = true|false`, and (possibly multiline)
+//! string arrays. Anything else is a hard error — a config that silently
+//! parses to something unintended would be worse than no config.
+//!
+//! [`Config::default`] mirrors the shipped `lint.toml`, so the linter gives
+//! the same verdicts with or without the file; the file exists to make the
+//! scoping reviewable and to host allowlists next to their justifications.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-rule configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// `false` disables the rule entirely.
+    pub disabled: bool,
+    /// When set, the rule only applies to these crates (by package name);
+    /// `None` means the rule's built-in default scope.
+    pub crates: Option<Vec<String>>,
+    /// Workspace-relative file paths exempt from the rule.
+    pub allow_files: Vec<String>,
+}
+
+/// The whole linter configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Workspace-relative directories that hold crates to scan.
+    pub crate_roots: Vec<String>,
+    /// Directory names never scanned (vendored stand-ins, build output).
+    pub exclude: Vec<String>,
+    /// Per-rule overrides, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut rules = BTreeMap::new();
+        rules.insert(
+            "randomness-budget".to_string(),
+            RuleConfig {
+                crates: Some(vec!["apf-core".to_string()]),
+                allow_files: vec!["crates/core/src/rsb.rs".to_string()],
+                ..RuleConfig::default()
+            },
+        );
+        rules.insert(
+            "no-wallclock-in-sim".to_string(),
+            RuleConfig {
+                crates: Some(vec![
+                    "apf-core".to_string(),
+                    "apf-sim".to_string(),
+                    "apf-scheduler".to_string(),
+                    "apf-geometry".to_string(),
+                ]),
+                ..RuleConfig::default()
+            },
+        );
+        rules.insert(
+            "no-hash-iteration-in-digest-paths".to_string(),
+            RuleConfig {
+                crates: Some(vec![
+                    "apf-core".to_string(),
+                    "apf-sim".to_string(),
+                    "apf-scheduler".to_string(),
+                    "apf-geometry".to_string(),
+                    "apf-trace".to_string(),
+                    "apf-conformance".to_string(),
+                ]),
+                ..RuleConfig::default()
+            },
+        );
+        rules.insert(
+            "no-float-eq".to_string(),
+            RuleConfig {
+                crates: Some(vec!["apf-geometry".to_string(), "apf-core".to_string()]),
+                ..RuleConfig::default()
+            },
+        );
+        Config {
+            crate_roots: vec!["crates".to_string()],
+            exclude: vec!["vendor".to_string(), "target".to_string()],
+            rules,
+        }
+    }
+}
+
+/// A `lint.toml` parse error with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses `lint.toml` text, starting from the built-in defaults and
+    /// overriding whatever the file sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on any line outside the supported subset.
+    pub fn from_toml(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(ConfigError { line: line_no, message: "unclosed `[`".into() });
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multiline array: keep consuming lines until the `]` closes.
+            while value.starts_with('[') && !balanced_array(&value) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(ConfigError { line: line_no, message: "unclosed array".into() });
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            apply(&mut cfg, &section, key, &value)
+                .map_err(|message| ConfigError { line: line_no, message })?;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced_array(value: &str) -> bool {
+    // Arrays hold only strings, so counting brackets outside quotes is safe.
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in value.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{v}`"))?;
+    if inner.contains('"') {
+        return Err(format!("unsupported escape in `{v}`"));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected `[ ... ]`, got `{v}`"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(item)?);
+    }
+    Ok(out)
+}
+
+fn parse_bool(value: &str) -> Result<bool, String> {
+    match value.trim() {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected true/false, got `{other}`")),
+    }
+}
+
+fn apply(cfg: &mut Config, section: &str, key: &str, value: &str) -> Result<(), String> {
+    if section == "lint" {
+        return match key {
+            "crate_roots" => {
+                cfg.crate_roots = parse_string_array(value)?;
+                Ok(())
+            }
+            "exclude" => {
+                cfg.exclude = parse_string_array(value)?;
+                Ok(())
+            }
+            other => Err(format!("unknown key `{other}` in [lint]")),
+        };
+    }
+    if let Some(rule) = section.strip_prefix("rules.") {
+        if !crate::rules::is_known_rule(rule) {
+            return Err(format!("unknown rule `{rule}` in section header"));
+        }
+        let rc = cfg.rules.entry(rule.to_string()).or_default();
+        return match key {
+            "enabled" => {
+                rc.disabled = !parse_bool(value)?;
+                Ok(())
+            }
+            "crates" => {
+                rc.crates = Some(parse_string_array(value)?);
+                Ok(())
+            }
+            "allow_files" => {
+                rc.allow_files = parse_string_array(value)?;
+                Ok(())
+            }
+            other => Err(format!("unknown key `{other}` in [rules.{rule}]")),
+        };
+    }
+    Err(format!("unknown section `[{section}]`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scopes_match_shipped_rules() {
+        let cfg = Config::default();
+        let budget = &cfg.rules["randomness-budget"];
+        assert_eq!(budget.crates.as_deref(), Some(&["apf-core".to_string()][..]));
+        assert_eq!(budget.allow_files, vec!["crates/core/src/rsb.rs".to_string()]);
+        assert!(cfg.exclude.contains(&"vendor".to_string()));
+    }
+
+    #[test]
+    fn parses_overrides_and_multiline_arrays() {
+        let toml = r#"
+# top comment
+[lint]
+crate_roots = ["crates"]
+exclude = ["vendor", "target"] # trailing comment
+
+[rules.no-float-eq]
+enabled = true
+crates = [
+    "apf-geometry",
+    "apf-core",
+]
+
+[rules.panic-policy]
+allow_files = ["crates/foo/src/gen.rs"]
+"#;
+        let cfg = Config::from_toml(toml).unwrap();
+        assert_eq!(
+            cfg.rules["no-float-eq"].crates.as_deref().unwrap(),
+            ["apf-geometry".to_string(), "apf-core".to_string()]
+        );
+        assert_eq!(cfg.rules["panic-policy"].allow_files, ["crates/foo/src/gen.rs".to_string()]);
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_bad_syntax() {
+        assert!(Config::from_toml("[rules.not-a-rule]\nenabled = true\n").is_err());
+        assert!(Config::from_toml("[lint]\nwhat = 3\n").is_err());
+        assert!(Config::from_toml("loose = \"x\"\n").is_err());
+        let err = Config::from_toml("[lint]\ncrate_roots = [\"a\"\n").unwrap_err();
+        assert!(err.to_string().contains("lint.toml:"), "{err}");
+    }
+
+    #[test]
+    fn disabling_a_rule() {
+        let cfg = Config::from_toml("[rules.no-float-eq]\nenabled = false\n").unwrap();
+        assert!(cfg.rules["no-float-eq"].disabled);
+    }
+}

@@ -1,0 +1,372 @@
+#![forbid(unsafe_code)]
+//! apf-lint — determinism & randomness-budget static analysis.
+//!
+//! The dynamic layers (trace inspector, conformance corpus, schedule
+//! fuzzer) check the paper's headline invariants — one random bit per robot
+//! per election cycle, bit-identical replay — only on the executions a run
+//! happens to take. This crate proves the cheap half of those claims at the
+//! *source* level, before any trial runs: no ambient entropy anywhere, no
+//! random draw outside `ψ_RSB`, no wall clocks or hash-iteration order or
+//! exact float equality in the crates whose behavior feeds trace digests.
+//!
+//! The pass is deliberately std-only and dependency-free: it is the first
+//! gate in `scripts/check.sh` and must build in the offline container
+//! before anything else compiles.
+//!
+//! Entry points: [`lint_workspace`] walks every workspace crate;
+//! [`lint_source`] lints one in-memory source (used by the fixture tests
+//! and usable for editor integration). Both return [`Finding`]s that render
+//! as `file:line:col · rule · message` (see [`report`]).
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{Config, ConfigError, RuleConfig};
+pub use rules::{RuleDef, BAD_PRAGMA, RULES};
+
+use lexer::Scanned;
+use rules::Matcher;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Rule name (`panic-policy`, …, or `bad-pragma`).
+    pub rule: String,
+    /// Human-readable explanation, starting with the matched token.
+    pub message: String,
+}
+
+/// How a source file participates in rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Regular library code — every applicable rule fires.
+    Library,
+    /// `src/bin/` or `src/main.rs` — exempt from bin-exempt rules (P1).
+    Binary,
+    /// `tests/`, `benches/`, `examples/` — exempt from test-exempt rules.
+    Test,
+}
+
+impl FileKind {
+    /// Classifies a workspace-relative path.
+    #[must_use]
+    pub fn of(rel_path: &str) -> FileKind {
+        let comps: Vec<&str> = rel_path.split('/').collect();
+        if comps.contains(&"tests") || comps.contains(&"benches") || comps.contains(&"examples") {
+            return FileKind::Test;
+        }
+        if rel_path.contains("src/bin/") || rel_path.ends_with("src/main.rs") {
+            return FileKind::Binary;
+        }
+        FileKind::Library
+    }
+}
+
+/// Lints one source text as if it lived at `rel_path` inside `crate_name`.
+#[must_use]
+pub fn lint_source(rel_path: &str, crate_name: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let scanned = lexer::scan(source);
+    let kind = FileKind::of(rel_path);
+    let mut findings = Vec::new();
+
+    for rule in RULES {
+        let rc = cfg.rules.get(rule.name);
+        if rc.is_some_and(|rc| rc.disabled) {
+            continue;
+        }
+        if !crate_in_scope(rule, rc, crate_name) {
+            continue;
+        }
+        if rc.is_some_and(|rc| rc.allow_files.iter().any(|f| f == rel_path)) {
+            continue;
+        }
+        if kind == FileKind::Test && !rule.applies_in_tests {
+            continue;
+        }
+        if kind == FileKind::Binary && !rule.applies_in_bins {
+            continue;
+        }
+        run_rule(rule, &scanned, rel_path, &mut findings);
+    }
+
+    pragma_diagnostics(&scanned, rel_path, &mut findings);
+    findings
+        .sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
+    findings
+}
+
+fn crate_in_scope(rule: &RuleDef, rc: Option<&RuleConfig>, crate_name: &str) -> bool {
+    let configured = rc.and_then(|rc| rc.crates.as_deref());
+    match configured {
+        Some(list) => list.iter().any(|c| c == crate_name),
+        None => match rule.default_crates {
+            Some(list) => list.contains(&crate_name),
+            None => true,
+        },
+    }
+}
+
+fn run_rule(rule: &RuleDef, scanned: &Scanned, rel_path: &str, findings: &mut Vec<Finding>) {
+    for (idx, line_text) in scanned.masked.split('\n').enumerate() {
+        let line_no = idx + 1;
+        if scanned.is_test_line(line_no) && !rule.applies_in_tests {
+            continue;
+        }
+        let hits: Vec<(usize, &str)> = match rule.matcher {
+            Matcher::Needles(needles) => needles
+                .iter()
+                .flat_map(|&n| {
+                    rules::needle_matches(line_text, n).into_iter().map(move |at| (at, n.text()))
+                })
+                .collect(),
+            Matcher::FloatEq => rules::float_eq_matches(line_text)
+                .into_iter()
+                .map(|at| (at, "float ==/!="))
+                .collect(),
+        };
+        for (at, token) in hits {
+            if suppressed(scanned, rule.name, line_no) {
+                continue;
+            }
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: line_no,
+                col: at + 1,
+                rule: rule.name.to_string(),
+                message: format!("`{}` — {} [{}]", token.trim(), rule.message, rule.code),
+            });
+        }
+    }
+}
+
+/// A finding on `line` is suppressed by a trailing pragma on the same line,
+/// or by an own-line pragma on exactly the previous line. A pragma without a
+/// reason suppresses nothing — it is itself a [`BAD_PRAGMA`] finding, and
+/// honoring it would let an unauditable suppression ride on a failing run.
+fn suppressed(scanned: &Scanned, rule_name: &str, line: usize) -> bool {
+    scanned.pragmas.iter().any(|p| {
+        p.error.is_none()
+            && p.has_reason
+            && p.rules.iter().any(|r| r == rule_name)
+            && ((!p.own_line && p.line == line) || (p.own_line && p.line + 1 == line))
+    })
+}
+
+/// Malformed pragmas, pragmas without a reason, and pragmas naming unknown
+/// rules are themselves findings: a suppression nobody can audit is a hole.
+fn pragma_diagnostics(scanned: &Scanned, rel_path: &str, findings: &mut Vec<Finding>) {
+    for p in &scanned.pragmas {
+        let mut bad = |message: String| {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: p.line,
+                col: 1,
+                rule: BAD_PRAGMA.to_string(),
+                message,
+            });
+        };
+        if let Some(err) = &p.error {
+            bad(format!("malformed apf-lint pragma: {err}"));
+            continue;
+        }
+        for r in &p.rules {
+            if !rules::is_known_rule(r) {
+                bad(format!("pragma names unknown rule `{r}`"));
+            }
+        }
+        if !p.has_reason {
+            bad("pragma without a reason; write `// apf-lint: allow(<rule>) — <why>`".to_string());
+        }
+    }
+}
+
+/// A workspace member to scan.
+#[derive(Debug, Clone)]
+pub struct Package {
+    /// Package name from `Cargo.toml` (`apf-core`, …).
+    pub name: String,
+    /// Workspace-relative directory ("" for the root package).
+    pub rel_dir: String,
+    /// Absolute directory.
+    pub dir: PathBuf,
+}
+
+/// Extracts `name = "…"` from a `[package]` section.
+#[must_use]
+pub fn package_name(cargo_toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in cargo_toml.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix('[') {
+            in_package = rest.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if in_package {
+            if let Some((k, v)) = line.split_once('=') {
+                if k.trim() == "name" {
+                    return Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Discovers the packages to lint: the root package plus every crate under
+/// the configured `crate_roots`, minus `exclude`d directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking.
+pub fn discover_packages(root: &Path, cfg: &Config) -> io::Result<Vec<Package>> {
+    let mut packages = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        if let Some(name) = package_name(&std::fs::read_to_string(&root_manifest)?) {
+            packages.push(Package { name, rel_dir: String::new(), dir: root.to_path_buf() });
+        }
+    }
+    for crate_root in &cfg.crate_roots {
+        if cfg.exclude.iter().any(|e| e == crate_root) {
+            continue;
+        }
+        let dir = root.join(crate_root);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for entry in entries {
+            let Some(dir_name) = entry.file_name().and_then(|n| n.to_str()).map(String::from)
+            else {
+                continue;
+            };
+            if cfg.exclude.iter().any(|e| e == &dir_name) {
+                continue;
+            }
+            let manifest = entry.join("Cargo.toml");
+            if !manifest.is_file() {
+                continue;
+            }
+            if let Some(name) = package_name(&std::fs::read_to_string(&manifest)?) {
+                packages.push(Package {
+                    name,
+                    rel_dir: format!("{crate_root}/{dir_name}"),
+                    dir: entry,
+                });
+            }
+        }
+    }
+    Ok(packages)
+}
+
+/// The source subtrees scanned inside every package.
+const SOURCE_DIRS: &[&str] = &["src", "tests", "benches", "examples"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file of every discovered package.
+///
+/// # Errors
+///
+/// Propagates I/O errors; unreadable files fail the run rather than being
+/// silently skipped (a gate that skips is not a gate).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for pkg in discover_packages(root, cfg)? {
+        let mut files = Vec::new();
+        for sub in SOURCE_DIRS {
+            let dir = pkg.dir.join(sub);
+            if dir.is_dir() {
+                collect_rs_files(&dir, &mut files)?;
+            }
+        }
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            let source = std::fs::read_to_string(&file)?;
+            findings.extend(lint_source(&rel, &pkg.name, &source, cfg));
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+    Ok(findings)
+}
+
+/// Loads `lint.toml` from `root` (or defaults when absent) and lints.
+///
+/// # Errors
+///
+/// Returns a string error for config parse failures or I/O failures.
+pub fn lint_with_config_file(
+    root: &Path,
+    config_path: Option<&Path>,
+) -> Result<Vec<Finding>, String> {
+    let path = config_path.map_or_else(|| root.join("lint.toml"), Path::to_path_buf);
+    let cfg = if path.is_file() {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Config::from_toml(&text).map_err(|e| e.to_string())?
+    } else if config_path.is_some() {
+        return Err(format!("config file {} not found", path.display()));
+    } else {
+        Config::default()
+    };
+    lint_workspace(root, &cfg).map_err(|e| format!("scanning {}: {e}", root.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_kind_classification() {
+        assert_eq!(FileKind::of("crates/core/src/rsb.rs"), FileKind::Library);
+        assert_eq!(FileKind::of("crates/core/tests/props.rs"), FileKind::Test);
+        assert_eq!(FileKind::of("tests/chirality.rs"), FileKind::Test);
+        assert_eq!(FileKind::of("examples/quickstart.rs"), FileKind::Test);
+        assert_eq!(FileKind::of("crates/bench/benches/snapshot_pipeline.rs"), FileKind::Test);
+        assert_eq!(FileKind::of("src/bin/apf-cli.rs"), FileKind::Binary);
+        assert_eq!(FileKind::of("src/main.rs"), FileKind::Binary);
+        assert_eq!(FileKind::of("src/lib.rs"), FileKind::Library);
+    }
+
+    #[test]
+    fn package_name_parses() {
+        let toml = "[workspace]\nmembers = [\"x\"]\n\n[package]\nname = \"apf\"\nversion = \"1\"\n";
+        assert_eq!(package_name(toml).as_deref(), Some("apf"));
+        assert_eq!(package_name("[workspace]\n"), None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Rendering findings for humans (`file:line:col · rule · message`) and
+//! machines (`--json`).
+
+use crate::rules::RULES;
+use crate::Finding;
+use std::fmt::Write as _;
+
+/// One line per finding plus a summary tail line.
+#[must_use]
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}:{} · {} · {}", f.file, f.line, f.col, f.rule, f.message);
+    }
+    if findings.is_empty() {
+        out.push_str("apf-lint: clean\n");
+    } else {
+        let _ = writeln!(out, "apf-lint: {} finding(s)", findings.len());
+    }
+    out
+}
+
+/// Machine format: `{"count": N, "findings": [{...}]}`. Hand-rolled like
+/// the trace JSONL codec — the linter stays dependency-free.
+#[must_use]
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"count\":{},\"findings\":[", findings.len());
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            json_string(&f.file),
+            f.line,
+            f.col,
+            json_string(&f.rule),
+            json_string(&f.message)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The rule table for `--list-rules`.
+#[must_use]
+pub fn render_rules() -> String {
+    let mut out = String::new();
+    for r in RULES {
+        let scope = match r.default_crates {
+            None => "all crates".to_string(),
+            Some(list) => list.join(", "),
+        };
+        let _ = writeln!(out, "{:>3}  {:<36} [{}]", r.code, r.name, scope);
+        let _ = writeln!(out, "     {}", r.summary);
+    }
+    out.push_str(
+        "\npragma: // apf-lint: allow(<rule>[, <rule>]) — <reason>\n\
+         scope:  trailing comment = that line; own line = the next line only\n\
+         config: lint.toml (per-rule crates/allow_files; see repo root)\n",
+    );
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/core/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "panic-policy".into(),
+            message: "`.unwrap()` — say \"why\"".into(),
+        }
+    }
+
+    #[test]
+    fn text_format() {
+        let t = render_text(&[finding()]);
+        assert!(t.starts_with("crates/core/src/lib.rs:3:7 · panic-policy · "), "{t}");
+        assert!(t.contains("1 finding(s)"));
+        assert_eq!(render_text(&[]), "apf-lint: clean\n");
+    }
+
+    #[test]
+    fn json_escapes() {
+        let j = render_json(&[finding()]);
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("say \\\"why\\\""));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn rules_table_mentions_every_rule() {
+        let t = render_rules();
+        for r in RULES {
+            assert!(t.contains(r.name), "missing {}", r.name);
+        }
+    }
+}

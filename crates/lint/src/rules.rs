@@ -1,0 +1,364 @@
+//! The project-specific rule set.
+//!
+//! Every rule mechanizes one determinism or randomness invariant that the
+//! dynamic layers (trace inspector, conformance corpus, schedule fuzzer)
+//! otherwise only check on the executions a run happens to take:
+//!
+//! | rule | code | invariant |
+//! |------|------|-----------|
+//! | `no-unseeded-randomness` | D1 | all randomness flows from splitmix64 per-trial seeds |
+//! | `randomness-budget` | D2 | random draws only in `ψ_RSB` (≤ 1 bit/election cycle) |
+//! | `no-wallclock-in-sim` | D3 | simulation crates never read wall clocks |
+//! | `no-hash-iteration-in-digest-paths` | D4 | digest-feeding crates use ordered containers |
+//! | `no-float-eq` | D5 | geometry/core compare floats via epsilon helpers |
+//! | `panic-policy` | P1 | library `unwrap`/`expect` needs a justified pragma |
+//!
+//! Rules match token needles over the [lexer's](crate::lexer) masked text,
+//! so comments, strings and char literals can never fire them.
+
+/// How a needle anchors to the surrounding characters.
+#[derive(Debug, Clone, Copy)]
+pub enum Needle {
+    /// An identifier: the characters before and after must not be
+    /// identifier characters.
+    Ident(&'static str),
+    /// An exact substring.
+    Exact(&'static str),
+    /// An exact substring whose *next* character must not be an identifier
+    /// character (`.gen` matches `.gen(` / `.gen::<`, not `.gen_bool(`).
+    ExactNotIdent(&'static str),
+}
+
+impl Needle {
+    /// The literal text searched for.
+    #[must_use]
+    pub fn text(self) -> &'static str {
+        match self {
+            Needle::Ident(t) | Needle::Exact(t) | Needle::ExactNotIdent(t) => t,
+        }
+    }
+}
+
+/// What a rule matches.
+#[derive(Debug, Clone, Copy)]
+pub enum Matcher {
+    /// Any of a set of token needles.
+    Needles(&'static [Needle]),
+    /// `==` / `!=` with a float literal (or float constant) operand.
+    FloatEq,
+}
+
+/// A static-analysis rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDef {
+    /// Stable rule name — used in pragmas and `lint.toml`.
+    pub name: &'static str,
+    /// Short code used in docs (D1…D5, P1).
+    pub code: &'static str,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// Default crate scope; `None` means every scanned crate. `lint.toml`
+    /// `crates = [...]` overrides this.
+    pub default_crates: Option<&'static [&'static str]>,
+    /// The rule also applies inside `#[cfg(test)]` items and `tests/`,
+    /// `benches/`, `examples/` sources.
+    pub applies_in_tests: bool,
+    /// The rule also applies to binary sources (`src/bin/`, `src/main.rs`).
+    pub applies_in_bins: bool,
+    /// What to look for.
+    pub matcher: Matcher,
+    /// Finding message (the matched token is prepended).
+    pub message: &'static str,
+}
+
+/// Diagnostics about the pragmas themselves (malformed, reasonless,
+/// unknown rule) are reported under this pseudo-rule name.
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// The rule table. Order is the reporting order for same-position findings.
+pub const RULES: &[RuleDef] = &[
+    RuleDef {
+        name: "no-unseeded-randomness",
+        code: "D1",
+        summary: "ambient entropy sources are forbidden everywhere; randomness must \
+                  derive from the engine's splitmix64 per-trial seeds",
+        default_crates: None,
+        applies_in_tests: true,
+        applies_in_bins: true,
+        matcher: Matcher::Needles(&[
+            Needle::Ident("thread_rng"),
+            Needle::Ident("ThreadRng"),
+            Needle::Exact("rand::random"),
+            Needle::Ident("from_entropy"),
+            Needle::Ident("OsRng"),
+            Needle::Ident("getrandom"),
+        ]),
+        message: "unseeded entropy source; derive randomness from a per-trial seed \
+                  (see apf_bench::engine::trial_seed) so every run replays bit-identically",
+    },
+    RuleDef {
+        name: "randomness-budget",
+        code: "D2",
+        summary: "random draws are permitted only in the ψ_RSB election module; \
+                  mechanizes the paper's ≤ 1 bit per robot per election cycle",
+        // Overridden by lint.toml; kept in sync with Config::default().
+        default_crates: Some(&["apf-core"]),
+        applies_in_tests: false,
+        applies_in_bins: true,
+        matcher: Matcher::Needles(&[
+            Needle::ExactNotIdent(".gen"),
+            Needle::Ident("gen_bool"),
+            Needle::Ident("gen_range"),
+            Needle::Ident("random_bit"),
+            Needle::Exact(".bit("),
+            Needle::Exact(".word("),
+        ]),
+        message: "random draw outside the ψ_RSB election module; the algorithm's whole \
+                  randomness budget is one coin flip per election cycle (Theorem 1)",
+    },
+    RuleDef {
+        name: "no-wallclock-in-sim",
+        code: "D3",
+        summary: "simulation crates must not read wall clocks; time only exists as \
+                  scheduler steps",
+        default_crates: Some(&["apf-core", "apf-sim", "apf-scheduler", "apf-geometry"]),
+        applies_in_tests: false,
+        applies_in_bins: true,
+        matcher: Matcher::Needles(&[Needle::Exact("Instant::now"), Needle::Ident("SystemTime")]),
+        message: "wall-clock read in a simulation crate; simulated time is scheduler \
+                  steps, and wall time here would leak host timing into results",
+    },
+    RuleDef {
+        name: "no-hash-iteration-in-digest-paths",
+        code: "D4",
+        summary: "crates feeding trace digests must use BTreeMap/BTreeSet or sorted \
+                  vectors, never hash containers",
+        default_crates: Some(&[
+            "apf-core",
+            "apf-sim",
+            "apf-scheduler",
+            "apf-geometry",
+            "apf-trace",
+            "apf-conformance",
+        ]),
+        applies_in_tests: false,
+        applies_in_bins: true,
+        matcher: Matcher::Needles(&[Needle::Ident("HashMap"), Needle::Ident("HashSet")]),
+        message: "hash container in a digest-feeding crate; iteration order is \
+                  nondeterministic across runs — use BTreeMap/BTreeSet or a sorted Vec",
+    },
+    RuleDef {
+        name: "no-float-eq",
+        code: "D5",
+        summary: "float `==`/`!=` in geometry/core; use the Tol epsilon helpers",
+        default_crates: Some(&["apf-geometry", "apf-core"]),
+        applies_in_tests: false,
+        applies_in_bins: true,
+        matcher: Matcher::FloatEq,
+        message: "exact float comparison; use the Tol epsilon helpers (tol.eq / \
+                  tol.is_zero) or pragma an intentional exact-zero singularity guard",
+    },
+    RuleDef {
+        name: "panic-policy",
+        code: "P1",
+        summary: "unwrap/expect in non-test library code needs a pragma with a reason",
+        default_crates: None,
+        applies_in_tests: false,
+        applies_in_bins: false,
+        matcher: Matcher::Needles(&[Needle::Exact(".unwrap()"), Needle::Exact(".expect(")]),
+        message: "unwrap/expect in library code; return an error, restructure, or \
+                  justify with `// apf-lint: allow(panic-policy) — <why this cannot fail>`",
+    },
+];
+
+/// True when `name` is a rule name (or the pragma pseudo-rule).
+#[must_use]
+pub fn is_known_rule(name: &str) -> bool {
+    name == BAD_PRAGMA || RULES.iter().any(|r| r.name == name)
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offsets (within `line`) where `needle` matches.
+pub(crate) fn needle_matches(line: &str, needle: Needle) -> Vec<usize> {
+    let text = needle.text();
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line.get(from..).and_then(|h| h.find(text)) {
+        let at = from + rel;
+        from = at + 1;
+        let ok = match needle {
+            Needle::Exact(_) => true,
+            Needle::ExactNotIdent(_) => {
+                bytes.get(at + text.len()).copied().is_none_or(|c| !is_ident_char(c))
+            }
+            Needle::Ident(_) => {
+                let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+                let after_ok =
+                    bytes.get(at + text.len()).copied().is_none_or(|c| !is_ident_char(c));
+                before_ok && after_ok
+            }
+        };
+        if ok {
+            out.push(at);
+        }
+    }
+    out
+}
+
+/// Byte offsets of `==`/`!=` operators with a float-literal (or float
+/// constant) operand on either side.
+///
+/// This is a literal-adjacency heuristic, not a type check: it catches the
+/// `x == 0.0` / `r != 1.5` / `d == f64::INFINITY` shapes that actually
+/// occur, and stays silent on comparisons of two non-literal expressions
+/// (clippy's `float_cmp` covers broader shapes at type level).
+pub(crate) fn float_eq_matches(line: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let is_op = (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'=';
+        if !is_op
+            // `a == b` not `a === b` (not Rust, but stay strict) nor `<=`/`>=`.
+            || (i > 0 && matches!(bytes[i - 1], b'=' | b'!' | b'<' | b'>'))
+            || bytes.get(i + 2) == Some(&b'=')
+        {
+            i += 1;
+            continue;
+        }
+        if float_on_right(bytes, i + 2) || float_on_left(bytes, i) {
+            out.push(i);
+        }
+        i += 2;
+    }
+    out
+}
+
+fn float_on_right(bytes: &[u8], mut i: usize) -> bool {
+    while bytes.get(i) == Some(&b' ') {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len()
+        && (is_ident_char(bytes[i])
+            || bytes[i] == b'.'
+            || bytes[i] == b':'
+            || (matches!(bytes[i], b'+' | b'-')
+                && i > start
+                && matches!(bytes[i - 1], b'e' | b'E')))
+    {
+        i += 1;
+    }
+    token_is_float(&bytes[start..i])
+}
+
+fn float_on_left(bytes: &[u8], op: usize) -> bool {
+    let mut i = op;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0
+        && (is_ident_char(bytes[i - 1])
+            || bytes[i - 1] == b'.'
+            || bytes[i - 1] == b':'
+            || (matches!(bytes[i - 1], b'+' | b'-')
+                && i >= 2
+                && matches!(bytes[i - 2], b'e' | b'E')))
+    {
+        i -= 1;
+    }
+    token_is_float(&bytes[i..end])
+}
+
+/// Decides whether a scanned token is a float literal (`0.0`, `1.`, `1e-3`,
+/// `2.5f64`) or a named float constant (`f64::INFINITY`, `f32::NAN`, …).
+fn token_is_float(token: &[u8]) -> bool {
+    if token.is_empty() {
+        return false;
+    }
+    const CONSTS: &[&str] = &["INFINITY", "NEG_INFINITY", "NAN", "EPSILON", "MIN_POSITIVE"];
+    if let Ok(s) = std::str::from_utf8(token) {
+        if CONSTS.iter().any(|c| s == *c || s.ends_with(&format!("::{c}"))) {
+            return true;
+        }
+    }
+    if !token[0].is_ascii_digit() {
+        // Tuple-field access like `pair.0` starts with an identifier, not a
+        // digit, and must not count as a float literal.
+        return false;
+    }
+    let mut i = 0;
+    while i < token.len() && (token[i].is_ascii_digit() || token[i] == b'_') {
+        i += 1;
+    }
+    match token.get(i) {
+        Some(b'.') => {
+            // `1.0`, `1.` — but not a method call `1.max(x)` (needle scan
+            // stops at `(` so a trailing ident after `.` means path/method).
+            let rest = &token[i + 1..];
+            rest.is_empty() || rest[0].is_ascii_digit()
+        }
+        Some(b'e' | b'E') => {
+            token[i + 1..].first().is_some_and(|&c| c.is_ascii_digit() || c == b'+' || c == b'-')
+        }
+        Some(b'f') => matches!(&token[i..], b"f32" | b"f64"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needle_boundaries() {
+        assert_eq!(needle_matches("let r = thread_rng();", Needle::Ident("thread_rng")).len(), 1);
+        assert!(needle_matches("my_thread_rng()", Needle::Ident("thread_rng")).is_empty());
+        assert!(needle_matches("thread_rng2()", Needle::Ident("thread_rng")).is_empty());
+        assert_eq!(needle_matches("rng.gen::<bool>()", Needle::ExactNotIdent(".gen")).len(), 1);
+        assert_eq!(needle_matches("rng.gen()", Needle::ExactNotIdent(".gen")).len(), 1);
+        assert!(needle_matches("rng.gen_bool(0.5)", Needle::ExactNotIdent(".gen")).is_empty());
+        assert_eq!(needle_matches("x.unwrap().y.unwrap()", Needle::Exact(".unwrap()")).len(), 2);
+        assert!(needle_matches("x.unwrap_or(3)", Needle::Exact(".unwrap()")).is_empty());
+        assert!(needle_matches("x.expect_err(msg)", Needle::Exact(".expect(")).is_empty());
+    }
+
+    #[test]
+    fn float_eq_shapes() {
+        assert_eq!(float_eq_matches("if r == 0.0 {").len(), 1);
+        assert_eq!(float_eq_matches("if 0.0 == r {").len(), 1);
+        assert_eq!(float_eq_matches("if r != 1.5e-3 {").len(), 1);
+        assert_eq!(float_eq_matches("if d == f64::INFINITY {").len(), 1);
+        assert_eq!(float_eq_matches("if d == -1.0 {").len(), 1);
+        assert_eq!(float_eq_matches("if x == 2.5f64 {").len(), 1);
+    }
+
+    #[test]
+    fn float_eq_non_matches() {
+        assert!(float_eq_matches("if a == b {").is_empty());
+        assert!(float_eq_matches("if n == 0 {").is_empty());
+        assert!(float_eq_matches("if n <= 0.5 {").is_empty());
+        assert!(float_eq_matches("if n >= 0.5 {").is_empty());
+        assert!(float_eq_matches("if pair.0 == other {").is_empty());
+        assert!(float_eq_matches("let f = |x| x == y;").is_empty());
+        assert!(float_eq_matches("a => b").is_empty());
+    }
+
+    #[test]
+    fn rule_names_are_unique_and_known() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(is_known_rule(r.name));
+            assert!(RULES[i + 1..].iter().all(|o| o.name != r.name), "dup {}", r.name);
+        }
+        assert!(is_known_rule(BAD_PRAGMA));
+        assert!(!is_known_rule("no-such-rule"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Self-test against the real workspace: the committed tree must lint clean
+//! under the committed `lint.toml`, and the config on disk must stay in sync
+//! with the built-in defaults.
+
+use apf_lint::{lint_with_config_file, Config};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let findings = lint_with_config_file(workspace_root(), None).expect("lint run succeeds");
+    assert!(
+        findings.is_empty(),
+        "the committed workspace must lint clean; found:\n{}",
+        apf_lint::report::render_text(&findings)
+    );
+}
+
+#[test]
+fn committed_lint_toml_parses_and_matches_defaults() {
+    let path = workspace_root().join("lint.toml");
+    let text = std::fs::read_to_string(&path).expect("lint.toml exists at the workspace root");
+    let cfg = Config::from_toml(&text).expect("lint.toml parses");
+    assert_eq!(
+        cfg,
+        Config::default(),
+        "lint.toml drifted from Config::default(); update whichever is stale"
+    );
+}
+
+#[test]
+fn workspace_discovers_every_crate() {
+    let cfg = Config::default();
+    let pkgs = apf_lint::discover_packages(workspace_root(), &cfg).expect("discovery succeeds");
+    let names: Vec<&str> = pkgs.iter().map(|p| p.name.as_str()).collect();
+    for expected in [
+        "apf",
+        "apf-baselines",
+        "apf-bench",
+        "apf-conformance",
+        "apf-core",
+        "apf-geometry",
+        "apf-lint",
+        "apf-patterns",
+        "apf-render",
+        "apf-scheduler",
+        "apf-sim",
+        "apf-trace",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}; discovered {names:?}");
+    }
+}

@@ -14,6 +14,8 @@
 //! All generators are deterministic in their `seed` so every experiment is
 //! reproducible.
 
+#![forbid(unsafe_code)]
+
 use apf_geometry::symmetry::{has_axis_of_symmetry, symmetricity};
 use apf_geometry::{Configuration, Point, Tol};
 use rand::rngs::StdRng;

@@ -4,6 +4,8 @@
 //! (regular sets, shifted sets, the selected robot) and to visualize
 //! simulation traces.
 
+#![forbid(unsafe_code)]
+
 pub mod ascii;
 pub mod svg;
 

@@ -27,6 +27,8 @@
 //!   filtering, so edited/shrunk schedules stay executable (the conformance
 //!   fuzzer's counterexample reducer is built on it).
 
+#![forbid(unsafe_code)]
+
 pub mod action;
 pub mod asynchronous;
 pub mod fsync;

@@ -24,6 +24,8 @@
 //!   multiplicities or collapse co-located robots, matching the paper's
 //!   extension in Section 5.
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm;
 pub mod metrics;
 pub mod snapshot;

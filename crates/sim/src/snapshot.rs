@@ -94,6 +94,7 @@ impl Snapshot {
         self.robots
             .iter()
             .position(|p| p.approx_eq(Point::ORIGIN, &self.tol))
+            // apf-lint: allow(panic-policy) — Snapshot constructors put the observer at origin
             .expect("snapshot invariant: observer at origin")
     }
 }

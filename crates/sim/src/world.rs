@@ -465,6 +465,7 @@ impl World {
         let step = self.metrics.steps;
         let snapshot = self.snapshot_at(robot, observed);
         let bits_before = self.bits[robot].bits_drawn();
+        // apf-lint: allow(no-wallclock-in-sim) — opt-in compute_ns metric only; never steers the sim
         let timer = self.config.time_compute.then(std::time::Instant::now);
         let result = match self.sink.as_deref_mut() {
             Some(sink) => {
@@ -528,6 +529,7 @@ impl World {
 
     fn apply_move(&mut self, robot: usize, distance: f64, end_phase: bool) {
         let step = self.metrics.steps;
+        // apf-lint: allow(panic-policy) — step() rejects Move for robots without a pending path
         let pm = self.pending[robot].as_mut().expect("validated by step()");
         let length = pm.path.length();
         let mut target = (pm.traveled + distance.max(0.0)).min(length);

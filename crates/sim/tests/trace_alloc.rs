@@ -5,6 +5,11 @@
 //! for a counting wrapper — other tests in the same binary would race the
 //! counters.
 
+// Wrapping the system allocator is the one place the workspace needs
+// `unsafe`: GlobalAlloc's methods are unsafe by signature. The wrapper only
+// counts and delegates.
+#![allow(unsafe_code)]
+
 use apf_core::FormPattern;
 use apf_scheduler::SchedulerKind;
 use apf_sim::{World, WorldConfig};

@@ -33,6 +33,8 @@
 //! tags decisions with its [`PhaseKind`], and `apf-bench`/the CLI consume
 //! traces through it.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod inspect;
 pub mod jsonl;

@@ -7,6 +7,12 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> apf-lint (determinism & randomness-budget static analysis)"
+# Rules and per-crate scopes live in lint.toml at the repo root; suppress a
+# single line with `// apf-lint: allow(<rule>) — <reason>`. Nonzero exit on
+# any finding, so this gates before clippy.
+cargo run -q --release --bin apf-cli -- lint --json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

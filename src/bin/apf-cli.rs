@@ -35,6 +35,20 @@
 //! pathological schedules, shrinking any violation to a minimal reproducer
 //! (written under `--dump-dir`). Exit codes: 0 clean, 1 findings, 2 usage
 //! or I/O errors.
+//!
+//! The `lint` subcommand runs the workspace's own determinism &
+//! randomness-budget static analysis (`apf-lint`):
+//!
+//! ```text
+//! apf-cli lint [--json] [--root DIR] [--config PATH] [--list-rules]
+//! ```
+//!
+//! It scans every workspace crate's sources against the rules configured in
+//! `lint.toml` (unseeded entropy, random draws outside ψ_RSB, wall clocks in
+//! simulation crates, hash containers in digest paths, exact float
+//! comparisons, unjustified unwrap/expect) and prints findings as
+//! `file:line:col · rule · message` (or JSON with `--json`). Exit codes:
+//! 0 clean, 1 findings, 2 config or I/O errors.
 
 use apf::prelude::*;
 use apf::render::{Style, SvgScene};
@@ -123,12 +137,71 @@ fn trace_main(args: &[String]) -> ! {
     std::process::exit(if summary.is_clean() { 0 } else { 1 });
 }
 
+/// The `lint` subcommand: the apf-lint determinism & randomness-budget
+/// static-analysis pass over the workspace sources.
+fn lint_main(args: &[String]) -> ! {
+    let usage = "apf-cli lint [--json] [--root DIR] [--config PATH] [--list-rules]\n\
+                 static analysis: determinism & randomness-budget rules (D1-D5, P1)\n\
+                 exit codes: 0 clean, 1 findings, 2 config or I/O errors";
+    let mut json = false;
+    let mut root = String::from(".");
+    let mut config: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--json" => json = true,
+            "--root" => root = value(),
+            "--config" => config = Some(value()),
+            "--list-rules" => {
+                print!("{}", apf_lint::report::render_rules());
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown flag {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = std::path::PathBuf::from(root);
+    let findings =
+        match apf_lint::lint_with_config_file(&root, config.as_deref().map(std::path::Path::new)) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+    if json {
+        print!("{}", apf_lint::report::render_json(&findings));
+    } else {
+        print!("{}", apf_lint::report::render_text(&findings));
+    }
+    std::process::exit(if findings.is_empty() { 0 } else { 1 });
+}
+
 /// The `conformance` subcommand: corpus verification/regeneration and the
 /// schedule fuzzer.
 fn conformance_main(args: &[String]) -> ! {
     let usage = "apf-cli conformance corpus|regen [--dir DIR]\n\
                  apf-cli conformance fuzz [--schedules N] [--seed S] [--jobs J]\n\
-                 \x20                        [--dump-dir DIR] [--no-formation-check]";
+                 \x20                        [--dump-dir DIR] [--no-formation-check]\n\
+                 \n\
+                 The fuzzer checks the *dynamic* invariants: movement legality,\n\
+                 phase-transition legality, the <= 1 random bit per election cycle\n\
+                 budget, and (unless --no-formation-check) eventual formation.\n\
+                 Freedom from ambient entropy and draws outside the psi_RSB module\n\
+                 is guaranteed *statically* by `apf-cli lint` (rules D1/D2) and is\n\
+                 not re-checked here.";
     let Some(mode) = args.first().map(String::as_str) else {
         eprintln!("error: conformance needs a mode\n{usage}");
         std::process::exit(2);
@@ -304,7 +377,9 @@ fn parse_args() -> Result<Args, String> {
                      flags: --n N --sym RHO|--asym --pattern random|line|grid|star|polygon\n\
                      \x20      --scheduler fsync|ssync|async|rr --seed S --budget STEPS\n\
                      \x20      --delta D --multiplicity --svg PATH --trace PATH --quiet\n\
-                     subcommands: trace FILE [--replay] [--robot N]  inspect a JSONL trace"
+                     subcommands: trace FILE [--replay] [--robot N]  inspect a JSONL trace\n\
+                     \x20            conformance corpus|regen|fuzz      golden traces & fuzzing\n\
+                     \x20            lint [--json] [--list-rules]       determinism static analysis"
                 );
                 std::process::exit(0);
             }
@@ -349,6 +424,9 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("conformance") {
         conformance_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("lint") {
+        lint_main(&raw[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -41,6 +41,8 @@
 //! assert!(outcome.formed, "pattern must be formed");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use apf_baselines as baselines;
 pub use apf_core as core;
 pub use apf_geometry as geometry;
