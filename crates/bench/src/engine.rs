@@ -36,7 +36,7 @@ use apf_sim::{RobotAlgorithm, World, WorldConfig};
 use apf_trace::{HashSink, JsonlSink, PhaseKind, TraceSink};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -757,6 +757,87 @@ impl StreamingAggregate {
     }
 }
 
+/// Cooperative cancellation flag for a running campaign.
+///
+/// Cloning shares the flag. Workers check it **before claiming each trial**
+/// and never abandon a claimed trial, so after [`CancelToken::cancel`] the
+/// executed trials form a contiguous prefix `0..k` of the campaign in trial
+/// order — partial aggregates, collected results, and digest vectors stay
+/// well-formed and deterministic for whatever `k` the cancellation reached.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Shared live counters a running campaign updates after every trial, for
+/// concurrent readers (progress displays, a `/metrics` scrape). All fields
+/// are monotonic; [`LiveStats::snapshot`] reads them individually, so a
+/// snapshot taken mid-update may be internally skewed by at most one trial —
+/// fine for observability, never part of the deterministic output.
+#[derive(Debug, Default)]
+pub struct LiveStats {
+    trials: AtomicU64,
+    formed: AtomicU64,
+    cycles: AtomicU64,
+    bits: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl LiveStats {
+    fn record(&self, r: &RunResult, busy: Duration) {
+        self.trials.fetch_add(1, Ordering::Relaxed);
+        if r.formed {
+            self.formed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cycles.fetch_add(r.cycles, Ordering::Relaxed);
+        self.bits.fetch_add(r.bits, Ordering::Relaxed);
+        self.busy_ns.fetch_add(busy.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        LiveSnapshot {
+            trials: self.trials.load(Ordering::Relaxed),
+            formed: self.formed.load(Ordering::Relaxed),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            bits: self.bits.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One reading of [`LiveStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveSnapshot {
+    /// Trials completed so far.
+    pub trials: u64,
+    /// Successful trials so far.
+    pub formed: u64,
+    /// Total cycles across completed trials (formed or not).
+    pub cycles: u64,
+    /// Total random bits across completed trials.
+    pub bits: u64,
+    /// Total worker time spent inside trials.
+    pub busy: Duration,
+}
+
 /// One worker thread's execution accounting for a campaign.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorkerStats {
@@ -771,8 +852,14 @@ pub struct WorkerStats {
 pub struct CampaignReport {
     /// The campaign's name.
     pub name: String,
-    /// Trials executed.
+    /// Trials executed. Equal to [`CampaignReport::requested`] unless the
+    /// run was cancelled, in which case the executed trials are the prefix
+    /// `0..trials` of the campaign in trial order.
     pub trials: usize,
+    /// Trials the campaign asked for.
+    pub requested: usize,
+    /// Whether a [`CancelToken`] stopped the run before completion.
+    pub cancelled: bool,
     /// Worker threads used.
     pub jobs: usize,
     /// Merged streaming statistics.
@@ -828,6 +915,8 @@ pub struct Engine {
     digests: bool,
     progress: bool,
     percentile_cap: usize,
+    cancel: Option<CancelToken>,
+    live: Option<Arc<LiveStats>>,
 }
 
 impl Default for Engine {
@@ -840,7 +929,15 @@ impl Engine {
     /// An engine using every available core.
     pub fn new() -> Self {
         let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Engine { jobs, collect: false, digests: false, progress: false, percentile_cap: 1 << 16 }
+        Engine {
+            jobs,
+            collect: false,
+            digests: false,
+            progress: false,
+            percentile_cap: 1 << 16,
+            cancel: None,
+            live: None,
+        }
     }
 
     /// Sets the worker count (0 = auto-detect).
@@ -886,6 +983,22 @@ impl Engine {
         self
     }
 
+    /// Installs a cooperative [`CancelToken`]: workers check it before
+    /// claiming each trial and stop claiming once it fires, so cancellation
+    /// latency is bounded by one trial. Executed trials always form a
+    /// contiguous prefix of the campaign (see [`CancelToken`]).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Publishes per-trial counters into `live` while the campaign runs, for
+    /// concurrent readers such as a metrics scrape.
+    pub fn live_stats(mut self, live: Arc<LiveStats>) -> Self {
+        self.live = Some(live);
+        self
+    }
+
     /// Runs every trial of `campaign` and merges the outcome.
     ///
     /// The result — including every floating-point digit of the merged
@@ -903,6 +1016,9 @@ impl Engine {
         let workers = self.jobs.min(nchunks.max(1)).max(1);
         let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
+        let finished = AtomicBool::new(false);
+        let cancel = self.cancel.as_ref();
+        let live = self.live.as_deref();
         let t0 = Instant::now();
 
         type ChunkData = (StreamingAggregate, Vec<RunResult>, Vec<u64>);
@@ -923,6 +1039,9 @@ impl Engine {
                         let mut stats = WorkerStats::default();
                         let mut longest: Option<(usize, Duration)> = None;
                         loop {
+                            if cancel.is_some_and(CancelToken::is_cancelled) {
+                                break;
+                            }
                             let c = cursor.fetch_add(1, Ordering::Relaxed);
                             if c >= nchunks {
                                 break;
@@ -954,6 +1073,9 @@ impl Engine {
                                 if longest.is_none_or(|(_, best)| dt > best) {
                                     longest = Some((lo + off, dt));
                                 }
+                                if let Some(l) = live {
+                                    l.record(&r, dt);
+                                }
                                 agg.push(&r);
                                 if self.collect {
                                     results.push(r);
@@ -969,6 +1091,7 @@ impl Engine {
 
             if self.progress {
                 let done = &done;
+                let finished = &finished;
                 let name = campaign.name();
                 scope.spawn(move || loop {
                     let d = done.load(Ordering::Relaxed);
@@ -979,7 +1102,9 @@ impl Engine {
                         100.0 * d as f64 / n.max(1) as f64,
                         rate
                     );
-                    if d >= n {
+                    // `finished` (not `d >= n`) ends the loop so a cancelled
+                    // campaign — which never reaches n — still stops it.
+                    if d >= n || finished.load(Ordering::Acquire) {
                         eprintln!();
                         break;
                     }
@@ -1000,15 +1125,22 @@ impl Engine {
                     }
                 }
             }
+            finished.store(true, Ordering::Release);
         });
 
+        let cancelled = cancel.is_some_and(CancelToken::is_cancelled);
         let mut stats = StreamingAggregate::with_capacity(self.percentile_cap);
         let mut results = self.collect.then(|| Vec::with_capacity(n));
         let mut digests = self.digests.then(|| Vec::with_capacity(n));
         for slot in chunks {
-            let (agg, chunk_results, chunk_digests) =
-            // apf-lint: allow(panic-policy) — the atomic cursor hands every chunk to exactly one worker
-                slot.expect("every chunk must be claimed by a worker");
+            let Some((agg, chunk_results, chunk_digests)) = slot else {
+                // Workers claim chunks in cursor order and never abandon a
+                // claimed chunk, so completed chunks form a contiguous
+                // prefix; the only way to see a gap is cancellation, and the
+                // first gap ends the (well-formed) prefix merge.
+                assert!(cancelled, "unclaimed chunk in an uncancelled campaign");
+                break;
+            };
             stats.merge(&agg);
             if let Some(all) = results.as_mut() {
                 all.extend(chunk_results);
@@ -1020,7 +1152,9 @@ impl Engine {
 
         CampaignReport {
             name: campaign.name().to_string(),
-            trials: n,
+            trials: stats.runs() as usize,
+            requested: n,
+            cancelled,
             jobs: workers,
             stats,
             results,
@@ -1211,6 +1345,114 @@ mod tests {
         for (i, spec) in c.specs().iter().enumerate() {
             assert_eq!(spec.seed, trial_seed(99, i as u64));
         }
+    }
+
+    fn smoke_campaign(trials: u64) -> Campaign {
+        let mut c = Campaign::new("cancel-smoke", 7);
+        c.add_trials(trials, |i, _seed| {
+            RunSpec::new(
+                apf_patterns::asymmetric_configuration(7, 10 + i),
+                apf_patterns::random_pattern(7, 20 + i),
+            )
+            .scheduler(SchedulerKind::RoundRobin)
+            .budget(200_000)
+        });
+        c
+    }
+
+    #[test]
+    fn cancel_before_run_yields_wellformed_empty_report() {
+        let token = CancelToken::new();
+        token.cancel();
+        let c = smoke_campaign(5);
+        let report = Engine::new()
+            .jobs(2)
+            .collect_results(true)
+            .trace_digests(true)
+            .cancel_token(token)
+            .run(&c);
+        assert!(report.cancelled);
+        assert_eq!(report.requested, 5);
+        assert_eq!(report.trials, 0);
+        assert_eq!(report.stats.runs(), 0);
+        assert_eq!(report.results.as_ref().unwrap().len(), 0);
+        assert_eq!(report.digests.as_ref().unwrap().len(), 0);
+        let agg = report.aggregate();
+        assert_eq!(agg.runs, 0);
+        assert_eq!(agg.success, 0.0);
+    }
+
+    #[test]
+    fn cancel_mid_run_keeps_partial_aggregates_wellformed() {
+        let c = smoke_campaign(8);
+        let reference = Engine::new().jobs(1).collect_results(true).trace_digests(true).run(&c);
+        let ref_digests = reference.digests.as_ref().unwrap();
+
+        let token = CancelToken::new();
+        let live = Arc::new(LiveStats::default());
+        let report = std::thread::scope(|s| {
+            let handle = {
+                let token = token.clone();
+                let live = Arc::clone(&live);
+                let c = &c;
+                s.spawn(move || {
+                    Engine::new()
+                        .jobs(2)
+                        .collect_results(true)
+                        .trace_digests(true)
+                        .cancel_token(token)
+                        .live_stats(live)
+                        .run(c)
+                })
+            };
+            while live.snapshot().trials < 2 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            token.cancel();
+            handle.join().unwrap()
+        });
+
+        // The cancel raced trial completion, so the executed count is
+        // anywhere in 2..=8 — but whatever it is, the report must be a
+        // self-consistent prefix of the uncancelled reference run.
+        let k = report.trials;
+        assert!((2..=8).contains(&k), "executed {k} of 8");
+        assert_eq!(report.requested, 8);
+        assert_eq!(report.stats.runs() as usize, k);
+        assert_eq!(report.results.as_ref().unwrap().len(), k);
+        assert_eq!(report.digests.as_ref().unwrap().len(), k);
+        assert_eq!(report.digests.as_ref().unwrap()[..], ref_digests[..k]);
+        let agg = report.aggregate();
+        assert_eq!(agg.runs, k);
+        assert!((0.0..=1.0).contains(&agg.success));
+        let snap = live.snapshot();
+        assert_eq!(snap.trials as usize, k);
+        assert_eq!(snap.formed, report.stats.formed());
+        assert!(snap.busy >= Duration::ZERO);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let c = smoke_campaign(4);
+        let plain = Engine::new().jobs(2).trace_digests(true).run(&c);
+        let tokened =
+            Engine::new().jobs(2).trace_digests(true).cancel_token(CancelToken::new()).run(&c);
+        assert!(!tokened.cancelled);
+        assert_eq!(tokened.trials, tokened.requested);
+        assert_eq!(plain.digests, tokened.digests);
+    }
+
+    #[test]
+    fn live_stats_totals_match_report() {
+        let c = smoke_campaign(5);
+        let live = Arc::new(LiveStats::default());
+        let report = Engine::new().jobs(2).live_stats(Arc::clone(&live)).run(&c);
+        let snap = live.snapshot();
+        assert_eq!(snap.trials, 5);
+        assert_eq!(snap.formed, report.stats.formed());
+        let busy: Duration = report.workers.iter().map(|w| w.busy).sum();
+        // Same trials timed with the same clock, accumulated in ns.
+        assert!(snap.busy <= busy + Duration::from_millis(1));
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! The statistics that back the service's `/metrics` scrape path:
+//! [`StreamingAggregate`] merging must agree with sequential accumulation,
+//! [`LiveStats`] snapshots must stay monotonic and internally consistent
+//! while worker threads are publishing mid-campaign, and (property) merge
+//! order must never change the percentiles an exact-mode aggregate reports.
+
+use apf_bench::engine::{Campaign, Engine, LiveSnapshot, LiveStats, RunSpec, StreamingAggregate};
+use apf_bench::RunResult;
+use apf_scheduler::SchedulerKind;
+use apf_trace::PhaseKind;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A synthetic trial result with deterministic, integer-valued statistics
+/// (exact in f64, so chunked summation is order-insensitive).
+fn result(i: u64) -> RunResult {
+    let mut phase_cycles = [0u64; PhaseKind::COUNT];
+    let mut phase_bits = [0u64; PhaseKind::COUNT];
+    phase_cycles[(i as usize) % PhaseKind::COUNT] = 10 + i % 7;
+    phase_bits[(i as usize) % PhaseKind::COUNT] = i % 3;
+    RunResult {
+        formed: !i.is_multiple_of(5),
+        steps: 100 + i,
+        cycles: 20 + (i * 13) % 50,
+        bits: (i * 7) % 11,
+        distance: (i % 9) as f64,
+        phase_cycles,
+        phase_bits,
+    }
+}
+
+#[test]
+fn chunked_merge_agrees_with_sequential_push() {
+    let results: Vec<RunResult> = (0..200).map(result).collect();
+
+    let mut sequential = StreamingAggregate::with_capacity(1024);
+    for r in &results {
+        sequential.push(r);
+    }
+
+    for chunk_size in [1, 3, 50, 200] {
+        let mut merged = StreamingAggregate::with_capacity(1024);
+        for chunk in results.chunks(chunk_size) {
+            let mut part = StreamingAggregate::with_capacity(1024);
+            for r in chunk {
+                part.push(r);
+            }
+            merged.merge(&part);
+        }
+        // Counts and integer-valued sums are exact.
+        assert_eq!(merged.runs(), sequential.runs(), "chunk {chunk_size}");
+        assert_eq!(merged.formed(), sequential.formed(), "chunk {chunk_size}");
+        for kind in PhaseKind::ALL {
+            assert_eq!(
+                merged.phase_cycles_total(kind),
+                sequential.phase_cycles_total(kind),
+                "chunk {chunk_size}, phase {kind:?}"
+            );
+            assert_eq!(
+                merged.phase_bits_total(kind),
+                sequential.phase_bits_total(kind),
+                "chunk {chunk_size}, phase {kind:?}"
+            );
+        }
+        // Welford merging reorders float ops; agree to relative 1e-12.
+        let (a, b) = (merged.to_aggregate(), sequential.to_aggregate());
+        assert!((a.mean_cycles - b.mean_cycles).abs() <= 1e-12 * b.mean_cycles.abs());
+        assert!((a.mean_bits - b.mean_bits).abs() <= 1e-12 * b.mean_bits.abs().max(1.0));
+        assert!((a.bits_per_cycle - b.bits_per_cycle).abs() <= 1e-12);
+        // 1024-sample capacity > 200 pushes: percentiles are exact, so they
+        // must agree bit-for-bit however the pushes were chunked.
+        assert_eq!(a.median_cycles, b.median_cycles, "chunk {chunk_size}");
+        assert_eq!(a.p95_cycles, b.p95_cycles, "chunk {chunk_size}");
+    }
+}
+
+#[test]
+fn merging_empty_aggregates_is_identity() {
+    let mut agg = StreamingAggregate::with_capacity(16);
+    for i in 0..10 {
+        agg.push(&result(i));
+    }
+    let before = agg.clone();
+    agg.merge(&StreamingAggregate::with_capacity(16));
+    assert_eq!(agg, before, "merging an empty aggregate must change nothing");
+
+    let mut empty = StreamingAggregate::with_capacity(16);
+    empty.merge(&before);
+    assert_eq!(empty.runs(), before.runs());
+    assert_eq!(empty.to_aggregate().median_cycles, before.to_aggregate().median_cycles);
+}
+
+/// A small real campaign, uneven enough that workers interleave.
+fn campaign(trials: u64) -> Campaign {
+    let mut c = Campaign::new("stats-concurrency", 7);
+    c.add_trials(trials, |i, _seed| {
+        RunSpec::new(
+            apf_patterns::asymmetric_configuration(7, 100 + i),
+            apf_patterns::random_pattern(7, 200 + i),
+        )
+        .scheduler(SchedulerKind::RoundRobin)
+        .budget(200_000)
+    });
+    c
+}
+
+#[test]
+fn live_stats_snapshots_stay_consistent_under_concurrent_readers() {
+    let live = Arc::new(LiveStats::default());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let report = std::thread::scope(|s| {
+        // The scrape path: readers hammer snapshot() while workers publish.
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let live = Arc::clone(&live);
+            let done = Arc::clone(&done);
+            readers.push(s.spawn(move || {
+                let mut last = LiveSnapshot::default();
+                let mut observed = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let snap = live.snapshot();
+                    // Monotonic: counters only grow.
+                    assert!(snap.trials >= last.trials, "trials went backwards");
+                    assert!(snap.formed >= last.formed, "formed went backwards");
+                    assert!(snap.cycles >= last.cycles, "cycles went backwards");
+                    assert!(snap.bits >= last.bits, "bits went backwards");
+                    assert!(snap.busy >= last.busy, "busy went backwards");
+                    // Internally consistent at every instant.
+                    assert!(snap.formed <= snap.trials, "formed > trials");
+                    observed = observed.max(snap.trials);
+                    last = snap;
+                    std::thread::yield_now();
+                }
+                observed
+            }));
+        }
+
+        let report = Engine::new().jobs(4).live_stats(Arc::clone(&live)).run(&campaign(16));
+        done.store(true, Ordering::Release);
+        for r in readers {
+            let observed = r.join().expect("reader panicked");
+            assert!(observed <= 16, "reader saw more trials than the campaign has");
+        }
+        report
+    });
+
+    // The final snapshot agrees exactly with the merged report.
+    let snap = live.snapshot();
+    assert_eq!(snap.trials, report.stats.runs());
+    assert_eq!(snap.formed, report.stats.formed());
+    assert_eq!(snap.trials as usize, report.trials);
+}
+
+#[test]
+fn worker_stats_account_for_every_trial() {
+    let report = Engine::new().jobs(3).run(&campaign(12));
+    assert_eq!(report.workers.len(), 3);
+    let executed: usize = report.workers.iter().map(|w| w.trials).sum();
+    assert_eq!(executed, report.trials, "per-worker trial counts must sum to the total");
+    let busy: std::time::Duration = report.workers.iter().map(|w| w.busy).sum();
+    assert!(busy >= report.longest_trial.map(|(_, d)| d).unwrap_or_default());
+    let u = report.utilization();
+    assert!((0.0..=1.0).contains(&u), "utilization out of range: {u}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Exact-mode percentiles are a pure function of the observation
+    /// multiset: however the observations are partitioned and in whatever
+    /// order the parts are merged, median and p95 match bit-for-bit.
+    #[test]
+    fn merge_order_never_changes_exact_percentiles(
+        cycles in prop::collection::vec(1u64..100_000, 1..120),
+        cut_a in any::<u16>(),
+        cut_b in any::<u16>(),
+    ) {
+        let n = cycles.len();
+        let mut cuts = [cut_a as usize % (n + 1), cut_b as usize % (n + 1)];
+        cuts.sort_unstable();
+        let parts = [&cycles[..cuts[0]], &cycles[cuts[0]..cuts[1]], &cycles[cuts[1]..]];
+
+        let aggregate_of = |order: [usize; 3]| {
+            let mut total = StreamingAggregate::with_capacity(256);
+            for idx in order {
+                let mut part = StreamingAggregate::with_capacity(256);
+                for &c in parts[idx] {
+                    part.push(&RunResult { formed: true, cycles: c, ..RunResult::default() });
+                }
+                total.merge(&part);
+            }
+            total.to_aggregate()
+        };
+
+        let forward = aggregate_of([0, 1, 2]);
+        let rotated = aggregate_of([2, 0, 1]);
+        let reversed = aggregate_of([2, 1, 0]);
+        for other in [&rotated, &reversed] {
+            prop_assert_eq!(forward.median_cycles, other.median_cycles);
+            prop_assert_eq!(forward.p95_cycles, other.p95_cycles);
+        }
+    }
+}

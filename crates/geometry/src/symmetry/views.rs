@@ -214,7 +214,7 @@ fn oriented_view(polar: &[PolarPoint], i: usize, orientation: Orientation, tol: 
             (quantize(rel_angle, tol.angle_eps, TAU), quantize(p.radius / me.radius, tol.eps, 0.0))
         })
         .collect();
-    coords.sort_unstable();
+    coords.sort();
     View { coords }
 }
 
@@ -222,8 +222,10 @@ fn oriented_view(polar: &[PolarPoint], i: usize, orientation: Orientation, tol: 
 /// round up to `wrap` (for angles) back to zero.
 fn quantize(x: f64, eps: f64, wrap: f64) -> i64 {
     let step = 4.0 * eps;
+    // apf-lint: allow(no-float-int-casts-in-digest-paths) — the audited quantizer itself: x/step is far below 2^53 and .round() lands on an exact integer
     let q = (x / step).round() as i64;
     if wrap > 0.0 {
+        // apf-lint: allow(no-float-int-casts-in-digest-paths) — same audited quantizer, applied to the wrap period
         let wrap_q = (wrap / step).round() as i64;
         q.rem_euclid(wrap_q)
     } else {

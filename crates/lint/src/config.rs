@@ -60,19 +60,30 @@ impl Default for Config {
                 ..RuleConfig::default()
             },
         );
+        // The digest blast radius: everything these crates compute can end
+        // up in a trace event and therefore in a conformance digest. Shared
+        // by D4, D6 and D7.
+        let digest_crates = || {
+            Some(vec![
+                "apf-core".to_string(),
+                "apf-sim".to_string(),
+                "apf-scheduler".to_string(),
+                "apf-geometry".to_string(),
+                "apf-trace".to_string(),
+                "apf-conformance".to_string(),
+            ])
+        };
         rules.insert(
             "no-hash-iteration-in-digest-paths".to_string(),
-            RuleConfig {
-                crates: Some(vec![
-                    "apf-core".to_string(),
-                    "apf-sim".to_string(),
-                    "apf-scheduler".to_string(),
-                    "apf-geometry".to_string(),
-                    "apf-trace".to_string(),
-                    "apf-conformance".to_string(),
-                ]),
-                ..RuleConfig::default()
-            },
+            RuleConfig { crates: digest_crates(), ..RuleConfig::default() },
+        );
+        rules.insert(
+            "no-float-int-casts-in-digest-paths".to_string(),
+            RuleConfig { crates: digest_crates(), ..RuleConfig::default() },
+        );
+        rules.insert(
+            "stable-sort-in-digest-paths".to_string(),
+            RuleConfig { crates: digest_crates(), ..RuleConfig::default() },
         );
         rules.insert(
             "no-float-eq".to_string(),

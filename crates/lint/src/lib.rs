@@ -6,8 +6,9 @@
 //! per election cycle, bit-identical replay — only on the executions a run
 //! happens to take. This crate proves the cheap half of those claims at the
 //! *source* level, before any trial runs: no ambient entropy anywhere, no
-//! random draw outside `ψ_RSB`, no wall clocks or hash-iteration order or
-//! exact float equality in the crates whose behavior feeds trace digests.
+//! random draw outside `ψ_RSB`, and — in the crates whose behavior feeds
+//! trace digests — no wall clocks, hash-iteration order, exact float
+//! equality, unaudited float↔int `as` casts, or unstable sorts.
 //!
 //! The pass is deliberately std-only and dependency-free: it is the first
 //! gate in `scripts/check.sh` and must build in the offline container
@@ -132,6 +133,10 @@ fn run_rule(rule: &RuleDef, scanned: &Scanned, rel_path: &str, findings: &mut Ve
             Matcher::FloatEq => rules::float_eq_matches(line_text)
                 .into_iter()
                 .map(|at| (at, "float ==/!="))
+                .collect(),
+            Matcher::FloatIntCast => rules::float_int_cast_matches(line_text)
+                .into_iter()
+                .map(|at| (at, "float<->int `as` cast"))
                 .collect(),
         };
         for (at, token) in hits {

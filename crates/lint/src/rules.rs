@@ -11,6 +11,8 @@
 //! | `no-wallclock-in-sim` | D3 | simulation crates never read wall clocks |
 //! | `no-hash-iteration-in-digest-paths` | D4 | digest-feeding crates use ordered containers |
 //! | `no-float-eq` | D5 | geometry/core compare floats via epsilon helpers |
+//! | `no-float-int-casts-in-digest-paths` | D6 | digest-feeding crates avoid `as` float↔int casts |
+//! | `stable-sort-in-digest-paths` | D7 | digest-feeding crates sort stably |
 //! | `panic-policy` | P1 | library `unwrap`/`expect` needs a justified pragma |
 //!
 //! Rules match token needles over the [lexer's](crate::lexer) masked text,
@@ -46,6 +48,11 @@ pub enum Matcher {
     Needles(&'static [Needle]),
     /// `==` / `!=` with a float literal (or float constant) operand.
     FloatEq,
+    /// An `as` cast between float and integer representations: `as f32`
+    /// anywhere, or `as <int>` whose left operand is recognizably a float
+    /// (a float literal or a `.round()`/`.floor()`/`.ceil()`/`.trunc()`
+    /// call).
+    FloatIntCast,
 }
 
 /// A static-analysis rule.
@@ -157,6 +164,48 @@ pub const RULES: &[RuleDef] = &[
         matcher: Matcher::FloatEq,
         message: "exact float comparison; use the Tol epsilon helpers (tol.eq / \
                   tol.is_zero) or pragma an intentional exact-zero singularity guard",
+    },
+    RuleDef {
+        name: "no-float-int-casts-in-digest-paths",
+        code: "D6",
+        summary: "digest-feeding crates avoid `as` float↔int casts; truncation and f32 \
+                  narrowing make digested values representation-fragile",
+        // Overridden by lint.toml; kept in sync with Config::default().
+        default_crates: Some(&[
+            "apf-core",
+            "apf-sim",
+            "apf-scheduler",
+            "apf-geometry",
+            "apf-trace",
+            "apf-conformance",
+        ]),
+        applies_in_tests: false,
+        applies_in_bins: true,
+        matcher: Matcher::FloatIntCast,
+        message: "float↔int `as` cast in a digest-feeding crate; `as` silently truncates \
+                  and saturates — quantize through an audited helper, or pragma the site \
+                  with the argument for why the value is exactly representable",
+    },
+    RuleDef {
+        name: "stable-sort-in-digest-paths",
+        code: "D7",
+        summary: "digest-feeding crates sort stably; `sort_unstable` reorders equal keys \
+                  implementation-dependently",
+        // Overridden by lint.toml; kept in sync with Config::default().
+        default_crates: Some(&[
+            "apf-core",
+            "apf-sim",
+            "apf-scheduler",
+            "apf-geometry",
+            "apf-trace",
+            "apf-conformance",
+        ]),
+        applies_in_tests: false,
+        applies_in_bins: true,
+        matcher: Matcher::Needles(&[Needle::Exact(".sort_unstable")]),
+        message: "unstable sort on data that can feed trace/digest output; equal-key \
+                  order is unspecified and may drift across std versions — use a stable \
+                  sort, or pragma with the argument for why keys are total",
     },
     RuleDef {
         name: "panic-policy",
@@ -278,6 +327,87 @@ fn float_on_left(bytes: &[u8], op: usize) -> bool {
     token_is_float(&bytes[i..end])
 }
 
+/// Byte offsets of `as` casts between float and integer representations.
+///
+/// Two shapes fire, mirroring how digest-value fragility actually enters:
+/// `as f32` (narrowing a digested value to half precision) with any
+/// operand, and `as <int-type>` whose left operand is recognizably a float
+/// — a float literal or a `.round()` / `.floor()` / `.ceil()` / `.trunc()`
+/// call. Plain `n as f64` (int widening, exact for every value this
+/// workspace digests) stays silent, as does `x as i64` of an opaque
+/// expression — like [`float_eq_matches`], this is a literal-adjacency
+/// heuristic, not a type check.
+pub(crate) fn float_int_cast_matches(line: &str) -> Vec<usize> {
+    const INT_TYPES: &[&str] =
+        &["i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize"];
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for at in needle_matches(line, Needle::Ident("as")) {
+        let mut i = at + 2;
+        while bytes.get(i) == Some(&b' ') {
+            i += 1;
+        }
+        let ty_start = i;
+        while i < bytes.len() && is_ident_char(bytes[i]) {
+            i += 1;
+        }
+        let ty = &line[ty_start..i];
+        if ty == "f32" || (INT_TYPES.contains(&ty) && float_cast_operand_on_left(bytes, at)) {
+            out.push(at);
+        }
+    }
+    out
+}
+
+/// Whether the expression ending just before the `as` at `as_pos` is
+/// recognizably a float: a rounding-method call or a float literal.
+fn float_cast_operand_on_left(bytes: &[u8], as_pos: usize) -> bool {
+    let mut i = as_pos;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    if bytes[i - 1] == b')' {
+        // Walk back over the balanced call parens to the method name.
+        let mut depth = 0usize;
+        let mut j = i;
+        loop {
+            if j == 0 {
+                return false; // call spans lines; stay silent
+            }
+            j -= 1;
+            match bytes[j] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let name_end = j;
+        let mut k = name_end;
+        while k > 0 && is_ident_char(bytes[k - 1]) {
+            k -= 1;
+        }
+        matches!(&bytes[k..name_end], b"round" | b"floor" | b"ceil" | b"trunc")
+            && k > 0
+            && bytes[k - 1] == b'.'
+    } else {
+        let end = i;
+        let mut k = i;
+        while k > 0 && (is_ident_char(bytes[k - 1]) || bytes[k - 1] == b'.' || bytes[k - 1] == b':')
+        {
+            k -= 1;
+        }
+        token_is_float(&bytes[k..end])
+    }
+}
+
 /// Decides whether a scanned token is a float literal (`0.0`, `1.`, `1e-3`,
 /// `2.5f64`) or a named float constant (`f64::INFINITY`, `f32::NAN`, …).
 fn token_is_float(token: &[u8]) -> bool {
@@ -350,6 +480,44 @@ mod tests {
         assert!(float_eq_matches("if pair.0 == other {").is_empty());
         assert!(float_eq_matches("let f = |x| x == y;").is_empty());
         assert!(float_eq_matches("a => b").is_empty());
+    }
+
+    #[test]
+    fn float_int_cast_shapes() {
+        assert_eq!(float_int_cast_matches("let q = (x * SCALE).round() as i64;").len(), 1);
+        assert_eq!(float_int_cast_matches("let q = y.floor() as u32;").len(), 1);
+        assert_eq!(float_int_cast_matches("let q = z.ceil() as usize;").len(), 1);
+        assert_eq!(float_int_cast_matches("let q = w.trunc() as i32;").len(), 1);
+        assert_eq!(float_int_cast_matches("let q = 1.5 as i64;").len(), 1);
+        assert_eq!(float_int_cast_matches("let lossy = x as f32;").len(), 1);
+        assert_eq!(float_int_cast_matches("f(a.round() as i64, b.round() as i64)").len(), 2);
+    }
+
+    #[test]
+    fn float_int_cast_non_matches() {
+        // Int widening into f64 is exact for everything digested here.
+        assert!(float_int_cast_matches("let f = n as f64;").is_empty());
+        // Opaque expressions: no adjacency evidence, no finding.
+        assert!(float_int_cast_matches("let q = x as i64;").is_empty());
+        assert!(float_int_cast_matches("let q = idx as usize;").is_empty());
+        // Non-numeric casts and trait casts.
+        assert!(float_int_cast_matches("let c = b as char;").is_empty());
+        assert!(float_int_cast_matches("<T as Default>::default()").is_empty());
+        // Rounding call without a cast, and non-rounding method calls.
+        assert!(float_int_cast_matches("let r = x.round();").is_empty());
+        assert!(float_int_cast_matches("let q = v.len() as u64;").is_empty());
+        // `as` inside identifiers.
+        assert!(float_int_cast_matches("let q = x.as_ref();").is_empty());
+    }
+
+    #[test]
+    fn sort_unstable_needle_covers_all_variants() {
+        let needle = Needle::Exact(".sort_unstable");
+        assert_eq!(needle_matches("v.sort_unstable();", needle).len(), 1);
+        assert_eq!(needle_matches("v.sort_unstable_by(cmp);", needle).len(), 1);
+        assert_eq!(needle_matches("v.sort_unstable_by_key(|x| x.0);", needle).len(), 1);
+        assert!(needle_matches("v.sort_by(cmp);", needle).is_empty());
+        assert!(needle_matches("v.sort();", needle).is_empty());
     }
 
     #[test]

@@ -143,6 +143,80 @@ fn d5_out_of_scope_outside_geometry_and_core() {
     assert!(lint("crates/bench/src/lib.rs", "apf-bench", src).is_empty());
 }
 
+// ---------------------------------------------------------------- D6
+
+#[test]
+fn d6_float_int_casts_fire_in_digest_crates_only() {
+    for expr in [
+        "(x * 1e6).round() as i64",
+        "x.floor() as u32",
+        "x.ceil() as usize",
+        "x.trunc() as i32",
+        "1.5 as i64",
+        "x as f32",
+    ] {
+        let src = format!("fn f(x: f64) -> i64 {{ let v = {expr}; v as i64 }}\n");
+        let f = lint("crates/trace/src/event.rs", "apf-trace", &src);
+        assert!(
+            f.iter().any(|f| f.rule == "no-float-int-casts-in-digest-paths"),
+            "`{expr}` should fire: {f:?}"
+        );
+        // apf-render draws pictures, not digests — out of scope.
+        assert!(lint("crates/render/src/lib.rs", "apf-render", &src).is_empty(), "`{expr}`");
+    }
+}
+
+#[test]
+fn d6_stays_silent_without_float_evidence() {
+    for expr in ["n as f64", "n as u64", "idx as usize", "b as char", "v.len() as u64"] {
+        let src = format!("fn f(n: u32, idx: i32, b: u8, v: &[u8]) {{ let _ = {expr}; }}\n");
+        let f = lint("crates/trace/src/event.rs", "apf-trace", &src);
+        assert!(f.is_empty(), "`{expr}` should not fire: {f:?}");
+    }
+}
+
+#[test]
+fn d6_pragma_suppresses_an_audited_quantizer() {
+    let src = "fn q(x: f64) -> i64 {\n\
+               \x20   // apf-lint: allow(no-float-int-casts-in-digest-paths) — audited, < 2^53\n\
+               \x20   x.round() as i64\n\
+               }\n";
+    assert!(lint("crates/geometry/src/quant.rs", "apf-geometry", src).is_empty());
+}
+
+#[test]
+fn d6_exempt_in_tests_of_scoped_crates() {
+    let src = "fn f(x: f64) -> i64 { x.round() as i64 }\n";
+    assert!(lint("crates/trace/tests/roundtrip.rs", "apf-trace", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D7
+
+#[test]
+fn d7_unstable_sorts_fire_in_digest_crates_only() {
+    for expr in
+        ["v.sort_unstable()", "v.sort_unstable_by(|a, b| a.cmp(b))", "v.sort_unstable_by_key(k)"]
+    {
+        let src = format!("fn f(v: &mut Vec<u32>) {{ {expr}; }}\n");
+        let f = lint("crates/conformance/src/corpus.rs", "apf-conformance", &src);
+        assert_eq!(rules_fired(&f), vec!["stable-sort-in-digest-paths"], "`{expr}`");
+        assert!(lint("crates/bench/src/engine.rs", "apf-bench", &src).is_empty(), "`{expr}`");
+    }
+}
+
+#[test]
+fn d7_stable_sorts_do_not_fire() {
+    let src =
+        "fn f(v: &mut Vec<u32>) { v.sort(); v.sort_by(|a, b| a.cmp(b)); v.sort_by_key(k); }\n";
+    assert!(lint("crates/conformance/src/corpus.rs", "apf-conformance", src).is_empty());
+}
+
+#[test]
+fn d7_exempt_in_tests_of_scoped_crates() {
+    let src = "fn f(v: &mut Vec<u32>) { v.sort_unstable(); }\n";
+    assert!(lint("crates/conformance/tests/golden.rs", "apf-conformance", src).is_empty());
+}
+
 // ---------------------------------------------------------------- P1
 
 #[test]

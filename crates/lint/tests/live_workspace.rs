@@ -51,6 +51,7 @@ fn workspace_discovers_every_crate() {
         "apf-patterns",
         "apf-render",
         "apf-scheduler",
+        "apf-serve",
         "apf-sim",
         "apf-trace",
     ] {

@@ -1,0 +1,472 @@
+//! Job specifications and lifecycle state.
+//!
+//! A job is a campaign described over the wire. [`JobSpec`] maps the JSON
+//! body of `POST /jobs` onto the exact `Campaign` construction the CLI
+//! harness uses — same campaign seed, same per-trial generator offsets
+//! (`symmetric_configuration(n, rho, 1000 + i)` /
+//! `random_pattern(n, 2000 + i)`, as in experiment E1) — so a job submitted
+//! over HTTP reproduces a CLI run of the same spec **bit for bit**, digests
+//! included. That parity is asserted by the integration tests and the
+//! `check.sh` smoke step.
+
+use crate::json::{self, Json};
+use apf_bench::engine::{Campaign, CancelToken, LiveStats, RunSpec};
+use apf_scheduler::SchedulerKind;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on trials per job (bounds queue memory and worker latency).
+pub const MAX_TRIALS: u64 = 4096;
+/// Upper bound on robots per trial.
+pub const MAX_ROBOTS: usize = 64;
+/// Upper bound on the per-trial step budget.
+pub const MAX_BUDGET: u64 = 20_000_000;
+
+/// Which instance generator seeds the initial configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generator {
+    /// `apf_patterns::symmetric_configuration(n, rho, 1000 + i)` — the
+    /// worst-case election path (experiment E1's generator).
+    Symmetric,
+    /// `apf_patterns::asymmetric_configuration(n, 1000 + i)`.
+    Asymmetric,
+}
+
+/// A validated campaign description, as submitted over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Campaign name (reports, metrics labels).
+    pub name: String,
+    /// Campaign seed (per-trial seeds derive from it).
+    pub seed: u64,
+    /// Number of trials.
+    pub trials: u64,
+    /// Robots per trial.
+    pub n: usize,
+    /// Symmetricity parameter for the symmetric generator.
+    pub rho: usize,
+    /// Initial-configuration generator.
+    pub generator: Generator,
+    /// Scheduler kind.
+    pub scheduler: SchedulerKind,
+    /// Per-trial engine-step budget.
+    pub budget: u64,
+}
+
+impl Default for JobSpec {
+    /// The defaults mirror one row of experiment E1 in `--quick` mode:
+    /// `n = 8`, `rho = 4`, 8 trials, campaign seed 1, RoundRobin, a 2 M-step
+    /// budget.
+    fn default() -> Self {
+        JobSpec {
+            name: "job".to_string(),
+            seed: 1,
+            trials: 8,
+            n: 8,
+            rho: 4,
+            generator: Generator::Symmetric,
+            scheduler: SchedulerKind::RoundRobin,
+            budget: 2_000_000,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses and validates a spec from a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message (the 400 body) on malformed JSON,
+    /// unknown fields, or out-of-range values.
+    pub fn from_json_bytes(body: &[u8]) -> Result<JobSpec, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let Json::Obj(map) = &v else {
+            return Err("body must be a JSON object".to_string());
+        };
+
+        let mut spec = JobSpec::default();
+        for (key, value) in map {
+            match key.as_str() {
+                "name" => {
+                    let s = value.as_str().ok_or("\"name\" must be a string")?;
+                    if s.is_empty() || s.len() > 128 {
+                        return Err("\"name\" must be 1..=128 chars".to_string());
+                    }
+                    spec.name = s.to_string();
+                }
+                "seed" => spec.seed = req_u64(value, "seed")?,
+                "trials" => spec.trials = req_u64(value, "trials")?,
+                "n" => spec.n = req_u64(value, "n")? as usize,
+                "rho" => spec.rho = req_u64(value, "rho")? as usize,
+                "generator" => {
+                    spec.generator = match value.as_str() {
+                        Some("symmetric") => Generator::Symmetric,
+                        Some("asymmetric") => Generator::Asymmetric,
+                        _ => {
+                            return Err(
+                                "\"generator\" must be \"symmetric\" or \"asymmetric\"".to_string()
+                            )
+                        }
+                    }
+                }
+                "scheduler" => {
+                    spec.scheduler =
+                        match value.as_str() {
+                            Some("fsync") => SchedulerKind::Fsync,
+                            Some("ssync") => SchedulerKind::Ssync,
+                            Some("async") => SchedulerKind::Async,
+                            Some("round_robin") => SchedulerKind::RoundRobin,
+                            _ => return Err(
+                                "\"scheduler\" must be one of \"fsync\", \"ssync\", \"async\", \
+                             \"round_robin\""
+                                    .to_string(),
+                            ),
+                        }
+                }
+                "budget" => spec.budget = req_u64(value, "budget")?,
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Range-checks the spec and verifies every trial's instance builds —
+    /// after this, running the campaign cannot fail validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 400 body text.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.trials == 0 || self.trials > MAX_TRIALS {
+            return Err(format!("\"trials\" must be 1..={MAX_TRIALS}"));
+        }
+        if self.n < 7 || self.n > MAX_ROBOTS {
+            return Err(format!("\"n\" must be 7..={MAX_ROBOTS} (the paper needs n >= 7)"));
+        }
+        if self.generator == Generator::Symmetric
+            && (self.rho < 2 || !self.n.is_multiple_of(self.rho))
+        {
+            return Err(
+                "\"rho\" must be >= 2 and divide \"n\" for the symmetric generator".to_string()
+            );
+        }
+        if self.budget == 0 || self.budget > MAX_BUDGET {
+            return Err(format!("\"budget\" must be 1..={MAX_BUDGET}"));
+        }
+        let campaign = self.to_campaign();
+        for (i, spec) in campaign.specs().iter().enumerate() {
+            spec.build_world().map_err(|e| format!("trial {i} is invalid: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// The spec's campaign — identical construction to a CLI run.
+    pub fn to_campaign(&self) -> Campaign {
+        let mut c = Campaign::new(self.name.clone(), self.seed);
+        let (n, rho, generator, scheduler, budget) =
+            (self.n, self.rho, self.generator, self.scheduler, self.budget);
+        c.add_trials(self.trials, |i, _seed| {
+            let initial = match generator {
+                Generator::Symmetric => apf_patterns::symmetric_configuration(n, rho, 1000 + i),
+                Generator::Asymmetric => apf_patterns::asymmetric_configuration(n, 1000 + i),
+            };
+            RunSpec::new(initial, apf_patterns::random_pattern(n, 2000 + i))
+                .scheduler(scheduler)
+                .budget(budget)
+        });
+        c
+    }
+
+    /// The spec as response JSON (echoed in job status).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            ("seed", Json::u64(self.seed)),
+            ("trials", Json::u64(self.trials)),
+            ("n", Json::usize(self.n)),
+            ("rho", Json::usize(self.rho)),
+            (
+                "generator",
+                Json::str(match self.generator {
+                    Generator::Symmetric => "symmetric",
+                    Generator::Asymmetric => "asymmetric",
+                }),
+            ),
+            (
+                "scheduler",
+                Json::str(match self.scheduler {
+                    SchedulerKind::Fsync => "fsync",
+                    SchedulerKind::Ssync => "ssync",
+                    SchedulerKind::Async => "async",
+                    SchedulerKind::RoundRobin => "round_robin",
+                }),
+            ),
+            ("budget", Json::u64(self.budget)),
+        ])
+    }
+}
+
+fn req_u64(value: &Json, key: &str) -> Result<u64, String> {
+    value.as_u64().ok_or_else(|| format!("{key:?} must be a non-negative integer"))
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// In the queue, not yet started.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Completed every trial.
+    Done,
+    /// Stopped by `DELETE /jobs/{id}` or shutdown; partial results kept.
+    Cancelled,
+    /// The worker panicked (a bug, surfaced rather than hidden).
+    Failed,
+}
+
+impl JobStatus {
+    /// Lowercase wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Cancelled | JobStatus::Failed)
+    }
+}
+
+/// The final outcome a worker records.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Trials executed (a prefix of the campaign when cancelled).
+    pub trials: usize,
+    /// Trials the spec requested.
+    pub requested: usize,
+    /// Successful trials.
+    pub formed: u64,
+    /// Success fraction over executed trials.
+    pub success: f64,
+    /// Mean cycles over successful trials.
+    pub mean_cycles: f64,
+    /// Median cycles over successful trials.
+    pub median_cycles: f64,
+    /// 95th-percentile cycles over successful trials.
+    pub p95_cycles: f64,
+    /// Mean random bits over successful trials.
+    pub mean_bits: f64,
+    /// Random bits per cycle over successful trials.
+    pub bits_per_cycle: f64,
+    /// Per-trial FNV-1a trace digests, in trial order.
+    pub digests: Vec<u64>,
+    /// Campaign wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+impl JobOutcome {
+    /// The outcome as response JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("trials", Json::usize(self.trials)),
+            ("requested", Json::usize(self.requested)),
+            ("formed", Json::u64(self.formed)),
+            ("success", Json::f64(self.success)),
+            ("mean_cycles", Json::f64(self.mean_cycles)),
+            ("median_cycles", Json::f64(self.median_cycles)),
+            ("p95_cycles", Json::f64(self.p95_cycles)),
+            ("mean_bits", Json::f64(self.mean_bits)),
+            ("bits_per_cycle", Json::f64(self.bits_per_cycle)),
+            ("digests", json::u64_array(&self.digests)),
+            ("wall_secs", Json::f64(self.wall_secs)),
+        ])
+    }
+}
+
+/// One submitted job: spec, lifecycle state, live counters, cancel token.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id.
+    pub id: u64,
+    /// The validated spec.
+    pub spec: JobSpec,
+    /// Cooperative cancellation for `DELETE` and shutdown.
+    pub cancel: CancelToken,
+    /// Live per-trial counters the engine updates while running.
+    pub live: Arc<LiveStats>,
+    state: Mutex<JobState>,
+}
+
+#[derive(Debug)]
+struct JobState {
+    status: JobStatus,
+    outcome: Option<JobOutcome>,
+}
+
+impl Job {
+    /// A freshly queued job.
+    pub fn new(id: u64, spec: JobSpec) -> Job {
+        Job {
+            id,
+            spec,
+            cancel: CancelToken::new(),
+            live: Arc::new(LiveStats::default()),
+            state: Mutex::new(JobState { status: JobStatus::Queued, outcome: None }),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> JobStatus {
+        self.lock().status
+    }
+
+    /// Transitions `Queued -> Running`; false if the job was already
+    /// cancelled (the worker then skips it).
+    pub fn start(&self) -> bool {
+        let mut s = self.lock();
+        if s.status == JobStatus::Queued && !self.cancel.is_cancelled() {
+            s.status = JobStatus::Running;
+            true
+        } else {
+            if s.status == JobStatus::Queued {
+                s.status = JobStatus::Cancelled;
+            }
+            false
+        }
+    }
+
+    /// Records the terminal state and outcome.
+    pub fn finish(&self, status: JobStatus, outcome: Option<JobOutcome>) {
+        let mut s = self.lock();
+        s.status = status;
+        s.outcome = outcome;
+    }
+
+    /// Requests cancellation; returns the status after the request.
+    pub fn request_cancel(&self) -> JobStatus {
+        self.cancel.cancel();
+        let mut s = self.lock();
+        if s.status == JobStatus::Queued {
+            s.status = JobStatus::Cancelled;
+        }
+        s.status
+    }
+
+    /// A clone of the outcome, if terminal.
+    pub fn outcome(&self) -> Option<JobOutcome> {
+        self.lock().outcome.clone()
+    }
+
+    /// Status JSON for `GET /jobs/{id}`.
+    pub fn status_json(&self) -> Json {
+        let (status, outcome) = {
+            let s = self.lock();
+            (s.status, s.outcome.clone())
+        };
+        let snap = self.live.snapshot();
+        let mut obj = match Json::obj([
+            ("id", Json::u64(self.id)),
+            ("status", Json::str(status.label())),
+            ("spec", self.spec.to_json()),
+            (
+                "live",
+                Json::obj([
+                    ("trials", Json::u64(snap.trials)),
+                    ("formed", Json::u64(snap.formed)),
+                    ("cycles", Json::u64(snap.cycles)),
+                    ("bits", Json::u64(snap.bits)),
+                    ("busy_secs", Json::f64(snap.busy.as_secs_f64())),
+                ]),
+            ),
+        ]) {
+            Json::Obj(m) => m,
+            // apf-lint: allow(panic-policy) — Json::obj always returns Json::Obj
+            _ => unreachable!("Json::obj returns an object"),
+        };
+        if let Some(out) = outcome {
+            obj.insert("result".to_string(), out.to_json());
+        }
+        Json::Obj(obj)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobState> {
+        // apf-lint: allow(panic-policy) — lock poisoning means a worker already panicked; propagate
+        self.state.lock().expect("job state lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_round_trips_through_json() {
+        let spec = JobSpec::default();
+        let body = spec.to_json().render();
+        let back = JobSpec::from_json_bytes(body.as_bytes()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (body, why) in [
+            (r#"[]"#, "not an object"),
+            (r#"{"trials":0}"#, "zero trials"),
+            (r#"{"trials":1000000}"#, "too many trials"),
+            (r#"{"n":4}"#, "too few robots"),
+            (r#"{"n":8,"rho":3}"#, "rho does not divide n"),
+            (r#"{"budget":0}"#, "zero budget"),
+            (r#"{"seed":-1}"#, "negative seed"),
+            (r#"{"seed":1.5}"#, "fractional seed"),
+            (r#"{"bogus":1}"#, "unknown field"),
+            (r#"{"scheduler":"serial"}"#, "unknown scheduler"),
+            (r#"not json"#, "malformed"),
+        ] {
+            assert!(JobSpec::from_json_bytes(body.as_bytes()).is_err(), "accepted {why}: {body}");
+        }
+    }
+
+    #[test]
+    fn spec_matches_e1_quick_campaign() {
+        // The default spec's campaign must be *constructed* exactly like one
+        // row of E1 --quick (n=8, rho=4, 16->8 trials, seed 1): same derived
+        // per-trial seeds, same generator offsets.
+        let c = JobSpec::default().to_campaign();
+        assert_eq!(c.len(), 8);
+        let mut reference = Campaign::new("e1 n=8 rho=4", 1);
+        reference.add_trials(8, |i, _seed| {
+            RunSpec::new(
+                apf_patterns::symmetric_configuration(8, 4, 1000 + i),
+                apf_patterns::random_pattern(8, 2000 + i),
+            )
+            .scheduler(SchedulerKind::RoundRobin)
+            .budget(2_000_000)
+        });
+        for (a, b) in c.specs().iter().zip(reference.specs()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn job_lifecycle_transitions() {
+        let job = Job::new(1, JobSpec::default());
+        assert_eq!(job.status(), JobStatus::Queued);
+        assert!(job.start());
+        assert_eq!(job.status(), JobStatus::Running);
+        job.finish(JobStatus::Done, None);
+        assert!(job.status().is_terminal());
+
+        let cancelled = Job::new(2, JobSpec::default());
+        assert_eq!(cancelled.request_cancel(), JobStatus::Cancelled);
+        assert!(!cancelled.start(), "cancelled-in-queue job must not start");
+        assert_eq!(cancelled.status(), JobStatus::Cancelled);
+    }
+}

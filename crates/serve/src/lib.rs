@@ -1,0 +1,45 @@
+//! `apf-serve` — a long-running campaign service over the deterministic
+//! trial engine.
+//!
+//! The experiment harness runs campaigns one process at a time; this crate
+//! turns the same `RunSpec`/`Campaign`/`Engine` machinery into a daemon
+//! with a queue, so large randomized validation campaigns (the workload the
+//! paper's claims are checked by) can be submitted, watched, cancelled, and
+//! scraped continuously:
+//!
+//! * **Job API** — `POST /jobs` submits a campaign spec (JSON),
+//!   `GET /jobs/{id}` returns status plus live streaming counters,
+//!   `GET /jobs/{id}/result` the final report (per-trial FNV trace digests
+//!   included), `DELETE /jobs/{id}` cancels cooperatively.
+//! * **Determinism preserved** — a job's campaign is constructed exactly
+//!   like a CLI run of the same spec, so server-side results and digests
+//!   are bit-identical to `apf-cli job-digest` output. The service adds
+//!   scheduling, never randomness.
+//! * **Backpressure** — the queue is bounded; a full queue answers 429 with
+//!   `Retry-After` instead of buffering unboundedly.
+//! * **Metrics** — `GET /metrics` renders Prometheus text format 0.0.4:
+//!   queue/worker gauges, job/HTTP counters, trial/cycle/random-bit totals,
+//!   per-phase breakdowns, worker utilization, longest-trial gauge.
+//! * **Graceful lifecycle** — SIGTERM/SIGINT (or a [`ShutdownHandle`])
+//!   stops accepting, fires every job's [`apf_bench::engine::CancelToken`],
+//!   lets in-flight trials finish, records partial (well-formed, prefix)
+//!   results, and returns from [`Server::run`] so the process exits 0.
+//!
+//! The HTTP/1.1 transport and JSON codec are hand-rolled std-only subsets —
+//! this workspace is offline and vendors no server or serde dependencies.
+//!
+//! The crate contains the workspace's only `unsafe` block (the `signal(2)`
+//! registration in [`signal`]); everything else inherits the workspace-wide
+//! `unsafe_code = "deny"`.
+
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+
+pub use job::{Generator, Job, JobOutcome, JobSpec, JobStatus};
+pub use json::Json;
+pub use metrics::{LiveView, Metrics};
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,339 @@
+//! Prometheus text-format metrics for the campaign service.
+//!
+//! The exposition follows the text format version 0.0.4: `# HELP` and
+//! `# TYPE` comment lines, then one sample per line, label values escaped.
+//! Counters are monotonic for the life of the process; gauges describe the
+//! current queue/worker state. Trial-level counters come from summing every
+//! job's [`apf_bench::engine::LiveStats`] snapshot (jobs are retained for
+//! the life of the process, so the sums never go backwards); per-phase
+//! totals and the longest-trial gauge are folded in when a job finishes.
+
+use apf_bench::engine::StreamingAggregate;
+use apf_trace::PhaseKind;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Process-wide counters the request path and workers update.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted by `POST /jobs`.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs finished successfully.
+    pub jobs_done: AtomicU64,
+    /// Jobs cancelled (queued or mid-run).
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs whose worker panicked.
+    pub jobs_failed: AtomicU64,
+    /// Submissions rejected with 429 (queue full).
+    pub jobs_rejected: AtomicU64,
+    /// HTTP responses by status class: 2xx, 4xx, 5xx.
+    pub http_2xx: AtomicU64,
+    /// 4xx responses.
+    pub http_4xx: AtomicU64,
+    /// 5xx responses.
+    pub http_5xx: AtomicU64,
+    folded: Mutex<Folded>,
+}
+
+/// Totals folded in at job completion (needs the merged aggregate, which
+/// only exists once a campaign ends).
+#[derive(Debug, Default)]
+struct Folded {
+    phase_cycles: [f64; PhaseKind::COUNT],
+    phase_bits: [f64; PhaseKind::COUNT],
+    longest_trial_secs: f64,
+}
+
+impl Metrics {
+    /// Folds a finished job's aggregate into the per-phase totals and the
+    /// longest-trial gauge.
+    pub fn fold_report(&self, stats: &StreamingAggregate, longest_trial: Option<Duration>) {
+        let mut f = self.folded();
+        for kind in PhaseKind::ALL {
+            f.phase_cycles[kind.index()] += stats.phase_cycles_total(kind);
+            f.phase_bits[kind.index()] += stats.phase_bits_total(kind);
+        }
+        if let Some(d) = longest_trial {
+            if d.as_secs_f64() > f.longest_trial_secs {
+                f.longest_trial_secs = d.as_secs_f64();
+            }
+        }
+    }
+
+    /// Counts one HTTP response toward its status class.
+    pub fn count_response(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.http_2xx,
+            500..=599 => &self.http_5xx,
+            _ => &self.http_4xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn folded(&self) -> std::sync::MutexGuard<'_, Folded> {
+        // apf-lint: allow(panic-policy) — no code path panics while holding this lock
+        self.folded.lock().expect("metrics lock poisoned")
+    }
+
+    /// Renders the exposition body. The caller supplies the live queue and
+    /// worker state plus the summed trial counters.
+    pub fn render(&self, live: &LiveView) -> String {
+        let mut out = String::with_capacity(2048);
+
+        counter(
+            &mut out,
+            "apf_jobs_total",
+            "Jobs by terminal or queue-transition state.",
+            &[
+                ("state", "submitted", self.jobs_submitted.load(Ordering::Relaxed) as f64),
+                ("state", "done", self.jobs_done.load(Ordering::Relaxed) as f64),
+                ("state", "cancelled", self.jobs_cancelled.load(Ordering::Relaxed) as f64),
+                ("state", "failed", self.jobs_failed.load(Ordering::Relaxed) as f64),
+                ("state", "rejected", self.jobs_rejected.load(Ordering::Relaxed) as f64),
+            ],
+        );
+        counter(
+            &mut out,
+            "apf_http_responses_total",
+            "HTTP responses by status class.",
+            &[
+                ("class", "2xx", self.http_2xx.load(Ordering::Relaxed) as f64),
+                ("class", "4xx", self.http_4xx.load(Ordering::Relaxed) as f64),
+                ("class", "5xx", self.http_5xx.load(Ordering::Relaxed) as f64),
+            ],
+        );
+
+        gauge(&mut out, "apf_queue_depth", "Jobs waiting in the queue.", live.queued as f64);
+        gauge(&mut out, "apf_jobs_running", "Jobs currently executing.", live.running as f64);
+        gauge(&mut out, "apf_workers", "Worker threads in the pool.", live.workers as f64);
+        gauge(
+            &mut out,
+            "apf_worker_utilization",
+            "Fraction of worker wall-clock spent inside trials since start.",
+            live.utilization,
+        );
+
+        simple_counter(
+            &mut out,
+            "apf_trials_total",
+            "Trials completed across all jobs.",
+            live.trials as f64,
+        );
+        simple_counter(
+            &mut out,
+            "apf_trials_formed_total",
+            "Trials that formed the pattern.",
+            live.formed as f64,
+        );
+        simple_counter(
+            &mut out,
+            "apf_cycles_total",
+            "LCM cycles across all completed trials.",
+            live.cycles as f64,
+        );
+        simple_counter(
+            &mut out,
+            "apf_random_bits_total",
+            "Random bits drawn across all completed trials.",
+            live.bits as f64,
+        );
+        simple_counter(
+            &mut out,
+            "apf_worker_busy_seconds_total",
+            "Worker time spent inside trials.",
+            live.busy_secs,
+        );
+
+        let f = self.folded();
+        let phase_cycles: Vec<(&str, &str, f64)> = PhaseKind::ALL
+            .into_iter()
+            .map(|k| ("phase", k.label(), f.phase_cycles[k.index()]))
+            .filter(|&(_, _, v)| v > 0.0)
+            .collect();
+        if !phase_cycles.is_empty() {
+            counter(
+                &mut out,
+                "apf_phase_cycles_total",
+                "Cycles successful trials spent per algorithm phase (finished jobs).",
+                &phase_cycles,
+            );
+        }
+        let phase_bits: Vec<(&str, &str, f64)> = PhaseKind::ALL
+            .into_iter()
+            .map(|k| ("phase", k.label(), f.phase_bits[k.index()]))
+            .filter(|&(_, _, v)| v > 0.0)
+            .collect();
+        if !phase_bits.is_empty() {
+            counter(
+                &mut out,
+                "apf_phase_random_bits_total",
+                "Random bits successful trials drew per algorithm phase (finished jobs).",
+                &phase_bits,
+            );
+        }
+        gauge(
+            &mut out,
+            "apf_longest_trial_seconds",
+            "Wall time of the slowest single trial seen in any finished job.",
+            f.longest_trial_secs,
+        );
+        drop(f);
+
+        gauge(
+            &mut out,
+            "apf_trials_per_second",
+            "Trial throughput since process start.",
+            if live.uptime_secs > 0.0 { live.trials as f64 / live.uptime_secs } else { 0.0 },
+        );
+        gauge(
+            &mut out,
+            "apf_uptime_seconds",
+            "Seconds since the server started.",
+            live.uptime_secs,
+        );
+
+        out
+    }
+}
+
+/// The point-in-time state the server computes for a scrape.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveView {
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Trials completed across all jobs.
+    pub trials: u64,
+    /// Successful trials across all jobs.
+    pub formed: u64,
+    /// Cycles across all completed trials.
+    pub cycles: u64,
+    /// Random bits across all completed trials.
+    pub bits: u64,
+    /// Worker busy seconds across all jobs.
+    pub busy_secs: f64,
+    /// busy / (workers × uptime), clamped to [0, 1].
+    pub utilization: f64,
+    /// Seconds since server start.
+    pub uptime_secs: f64,
+}
+
+fn simple_counter(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {}", num(value));
+}
+
+fn counter(out: &mut String, name: &str, help: &str, samples: &[(&str, &str, f64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (label, label_value, value) in samples {
+        let _ = writeln!(out, "{name}{{{label}=\"{label_value}\"}} {}", num(*value));
+    }
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {}", num(value));
+}
+
+/// Prometheus floats: finite values with Rust's shortest formatting.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny structural validator for the exposition format: every
+    /// non-comment line is `name[{label="value"}] number`, and every metric
+    /// name is introduced by HELP and TYPE lines first.
+    fn assert_valid_prometheus(text: &str) {
+        let mut announced: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.splitn(3, ' ');
+                let kw = parts.next().unwrap_or("");
+                let name = parts.next().unwrap_or("");
+                assert!(kw == "HELP" || kw == "TYPE", "bad comment: {line}");
+                assert!(!name.is_empty(), "comment without metric name: {line}");
+                if kw == "TYPE" {
+                    let t = parts.next().unwrap_or("");
+                    assert!(t == "counter" || t == "gauge", "bad type: {line}");
+                    announced.insert(name.to_string());
+                }
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
+            let name = name_part.split('{').next().unwrap_or(name_part);
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name: {line}"
+            );
+            assert!(announced.contains(name), "sample before TYPE: {line}");
+            assert!(value.parse::<f64>().is_ok(), "bad value: {line}");
+            if let Some(labels) = name_part.strip_prefix(name) {
+                if !labels.is_empty() {
+                    assert!(labels.starts_with('{') && labels.ends_with('}'), "bad labels: {line}");
+                }
+            }
+        }
+        assert!(!announced.is_empty());
+    }
+
+    #[test]
+    fn renders_valid_exposition_format() {
+        let m = Metrics::default();
+        m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
+        m.count_response(200);
+        m.count_response(404);
+        let view = LiveView {
+            queued: 1,
+            running: 2,
+            workers: 2,
+            trials: 40,
+            formed: 39,
+            cycles: 1200,
+            bits: 600,
+            busy_secs: 1.25,
+            utilization: 0.625,
+            uptime_secs: 2.0,
+        };
+        let text = m.render(&view);
+        assert_valid_prometheus(&text);
+        assert!(text.contains("apf_jobs_total{state=\"submitted\"} 3"), "{text}");
+        assert!(text.contains("apf_queue_depth 1"));
+        assert!(text.contains("apf_trials_total 40"));
+        assert!(text.contains("apf_trials_per_second 20"));
+    }
+
+    #[test]
+    fn phase_totals_appear_after_fold() {
+        use apf_bench::engine::StreamingAggregate;
+        use apf_bench::RunResult;
+        let m = Metrics::default();
+        let mut agg = StreamingAggregate::default();
+        let mut r = RunResult { formed: true, cycles: 10, bits: 5, ..RunResult::default() };
+        r.phase_cycles[PhaseKind::RsbElection.index()] = 7;
+        agg.push(&r);
+        m.fold_report(&agg, Some(Duration::from_millis(250)));
+        let text = m.render(&LiveView::default());
+        assert_valid_prometheus(&text);
+        assert!(text.contains("apf_phase_cycles_total{phase=\"rsb-election\"} 7"), "{text}");
+        assert!(text.contains("apf_longest_trial_seconds 0.25"));
+    }
+}

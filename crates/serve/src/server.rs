@@ -1,0 +1,452 @@
+//! The campaign service: accept loop, router, job queue, worker pool, and
+//! graceful lifecycle.
+//!
+//! # Architecture
+//!
+//! One thread owns the (nonblocking) listener and handles connections
+//! inline — requests are tiny and every handler is lock-bounded, so a
+//! single HTTP lane plus [`crate::http::READ_TIMEOUT`] keeps the transport
+//! simple and starvation-free. Campaign execution happens on a separate
+//! pool of `workers` threads feeding from a bounded queue; the engine's
+//! determinism guarantees mean a job's digests are identical no matter
+//! which worker runs it or how the queue interleaved.
+//!
+//! # Lifecycle
+//!
+//! Shutdown is cooperative: a SIGTERM/SIGINT (via [`crate::signal`]) or a
+//! [`ShutdownHandle`] raises a flag; the accept loop stops accepting, every
+//! job's [`CancelToken`] fires, workers finish the trial in flight, record
+//! partial results, drain the queue as cancelled, and join. `run` then
+//! returns `Ok(())` so the process can exit 0.
+
+use crate::http::{read_request, RecvError, Request, Response};
+use crate::job::{Job, JobOutcome, JobSpec, JobStatus};
+use crate::json::Json;
+use crate::metrics::{LiveView, Metrics};
+use crate::signal;
+use apf_bench::engine::{CampaignReport, Engine};
+use apf_trace::escape_json_str;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How the server is shaped; every knob has a CLI flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing jobs (concurrent campaigns).
+    pub workers: usize,
+    /// Bounded queue depth; a full queue rejects with 429 + `Retry-After`.
+    pub queue_depth: usize,
+    /// Engine threads per job (1 = sequential trials; digests are identical
+    /// for any value).
+    pub engine_jobs: usize,
+    /// Maximum jobs retained in memory (terminal jobs stay queryable);
+    /// reaching it rejects new submissions with 429.
+    pub max_jobs: usize,
+    /// Emit a JSONL request-log line to stderr per request.
+    pub log_requests: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 16,
+            engine_jobs: 1,
+            max_jobs: 4096,
+            log_requests: false,
+        }
+    }
+}
+
+/// Cancels a running server from another thread (tests, embedders). The
+/// process-level SIGTERM/SIGINT path sets the same kind of flag.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown; `Server::run` drains and returns.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+struct JobTable {
+    next_id: u64,
+    all: BTreeMap<u64, Arc<Job>>,
+    queue: VecDeque<Arc<Job>>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    metrics: Metrics,
+    jobs: Mutex<JobTable>,
+    queue_cv: Condvar,
+    shutdown: Arc<AtomicBool>,
+    running: AtomicUsize,
+    started: Instant,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) || signal::shutdown_requested()
+    }
+
+    fn lock_jobs(&self) -> MutexGuard<'_, JobTable> {
+        // apf-lint: allow(panic-policy) — poisoning means a handler panicked; propagate the bug
+        self.jobs.lock().expect("job table lock poisoned")
+    }
+
+    fn live_view(&self) -> LiveView {
+        let (queued, snaps): (usize, Vec<_>) = {
+            let t = self.lock_jobs();
+            (t.queue.len(), t.all.values().map(|j| j.live.snapshot()).collect())
+        };
+        let mut view = LiveView {
+            queued,
+            running: self.running.load(Ordering::Relaxed),
+            workers: self.cfg.workers,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            ..LiveView::default()
+        };
+        for s in snaps {
+            view.trials += s.trials;
+            view.formed += s.formed;
+            view.cycles += s.cycles;
+            view.bits += s.bits;
+            view.busy_secs += s.busy.as_secs_f64();
+        }
+        let budget = view.uptime_secs * self.cfg.workers as f64;
+        view.utilization = if budget > 0.0 { (view.busy_secs / budget).min(1.0) } else { 0.0 };
+        view
+    }
+}
+
+/// The bound service; [`Server::run`] blocks until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the (not yet running) service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration errors.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                cfg,
+                metrics: Metrics::default(),
+                jobs: Mutex::new(JobTable {
+                    next_id: 1,
+                    all: BTreeMap::new(),
+                    queue: VecDeque::new(),
+                }),
+                queue_cv: Condvar::new(),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                running: AtomicUsize::new(0),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared.shutdown))
+    }
+
+    /// Serves until SIGTERM/SIGINT or a [`ShutdownHandle`] fires, then
+    /// drains: running trials finish (cooperative cancel at the next trial
+    /// boundary), queued jobs cancel, workers join.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener errors other than `WouldBlock`.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for _ in 0..shared.cfg.workers.max(1) {
+                scope.spawn(|| worker_loop(shared));
+            }
+
+            let result = loop {
+                if shared.is_shutdown() {
+                    break Ok(());
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => handle_connection(shared, stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => break Err(e),
+                }
+            };
+
+            // Drain: cancel everything, wake the workers, let them finish.
+            shared.shutdown.store(true, Ordering::Release);
+            {
+                let t = shared.lock_jobs();
+                for job in t.all.values() {
+                    if !job.status().is_terminal() {
+                        job.cancel.cancel();
+                    }
+                }
+            }
+            shared.queue_cv.notify_all();
+            result
+            // scope joins the workers here
+        })
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut t = shared.lock_jobs();
+            loop {
+                if let Some(job) = t.queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.is_shutdown() {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .queue_cv
+                    .wait_timeout(t, Duration::from_millis(100))
+                    // apf-lint: allow(panic-policy) — poisoning means a handler panicked; propagate
+                    .expect("job table lock poisoned");
+                t = guard;
+            }
+        };
+        let Some(job) = job else { return };
+
+        if !job.start() {
+            shared.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        let campaign = job.spec.to_campaign();
+        let engine = Engine::new()
+            .jobs(shared.cfg.engine_jobs.max(1))
+            .trace_digests(true)
+            .cancel_token(job.cancel.clone())
+            .live_stats(Arc::clone(&job.live));
+        // The spec was fully validated at submission, so the engine cannot
+        // reject an instance; catch_unwind turns any residual bug into a
+        // Failed job instead of a dead worker.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&campaign)));
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+
+        match outcome {
+            Ok(report) => {
+                shared.metrics.fold_report(&report.stats, report.longest_trial.map(|(_, d)| d));
+                let status = if report.cancelled && report.trials < report.requested {
+                    JobStatus::Cancelled
+                } else {
+                    JobStatus::Done
+                };
+                let counter = match status {
+                    JobStatus::Cancelled => &shared.metrics.jobs_cancelled,
+                    _ => &shared.metrics.jobs_done,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                job.finish(status, Some(outcome_of(&report)));
+            }
+            Err(_) => {
+                shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                job.finish(JobStatus::Failed, None);
+            }
+        }
+    }
+}
+
+fn outcome_of(report: &CampaignReport) -> JobOutcome {
+    let agg = report.aggregate();
+    JobOutcome {
+        trials: report.trials,
+        requested: report.requested,
+        formed: report.stats.formed(),
+        success: agg.success,
+        mean_cycles: agg.mean_cycles,
+        median_cycles: agg.median_cycles,
+        p95_cycles: agg.p95_cycles,
+        mean_bits: agg.mean_bits,
+        bits_per_cycle: agg.bits_per_cycle,
+        digests: report.digests.clone().unwrap_or_default(),
+        wall_secs: report.wall.as_secs_f64(),
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let t0 = Instant::now();
+    let (response, method, path) = match read_request(&mut stream) {
+        Ok(req) => {
+            let response = route(shared, &req);
+            (response, req.method, req.path)
+        }
+        Err(err) => {
+            let response = match err {
+                RecvError::BadRequest(why) => Response::error(400, why),
+                RecvError::HeadTooLarge => Response::error(400, "request head too large"),
+                RecvError::BodyTooLarge => Response::error(413, "request body too large"),
+                RecvError::Io(std::io::ErrorKind::WouldBlock) => {
+                    Response::error(408, "read timeout")
+                }
+                RecvError::Io(_) => Response::error(400, "read error"),
+            };
+            (response, "-".to_string(), "-".to_string())
+        }
+    };
+    shared.metrics.count_response(response.status);
+    if shared.cfg.log_requests {
+        log_request(&method, &path, response.status, t0.elapsed());
+    }
+    // The client may already be gone; nothing useful to do with the error.
+    let _ = response.send(&mut stream);
+}
+
+/// One JSONL request-log line on stderr, with the attacker-controlled parts
+/// (method, path) escaped through `apf-trace`'s JSON string escaper so the
+/// log stream stays one parseable event per line.
+fn log_request(method: &str, path: &str, status: u16, took: Duration) {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"ev\":\"http\",\"method\":\"");
+    escape_json_str(method, &mut line);
+    line.push_str("\",\"path\":\"");
+    escape_json_str(path, &mut line);
+    let _ = std::fmt::Write::write_fmt(
+        &mut line,
+        format_args!("\",\"status\":{status},\"micros\":{}}}", took.as_micros()),
+    );
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = writeln!(handle, "{line}");
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(
+            200,
+            &Json::obj([
+                ("status", Json::str("ok")),
+                ("shutting_down", Json::Bool(shared.is_shutdown())),
+            ]),
+        ),
+        ("GET", ["metrics"]) => {
+            let body = shared.metrics.render(&shared.live_view());
+            Response {
+                status: 200,
+                headers: Vec::new(),
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: body.into_bytes(),
+            }
+        }
+        ("POST", ["jobs"]) => submit_job(shared, req),
+        ("GET", ["jobs"]) => {
+            let t = shared.lock_jobs();
+            let list: Vec<Json> = t
+                .all
+                .values()
+                .map(|j| {
+                    Json::obj([("id", Json::u64(j.id)), ("status", Json::str(j.status().label()))])
+                })
+                .collect();
+            Response::json(200, &Json::obj([("jobs", Json::Arr(list))]))
+        }
+        ("GET", ["jobs", id]) => {
+            with_job(shared, id, |job| Response::json(200, &job.status_json()))
+        }
+        ("GET", ["jobs", id, "result"]) => with_job(shared, id, |job| {
+            let status = job.status();
+            match job.outcome() {
+                Some(outcome) if status.is_terminal() => Response::json(
+                    200,
+                    &Json::obj([
+                        ("id", Json::u64(job.id)),
+                        ("status", Json::str(status.label())),
+                        ("result", outcome.to_json()),
+                    ]),
+                ),
+                _ if status.is_terminal() => Response::json(
+                    200,
+                    &Json::obj([("id", Json::u64(job.id)), ("status", Json::str(status.label()))]),
+                ),
+                _ => Response::error(409, "job not finished").header("Retry-After", "1"),
+            }
+        }),
+        ("DELETE", ["jobs", id]) => with_job(shared, id, |job| {
+            let status = job.request_cancel();
+            Response::json(
+                200,
+                &Json::obj([("id", Json::u64(job.id)), ("status", Json::str(status.label()))]),
+            )
+        }),
+        (_, ["healthz"] | ["metrics"] | ["jobs"] | ["jobs", _] | ["jobs", _, "result"]) => {
+            Response::error(405, "method not allowed").header("Allow", "GET, POST, DELETE")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn with_job(shared: &Shared, id: &str, f: impl FnOnce(&Job) -> Response) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(404, "job ids are integers");
+    };
+    let job = {
+        let t = shared.lock_jobs();
+        t.all.get(&id).cloned()
+    };
+    match job {
+        Some(job) => f(&job),
+        None => Response::error(404, "no such job"),
+    }
+}
+
+fn submit_job(shared: &Shared, req: &Request) -> Response {
+    if shared.is_shutdown() {
+        return Response::error(503, "shutting down");
+    }
+    let spec = match JobSpec::from_json_bytes(&req.body) {
+        Ok(spec) => spec,
+        Err(why) => return Response::error(400, &why),
+    };
+    let job = {
+        let mut t = shared.lock_jobs();
+        if t.queue.len() >= shared.cfg.queue_depth || t.all.len() >= shared.cfg.max_jobs {
+            shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::error(429, "queue full").header("Retry-After", "1");
+        }
+        let id = t.next_id;
+        t.next_id += 1;
+        let job = Arc::new(Job::new(id, spec));
+        t.all.insert(id, Arc::clone(&job));
+        t.queue.push_back(Arc::clone(&job));
+        job
+    };
+    shared.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_one();
+    Response::json(202, &Json::obj([("id", Json::u64(job.id)), ("status", Json::str("queued"))]))
+}

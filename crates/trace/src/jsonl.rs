@@ -90,6 +90,31 @@ pub fn write_json_line(ev: &TraceEvent, out: &mut String) {
     }
 }
 
+/// Appends `s` to `out` as the inside of a JSON string literal (no quotes),
+/// escaping `"`/`\` and control characters per RFC 8259.
+///
+/// The trace events themselves only carry fixed labels and never need this,
+/// but consumers that embed *arbitrary* text into JSON lines — the campaign
+/// service's request log, for one — must escape it or a hostile path/header
+/// corrupts the stream.
+pub fn escape_json_str(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
 /// Finite floats print with round-trip precision; NaN/inf (not valid JSON)
 /// become `null` and parse back as an error — a trace must not contain them.
 fn f64_json(x: f64) -> String {
@@ -368,6 +393,16 @@ mod tests {
         ] {
             assert!(parse_line(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn escape_json_str_neutralizes_hostile_text() {
+        let mut out = String::new();
+        escape_json_str("a\"b\\c\nd\te\u{01}f", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+        // No raw control characters, quotes, or backslashes survive except
+        // as part of an escape sequence — the line stays one line.
+        assert!(!out.contains('\n') && !out.contains('\u{01}'));
     }
 
     #[test]

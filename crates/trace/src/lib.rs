@@ -42,7 +42,7 @@ pub mod sink;
 
 pub use event::{PhaseKind, TraceEvent};
 pub use inspect::{describe, PhaseTally, RobotTally, TraceSummary};
-pub use jsonl::{parse_line, to_json_line, ParseError};
+pub use jsonl::{escape_json_str, parse_line, to_json_line, ParseError};
 pub use sink::{
     CountingSink, CrashDumpSink, HashProbe, HashSink, JsonlSink, NullSink, RingSink, TeeSink,
     TraceSink, VecSink,

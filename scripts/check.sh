@@ -29,7 +29,8 @@ echo "==> conformance: fixed-seed fuzzer smoke"
 # Deterministic in the seed for any --jobs value; any counterexample is
 # shrunk and dumped as a replayable script.
 FUZZ_DIR="$(mktemp -d)"
-trap 'rm -rf "$FUZZ_DIR" "${TRACE_DIR:-}"' EXIT
+trap 'rm -rf "$FUZZ_DIR" "${TRACE_DIR:-}" "${SERVE_DIR:-}";
+      [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 cargo run -q --release --bin apf-cli -- conformance fuzz \
     --schedules 16 --seed 12648430 --jobs 2 --dump-dir "$FUZZ_DIR"
 
@@ -50,5 +51,51 @@ for f in "$TRACE_DIR"/*.jsonl; do
         || { echo "trace inspection failed: $f"; exit 1; }
 done
 [ "$found" = 1 ] || { echo "harness --trace-out produced no traces"; exit 1; }
+
+echo "==> serve smoke: HTTP campaign reproduces direct engine digests"
+# Start the campaign service on an ephemeral port, submit a tiny E1-shaped
+# job over a real socket, and require its per-trial digests to match a
+# direct `job-digest` run of the same spec bit for bit; then SIGTERM must
+# drain and exit 0.
+SERVE_DIR="$(mktemp -d)"
+SPEC='{"name":"smoke","seed":1,"trials":3,"n":8,"rho":4,"budget":2000000}'
+printf '%s' "$SPEC" > "$SERVE_DIR/spec.json"
+cargo run -q --release --bin apf-cli -- job-digest "$SERVE_DIR/spec.json" \
+    > "$SERVE_DIR/expected.txt"
+./target/release/apf-cli serve --addr 127.0.0.1:0 --jobs 1 --queue-depth 4 \
+    > "$SERVE_DIR/serve.log" 2> "$SERVE_DIR/serve.err" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's#^apf-serve listening on http://##p' "$SERVE_DIR/serve.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve never reported its address"; exit 1; }
+curl -fsS "http://$ADDR/healthz" > /dev/null
+curl -fsS "http://$ADDR/metrics" | grep -q '^apf_jobs_total' \
+    || { echo "/metrics scrape missing apf_jobs_total"; exit 1; }
+JOB_ID="$(curl -fsS -X POST --data-binary @"$SERVE_DIR/spec.json" "http://$ADDR/jobs" \
+    | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
+[ -n "$JOB_ID" ] || { echo "job submission returned no id"; exit 1; }
+STATUS=""
+for _ in $(seq 1 600); do
+    STATUS="$(curl -fsS "http://$ADDR/jobs/$JOB_ID" \
+        | sed -n 's/.*"status":"\([a-z]*\)".*/\1/p')"
+    case "$STATUS" in
+        done) break ;;
+        failed|cancelled) echo "job ended $STATUS"; exit 1 ;;
+        *) sleep 0.1 ;;
+    esac
+done
+[ "$STATUS" = done ] || { echo "job never finished (last status: $STATUS)"; exit 1; }
+curl -fsS "http://$ADDR/jobs/$JOB_ID/result" | tr -d ' ' \
+    | sed -n 's/.*"digests":\[\([0-9,]*\)\].*/\1\n/p' | tr ',' '\n' \
+    > "$SERVE_DIR/served.txt"
+diff -u "$SERVE_DIR/expected.txt" "$SERVE_DIR/served.txt" \
+    || { echo "served digests diverge from the direct engine run"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "serve did not exit 0 on SIGTERM"; exit 1; }
+SERVE_PID=""
 
 echo "OK"

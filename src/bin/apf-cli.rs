@@ -45,10 +45,29 @@
 //!
 //! It scans every workspace crate's sources against the rules configured in
 //! `lint.toml` (unseeded entropy, random draws outside ψ_RSB, wall clocks in
-//! simulation crates, hash containers in digest paths, exact float
-//! comparisons, unjustified unwrap/expect) and prints findings as
+//! simulation crates, hash containers / float↔int casts / unstable sorts in
+//! digest paths, exact float comparisons, unjustified unwrap/expect) and
+//! prints findings as
 //! `file:line:col · rule · message` (or JSON with `--json`). Exit codes:
 //! 0 clean, 1 findings, 2 config or I/O errors.
+//!
+//! The `serve` subcommand runs the long-running campaign service
+//! (`apf-serve`): a JSON job API over the deterministic trial engine plus a
+//! Prometheus-text `/metrics` endpoint:
+//!
+//! ```text
+//! apf-cli serve [--addr HOST:PORT] [--jobs N] [--queue-depth N]
+//!               [--engine-jobs N] [--max-jobs N] [--quiet]
+//! apf-cli job-digest FILE [--jobs N]
+//! ```
+//!
+//! `serve` prints the bound address (`--addr 127.0.0.1:0` picks an
+//! ephemeral port) and runs until SIGTERM/SIGINT, draining in-flight trials
+//! before exiting 0. `job-digest` runs a job-spec file (the same JSON body
+//! `POST /jobs` accepts) straight through the engine and prints one
+//! per-trial FNV trace digest per line — submitting the same spec to the
+//! service must reproduce exactly these digests, which `scripts/check.sh`
+//! verifies over a real socket.
 
 use apf::prelude::*;
 use apf::render::{Style, SvgScene};
@@ -141,11 +160,12 @@ fn trace_main(args: &[String]) -> ! {
 /// static-analysis pass over the workspace sources.
 fn lint_main(args: &[String]) -> ! {
     let usage = "apf-cli lint [--json] [--root DIR] [--config PATH] [--list-rules]\n\
-                 static analysis: determinism & randomness-budget rules (D1-D5, P1)\n\
+                 static analysis: determinism & randomness-budget rules (D1-D7, P1)\n\
                  exit codes: 0 clean, 1 findings, 2 config or I/O errors";
     let mut json = false;
     let mut root = String::from(".");
     let mut config: Option<String> = None;
+    let mut list_rules = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -158,10 +178,9 @@ fn lint_main(args: &[String]) -> ! {
             "--json" => json = true,
             "--root" => root = value(),
             "--config" => config = Some(value()),
-            "--list-rules" => {
-                print!("{}", apf_lint::report::render_rules());
-                std::process::exit(0);
-            }
+            // Deferred until the whole command line has parsed, so trailing
+            // garbage after --list-rules still exits 2 instead of 0.
+            "--list-rules" => list_rules = true,
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -171,6 +190,10 @@ fn lint_main(args: &[String]) -> ! {
                 std::process::exit(2);
             }
         }
+    }
+    if list_rules {
+        print!("{}", apf_lint::report::render_rules());
+        std::process::exit(0);
     }
     let root = std::path::PathBuf::from(root);
     let findings =
@@ -206,6 +229,10 @@ fn conformance_main(args: &[String]) -> ! {
         eprintln!("error: conformance needs a mode\n{usage}");
         std::process::exit(2);
     };
+    if matches!(mode, "--help" | "-h") {
+        println!("{usage}");
+        std::process::exit(0);
+    }
     let mut dir = apf_conformance::default_corpus_dir();
     let mut schedules: u64 = 16;
     let mut seed: u64 = 0xC0FFEE;
@@ -327,6 +354,131 @@ fn conformance_main(args: &[String]) -> ! {
     }
 }
 
+/// The `serve` subcommand: the long-running campaign service (`apf-serve`).
+fn serve_main(args: &[String]) -> ! {
+    let usage = "apf-cli serve [--addr HOST:PORT] [--jobs N] [--queue-depth N]\n\
+                 \x20             [--engine-jobs N] [--max-jobs N] [--quiet]\n\
+                 campaign service: JSON job API + Prometheus /metrics\n\
+                 exit codes: 0 clean shutdown, 2 usage or bind errors";
+    let mut cfg =
+        apf_serve::ServerConfig { log_requests: true, ..apf_serve::ServerConfig::default() };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_fail = |e: &dyn std::fmt::Display| -> ! {
+            eprintln!("error: {flag}: {e}");
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value(),
+            "--jobs" => cfg.workers = value().parse().unwrap_or_else(|e| parse_fail(&e)),
+            "--queue-depth" => {
+                cfg.queue_depth = value().parse().unwrap_or_else(|e| parse_fail(&e));
+            }
+            "--engine-jobs" => {
+                cfg.engine_jobs = value().parse().unwrap_or_else(|e| parse_fail(&e));
+            }
+            "--max-jobs" => cfg.max_jobs = value().parse().unwrap_or_else(|e| parse_fail(&e)),
+            "--quiet" => cfg.log_requests = false,
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown flag {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.workers == 0 || cfg.queue_depth == 0 {
+        eprintln!("error: --jobs and --queue-depth must be >= 1\n{usage}");
+        std::process::exit(2);
+    }
+    apf_serve::signal::install_handlers();
+    let server = match apf_serve::Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: bind: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The smoke harness parses this line to discover the ephemeral port.
+    println!("apf-serve listening on http://{}", server.local_addr());
+    match server.run() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `job-digest` subcommand: run a service job spec directly through the
+/// engine and print its per-trial FNV trace digests. This is the local half
+/// of the bit-for-bit reproduction check: the same spec submitted to
+/// `apf-cli serve` must report exactly these digests.
+fn job_digest_main(args: &[String]) -> ! {
+    let usage = "apf-cli job-digest FILE [--jobs N]\n\
+                 run a job spec (JSON, as POSTed to /jobs) locally and print\n\
+                 one FNV-1a trace digest per trial, in trial order\n\
+                 exit codes: 0 ok, 2 bad spec or I/O errors";
+    let mut file: Option<String> = None;
+    let mut jobs: usize = 1;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --jobs needs a value");
+                    std::process::exit(2);
+                });
+                jobs = v.parse().unwrap_or_else(|e| {
+                    eprintln!("error: --jobs: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            f if f.starts_with('-') => {
+                eprintln!("error: unknown flag {f}\n{usage}");
+                std::process::exit(2);
+            }
+            _ if file.is_none() => file = Some(arg.clone()),
+            _ => {
+                eprintln!("error: more than one spec file given");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: job-digest needs a FILE\n{usage}");
+        std::process::exit(2);
+    };
+    let body = std::fs::read(&file).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {file}: {e}");
+        std::process::exit(2);
+    });
+    let spec = apf_serve::JobSpec::from_json_bytes(&body).unwrap_or_else(|e| {
+        eprintln!("error: {file}: {e}");
+        std::process::exit(2);
+    });
+    let report = apf_bench::engine::Engine::new()
+        .jobs(jobs.max(1))
+        .trace_digests(true)
+        .run(&spec.to_campaign());
+    for d in report.digests.as_deref().unwrap_or_default() {
+        println!("{d}");
+    }
+    std::process::exit(0);
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         n: 8,
@@ -379,7 +531,9 @@ fn parse_args() -> Result<Args, String> {
                      \x20      --delta D --multiplicity --svg PATH --trace PATH --quiet\n\
                      subcommands: trace FILE [--replay] [--robot N]  inspect a JSONL trace\n\
                      \x20            conformance corpus|regen|fuzz      golden traces & fuzzing\n\
-                     \x20            lint [--json] [--list-rules]       determinism static analysis"
+                     \x20            lint [--json] [--list-rules]       determinism static analysis\n\
+                     \x20            serve [--addr A] [--jobs N]        campaign service (HTTP)\n\
+                     \x20            job-digest FILE                    job spec -> trial digests"
                 );
                 std::process::exit(0);
             }
@@ -427,6 +581,12 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("lint") {
         lint_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        serve_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("job-digest") {
+        job_digest_main(&raw[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

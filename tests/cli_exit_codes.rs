@@ -1,0 +1,144 @@
+//! Exit-code contract for `apf-cli`: every malformed invocation exits
+//! nonzero (2) with usage on stderr, across every subcommand's parser.
+//!
+//! Regression focus: flags that *act and exit* while the command line is
+//! still being parsed (historically `lint --list-rules`) must not mask
+//! trailing garbage — the whole invocation has to validate before anything
+//! succeeds with exit 0. `--help` is the one documented exception: it is an
+//! explicit request for usage and short-circuits by convention.
+//!
+//! Also covers the `job-digest` subcommand end to end: its stdout must be
+//! exactly the per-trial FNV digests of the spec's campaign, which is the
+//! local reference half of the service's bit-for-bit reproduction check.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn apf_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_apf-cli")).args(args).output().expect("spawn apf-cli")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Asserts the invocation failed with the usage exit code (2) and said why
+/// on stderr.
+fn assert_usage_error(args: &[&str]) {
+    let out = apf_cli(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "apf-cli {args:?} should exit 2, got {:?}\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        stdout_of(&out),
+        stderr_of(&out)
+    );
+    let err = stderr_of(&out);
+    assert!(err.contains("error:"), "apf-cli {args:?} stderr lacks an error line: {err}");
+}
+
+#[test]
+fn list_rules_with_trailing_garbage_exits_nonzero() {
+    // The regression: --list-rules used to print and exit 0 mid-parse,
+    // silently accepting anything after it.
+    let out = apf_cli(&["lint", "--list-rules", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("unknown flag --bogus"));
+
+    // The flag itself still works once the whole line parses.
+    let ok = apf_cli(&["lint", "--list-rules"]);
+    assert_eq!(ok.status.code(), Some(0), "stderr: {}", stderr_of(&ok));
+    assert!(stdout_of(&ok).contains("D1"), "rule listing missing: {}", stdout_of(&ok));
+}
+
+#[test]
+fn malformed_invocations_exit_nonzero_with_usage() {
+    // Default mode.
+    assert_usage_error(&["--bogus"]);
+    assert_usage_error(&["bogus-subcommand"]);
+    assert_usage_error(&["--seed"]); // missing value
+    assert_usage_error(&["--scheduler", "warp"]);
+    // trace
+    assert_usage_error(&["trace"]); // missing FILE
+    assert_usage_error(&["trace", "--bogus"]);
+    assert_usage_error(&["trace", "a.jsonl", "b.jsonl"]);
+    // conformance
+    assert_usage_error(&["conformance"]);
+    assert_usage_error(&["conformance", "warp"]);
+    assert_usage_error(&["conformance", "fuzz", "--schedules", "nope"]);
+    assert_usage_error(&["conformance", "fuzz", "--bogus"]);
+    // lint
+    assert_usage_error(&["lint", "--bogus"]);
+    assert_usage_error(&["lint", "--root"]); // missing value
+                                             // serve
+    assert_usage_error(&["serve", "--bogus"]);
+    assert_usage_error(&["serve", "--jobs"]); // missing value
+    assert_usage_error(&["serve", "--jobs", "many"]); // not a number
+    assert_usage_error(&["serve", "--jobs", "0"]);
+    assert_usage_error(&["serve", "--queue-depth", "0"]);
+    // job-digest
+    assert_usage_error(&["job-digest"]); // missing FILE
+    assert_usage_error(&["job-digest", "--bogus"]);
+    assert_usage_error(&["job-digest", "/nonexistent/spec.json"]);
+}
+
+#[test]
+fn help_short_circuits_with_exit_zero() {
+    for args in [
+        vec!["--help"],
+        vec!["trace", "--help"],
+        vec!["conformance", "--help"],
+        vec!["lint", "--help"],
+        vec!["serve", "--help"],
+        vec!["job-digest", "--help"],
+    ] {
+        let out = apf_cli(&args);
+        assert_eq!(out.status.code(), Some(0), "apf-cli {args:?}: {}", stderr_of(&out));
+        assert!(!stdout_of(&out).is_empty(), "apf-cli {args:?} printed no usage");
+    }
+}
+
+#[test]
+fn job_digest_rejects_malformed_specs() {
+    let dir = std::env::temp_dir().join(format!("apf-cli-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = |name: &str, body: &str| -> PathBuf {
+        let p = dir.join(name);
+        std::fs::write(&p, body).unwrap();
+        p
+    };
+    let not_json = bad("not-json.json", "{");
+    let unknown_field = bad("unknown-field.json", r#"{"trials":2,"frobnicate":1}"#);
+    let out_of_range = bad("out-of-range.json", r#"{"n":3}"#);
+    for p in [&not_json, &unknown_field, &out_of_range] {
+        let out = apf_cli(&["job-digest", p.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{}: {}", p.display(), stderr_of(&out));
+        assert!(stderr_of(&out).contains("error:"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn job_digest_matches_direct_engine_run() {
+    let dir = std::env::temp_dir().join(format!("apf-cli-digest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("spec.json");
+    let body = r#"{"name":"cli-parity","seed":1,"trials":3,"n":8,"rho":4,"budget":2000000}"#;
+    std::fs::write(&spec_path, body).unwrap();
+
+    let out = apf_cli(&["job-digest", spec_path.to_str().unwrap(), "--jobs", "2"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let printed: Vec<u64> =
+        stdout_of(&out).lines().map(|l| l.parse().expect("digest lines are decimal u64")).collect();
+
+    let spec = apf_serve::JobSpec::from_json_bytes(body.as_bytes()).unwrap();
+    let report = apf_bench::engine::Engine::new().trace_digests(true).run(&spec.to_campaign());
+    let expected = report.digests.expect("trace_digests(true) fills digests");
+    assert_eq!(printed, expected, "CLI digests drifted from the engine's");
+    std::fs::remove_dir_all(&dir).ok();
+}
