@@ -459,6 +459,19 @@ impl Campaign {
         &self.specs
     }
 
+    /// The sub-campaign holding trials `lo..hi` (a shard), keeping the name
+    /// and campaign seed. Specs are copied verbatim — their already-derived
+    /// per-trial seeds come along — so running the slice produces results
+    /// and digests bit-identical to the corresponding range of a full run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > self.len()`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Campaign {
+        assert!(lo <= hi && hi <= self.specs.len(), "invalid trial range {lo}..{hi}");
+        Campaign { name: self.name.clone(), seed: self.seed, specs: self.specs[lo..hi].to_vec() }
+    }
+
     /// Number of trials.
     pub fn len(&self) -> usize {
         self.specs.len()
@@ -739,6 +752,28 @@ impl StreamingAggregate {
             .filter(|&(_, c, b)| c > 0.0 || b > 0.0)
     }
 
+    /// Rebuilds the merged campaign statistics [`Engine::run`] would report
+    /// from per-trial results in trial order — **bit for bit**.
+    ///
+    /// Welford and percentile merges are order-sensitive in the last ulps,
+    /// so a distributed coordinator cannot merge shard-*level* aggregates
+    /// and match a single-process run. Instead it transports per-trial
+    /// [`RunResult`]s and calls this, which reproduces the engine's exact
+    /// fold: the same fixed chunking, a fresh per-chunk accumulator, and
+    /// chunk merges in index order. Equality with `CampaignReport::stats`
+    /// (for the same `percentile_cap`) is asserted by the engine tests.
+    pub fn replay(results: &[RunResult], percentile_cap: usize) -> StreamingAggregate {
+        let mut total = StreamingAggregate::with_capacity(percentile_cap);
+        for chunk in results.chunks(CHUNK) {
+            let mut agg = StreamingAggregate::with_capacity(percentile_cap);
+            for r in chunk {
+                agg.push(r);
+            }
+            total.merge(&agg);
+        }
+        total
+    }
+
     /// The classic [`Aggregate`] view of this accumulator.
     pub fn to_aggregate(&self) -> Aggregate {
         Aggregate {
@@ -801,7 +836,10 @@ pub struct LiveStats {
 }
 
 impl LiveStats {
-    fn record(&self, r: &RunResult, busy: Duration) {
+    /// Folds one completed trial into the counters. The engine calls this
+    /// per trial; a coordinator folding remotely-executed shard results
+    /// calls it too, so live progress reads the same either way.
+    pub fn record(&self, r: &RunResult, busy: Duration) {
         self.trials.fetch_add(1, Ordering::Relaxed);
         if r.formed {
             self.formed.fetch_add(1, Ordering::Relaxed);

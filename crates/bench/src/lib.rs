@@ -15,6 +15,7 @@
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod spec;
 
 use apf_sim::Outcome;
 use apf_trace::PhaseKind;

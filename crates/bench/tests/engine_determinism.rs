@@ -2,7 +2,7 @@
 //! count. Per-trial results AND merged statistics from `--jobs 1` must equal
 //! those from `--jobs 4` exactly — including every floating-point digit.
 
-use apf_bench::engine::{AlgorithmSpec, Campaign, Engine, RunSpec};
+use apf_bench::engine::{AlgorithmSpec, Campaign, Engine, RunSpec, StreamingAggregate};
 use apf_scheduler::SchedulerKind;
 
 fn campaign() -> Campaign {
@@ -74,6 +74,46 @@ fn repeated_runs_are_reproducible() {
     let b = engine.run(&c);
     assert_eq!(a.results, b.results);
     assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn replay_rebuilds_merged_stats_bit_for_bit() {
+    // The distributed-merge contract: per-trial results in trial order,
+    // refolded through StreamingAggregate::replay, must equal the engine's
+    // merged statistics exactly — this is what lets a coordinator merge
+    // remote shard results without perturbing a single ulp.
+    let c = campaign();
+    let report = Engine::new().jobs(4).collect_results(true).run(&c);
+    let results = report.results.as_ref().expect("collect_results was on");
+    let replayed = StreamingAggregate::replay(results, 1 << 16);
+    assert_eq!(replayed, report.stats);
+    // And with a thinning-small percentile cap, against an engine using the
+    // same cap (exercises the stride-merge path).
+    let capped = Engine::new().jobs(3).collect_results(true).percentile_cap(4).run(&c);
+    let capped_results = capped.results.as_ref().expect("collect_results was on");
+    assert_eq!(StreamingAggregate::replay(capped_results, 4), capped.stats);
+}
+
+#[test]
+fn sharded_slices_concatenate_to_the_full_run() {
+    // Shard execution parity: running slices [0,6), [6,7), [7,7), [7,18)
+    // and concatenating per-trial outputs in shard order reproduces the
+    // full run's results and digests exactly (including an empty shard and
+    // a single-trial shard).
+    let c = campaign();
+    let engine = Engine::new().jobs(2).collect_results(true).trace_digests(true);
+    let full = engine.run(&c);
+    let mut results = Vec::new();
+    let mut digests = Vec::new();
+    for (lo, hi) in [(0, 6), (6, 7), (7, 7), (7, c.len())] {
+        let shard = engine.run(&c.slice(lo, hi));
+        assert_eq!(shard.trials, hi - lo);
+        results.extend(shard.results.expect("collect_results was on"));
+        digests.extend(shard.digests.expect("trace_digests was on"));
+    }
+    assert_eq!(Some(&results), full.results.as_ref());
+    assert_eq!(Some(&digests), full.digests.as_ref());
+    assert_eq!(StreamingAggregate::replay(&results, 1 << 16), full.stats);
 }
 
 #[test]

@@ -397,6 +397,7 @@ fn excess_on_c1(
     poly.sort_by(f64::total_cmp);
     let keepers_placed = keepers
         .iter()
+        // apf-lint: allow(zip-length-mismatch) — keepers (&sorted[k - m1..]) and poly (0..m1) are both exactly m1 long
         .zip(poly.iter())
         .all(|(&r, &t)| ang_close(zf.angle_of(a.config.point(r)), t, tol));
     if keepers_placed {

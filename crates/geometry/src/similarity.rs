@@ -219,6 +219,8 @@ mod tests {
         let b = transform(&a, 1.234, 3.5, -7.0, 2.0, false);
         let m = match_up_to_similarity(&a, &b, &tol()).expect("should match");
         assert!(!m.mirrored);
+        assert_eq!(a.len(), b.len());
+        // apf-lint: allow(zip-length-mismatch) — lengths asserted equal just above
         for (pa, pb_expect) in a.iter().zip(b.iter()) {
             // The map sends each source point to *some* point of b; for a
             // rigid transform of a scalene set it must be the corresponding

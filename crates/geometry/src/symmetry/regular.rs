@@ -526,6 +526,7 @@ fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
             let pivot = &pivot_rows[col];
             let cur = &mut rest[0];
             let f = cur[col] / pivot[col];
+            // apf-lint: allow(zip-length-mismatch) — both sides are the col..n range of same-length matrix rows
             for (x, p) in cur[col..n].iter_mut().zip(&pivot[col..n]) {
                 *x -= f * p;
             }

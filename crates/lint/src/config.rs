@@ -92,6 +92,21 @@ impl Default for Config {
                 ..RuleConfig::default()
             },
         );
+        rules.insert(
+            "no-f32-in-geometry".to_string(),
+            RuleConfig { crates: Some(vec!["apf-geometry".to_string()]), ..RuleConfig::default() },
+        );
+        rules.insert(
+            "zip-length-mismatch".to_string(),
+            RuleConfig {
+                crates: Some(vec![
+                    "apf-core".to_string(),
+                    "apf-geometry".to_string(),
+                    "apf-sim".to_string(),
+                ]),
+                ..RuleConfig::default()
+            },
+        );
         Config {
             crate_roots: vec!["crates".to_string()],
             exclude: vec!["vendor".to_string(), "target".to_string()],

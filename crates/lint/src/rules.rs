@@ -13,6 +13,8 @@
 //! | `no-float-eq` | D5 | geometry/core compare floats via epsilon helpers |
 //! | `no-float-int-casts-in-digest-paths` | D6 | digest-feeding crates avoid `as` float↔int casts |
 //! | `stable-sort-in-digest-paths` | D7 | digest-feeding crates sort stably |
+//! | `no-f32-in-geometry` | D8 | the geometric substrate computes in f64 only |
+//! | `zip-length-mismatch` | D9 | per-robot folds must not truncate via `Iterator::zip` |
 //! | `panic-policy` | P1 | library `unwrap`/`expect` needs a justified pragma |
 //!
 //! Rules match token needles over the [lexer's](crate::lexer) masked text,
@@ -206,6 +208,35 @@ pub const RULES: &[RuleDef] = &[
         message: "unstable sort on data that can feed trace/digest output; equal-key \
                   order is unspecified and may drift across std versions — use a stable \
                   sort, or pragma with the argument for why keys are total",
+    },
+    RuleDef {
+        name: "no-f32-in-geometry",
+        code: "D8",
+        summary: "the geometric substrate computes in f64 only; any `f32` silently \
+                  halves precision under every tolerance in the crate",
+        // Overridden by lint.toml; kept in sync with Config::default().
+        default_crates: Some(&["apf-geometry"]),
+        applies_in_tests: true,
+        applies_in_bins: true,
+        matcher: Matcher::Needles(&[Needle::Ident("f32")]),
+        message: "`f32` in the geometric substrate; every tolerance, digest and \
+                  symmetry decision assumes f64 — a single f32 round-trip quietly \
+                  halves precision and can flip borderline classifications",
+    },
+    RuleDef {
+        name: "zip-length-mismatch",
+        code: "D9",
+        summary: "`Iterator::zip` silently truncates to the shorter side; per-robot \
+                  folds must justify equal lengths with a pragma",
+        // Overridden by lint.toml; kept in sync with Config::default().
+        default_crates: Some(&["apf-core", "apf-geometry", "apf-sim"]),
+        applies_in_tests: true,
+        applies_in_bins: true,
+        matcher: Matcher::Needles(&[Needle::Exact(".zip(")]),
+        message: "`Iterator::zip` truncates to the shorter input without panicking; a \
+                  per-robot fold over mismatched lengths silently drops robots — use an \
+                  indexed loop, or pragma the site with why the lengths are equal by \
+                  construction",
     },
     RuleDef {
         name: "panic-policy",

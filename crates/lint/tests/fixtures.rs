@@ -217,6 +217,73 @@ fn d7_exempt_in_tests_of_scoped_crates() {
     assert!(lint("crates/conformance/tests/golden.rs", "apf-conformance", src).is_empty());
 }
 
+// ---------------------------------------------------------------- D8
+
+#[test]
+fn d8_f32_fires_in_geometry_only() {
+    for src in ["fn f(x: f32) -> f32 { x * 2.0 }\n", "fn f(x: f64) -> f64 { (x as f32) as f64 }\n"]
+    {
+        let f = lint("crates/geometry/src/tol.rs", "apf-geometry", src);
+        assert!(f.iter().any(|f| f.rule == "no-f32-in-geometry"), "`{src}`: {f:?}");
+        let f = lint("crates/bench/src/engine.rs", "apf-bench", src);
+        assert!(!f.iter().any(|f| f.rule == "no-f32-in-geometry"), "`{src}`: {f:?}");
+    }
+}
+
+#[test]
+fn d8_applies_inside_geometry_tests() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _x: f32 = 1.0; }\n}\n";
+    let f = lint("crates/geometry/src/tol.rs", "apf-geometry", src);
+    assert_eq!(rules_fired(&f), vec!["no-f32-in-geometry"]);
+}
+
+#[test]
+fn d8_ident_boundaries_respected() {
+    // `f32x4` or `to_f32_bits` style identifiers are not the `f32` type token.
+    let src = "fn f(x: F32Wrapper) { x.not_f32_really(); }\nstruct F32Wrapper;\n";
+    assert!(lint("crates/geometry/src/tol.rs", "apf-geometry", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D9
+
+#[test]
+fn d9_zip_fires_in_robot_fold_crates_only() {
+    let src = "fn f(a: &[u8], b: &[u8]) -> usize { a.iter().zip(b.iter()).count() }\n";
+    for (path, krate) in [
+        ("crates/core/src/dpf/phase2.rs", "apf-core"),
+        ("crates/geometry/src/similarity.rs", "apf-geometry"),
+        ("crates/sim/src/world.rs", "apf-sim"),
+    ] {
+        assert_eq!(rules_fired(&lint(path, krate, src)), vec!["zip-length-mismatch"], "{krate}");
+    }
+    assert!(lint("crates/bench/src/engine.rs", "apf-bench", src).is_empty());
+}
+
+#[test]
+fn d9_applies_in_tests_of_scoped_crates() {
+    // zip truncation in a test silently weakens the assertion loop.
+    let src = "fn f(a: &[u8], b: &[u8]) -> usize { a.iter().zip(b.iter()).count() }\n";
+    let f = lint("crates/sim/tests/world.rs", "apf-sim", src);
+    assert_eq!(rules_fired(&f), vec!["zip-length-mismatch"]);
+}
+
+#[test]
+fn d9_pragma_with_length_argument_suppresses() {
+    let src = "fn f(a: &[u8], b: &[u8]) -> usize {\n\
+               \x20   // apf-lint: allow(zip-length-mismatch) — both m1 long by construction\n\
+               \x20   a.iter().zip(b.iter()).count()\n\
+               }\n";
+    assert!(lint("crates/core/src/dpf/phase2.rs", "apf-core", src).is_empty());
+}
+
+#[test]
+fn d9_ignores_zip_shaped_identifiers() {
+    // `unzip(` and a bare `zip(` call are not `Iterator::zip`.
+    let src =
+        "fn f(v: Vec<(u8, u8)>) { let (_a, _b): (Vec<_>, Vec<_>) = v.into_iter().unzip(); }\n";
+    assert!(lint("crates/core/src/lib.rs", "apf-core", src).is_empty());
+}
+
 // ---------------------------------------------------------------- P1
 
 #[test]

@@ -1,0 +1,211 @@
+//! A minimal HTTP/1.1 client for coordinator → backend calls.
+//!
+//! Mirrors the server's transport subset (`crate::http`): one request per
+//! connection, `Connection: close`, bounded response size, read timeout.
+//! The coordinator only ever talks to other `apf-serve` processes, so the
+//! client parses exactly what `crate::http::Response::render` emits and
+//! treats anything else as a transport error (which shard dispatch handles
+//! by retrying on another backend).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum response body the client accepts. Shard results carry per-trial
+/// detail records (~200 bytes each, ≤ 4096 trials), so this is generous.
+pub const MAX_RESPONSE: usize = 16 * 1024 * 1024;
+
+/// Default per-request timeout (connect, and each read).
+pub const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Why a backend call failed at the transport level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// TCP connect failed (backend down or address unresolvable).
+    Connect(std::io::ErrorKind),
+    /// Socket error or timeout mid-request.
+    Io(std::io::ErrorKind),
+    /// The response did not parse as the expected HTTP/1.1 subset.
+    BadResponse(&'static str),
+    /// Response exceeded [`MAX_RESPONSE`].
+    TooLarge,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(kind) => write!(f, "connect failed: {kind:?}"),
+            ClientError::Io(kind) => write!(f, "socket error: {kind:?}"),
+            ClientError::BadResponse(why) => write!(f, "malformed response: {why}"),
+            ClientError::TooLarge => write!(f, "response too large"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A parsed response: status code and body bytes.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+/// Issues one request to `addr` (a `host:port` string) and reads the full
+/// response.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] on connect/socket failure, timeout, a malformed
+/// response, or an oversized body. HTTP error statuses are **not** errors —
+/// the caller inspects `status`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<ClientResponse, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect(e.kind()))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| ClientError::Io(e.kind()))?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| ClientError::Io(e.kind()))?;
+
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    if !body.is_empty() {
+        head.push_str("Content-Type: application/json\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes()).map_err(|e| ClientError::Io(e.kind()))?;
+    stream.write_all(body).map_err(|e| ClientError::Io(e.kind()))?;
+    stream.flush().map_err(|e| ClientError::Io(e.kind()))?;
+
+    // Read the whole response (the server always closes after one).
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 8192];
+    loop {
+        let got = stream.read(&mut chunk).map_err(|e| ClientError::Io(e.kind()))?;
+        if got == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..got]);
+        if buf.len() > MAX_RESPONSE {
+            return Err(ClientError::TooLarge);
+        }
+        // Stop early once the declared body is complete; waiting for the
+        // peer's close would work but costs a round trip on lingering
+        // sockets.
+        if let Some((head_end, content_length)) = parse_frame(&buf) {
+            if buf.len() >= head_end + 4 + content_length {
+                break;
+            }
+        }
+    }
+
+    let (head_end, content_length) =
+        parse_frame(&buf).ok_or(ClientError::BadResponse("missing or unframed head"))?;
+    let status = parse_status(&buf[..head_end])?;
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Err(ClientError::BadResponse("connection closed mid-body"));
+    }
+    Ok(ClientResponse { status, body: buf[body_start..body_start + content_length].to_vec() })
+}
+
+/// Finds the head terminator and the declared `Content-Length`, if the head
+/// is complete.
+fn parse_frame(buf: &[u8]) -> Option<(usize, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut content_length = 0;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    Some((head_end, content_length))
+}
+
+fn parse_status(head: &[u8]) -> Result<u16, ClientError> {
+    let head = std::str::from_utf8(head).map_err(|_| ClientError::BadResponse("non-UTF-8 head"))?;
+    let line = head.split("\r\n").next().unwrap_or("");
+    let mut parts = line.split(' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::BadResponse("not an HTTP/1.x status line"));
+    }
+    parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ClientError::BadResponse("unparsable status code"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn round_trips_against_a_canned_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let mut seen = Vec::new();
+            // Read until the request frame (head + declared body) is in.
+            loop {
+                let got = s.read(&mut buf).unwrap();
+                seen.extend_from_slice(&buf[..got]);
+                if let Some((head_end, len)) = parse_frame(&seen) {
+                    if seen.len() >= head_end + 4 + len {
+                        break;
+                    }
+                }
+            }
+            let req = String::from_utf8(seen).unwrap();
+            assert!(req.starts_with("POST /v1/jobs HTTP/1.1\r\n"), "{req}");
+            assert!(req.ends_with("{\"trials\":1}"), "{req}");
+            s.write_all(b"HTTP/1.1 202 Accepted\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: 8\r\n\r\n{\"id\":1}")
+                .unwrap();
+        });
+        let resp = request(&addr, "POST", "/v1/jobs", b"{\"trials\":1}", REQUEST_TIMEOUT).unwrap();
+        assert_eq!(resp.status, 202);
+        assert_eq!(resp.body, b"{\"id\":1}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_refused_is_a_connect_error() {
+        // Bind-then-drop guarantees an unused port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        match request(&addr, "GET", "/healthz", b"", Duration::from_secs(1)) {
+            Err(ClientError::Connect(_)) => {}
+            other => panic!("expected Connect error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_bad_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = s.read(&mut buf);
+            s.write_all(b"SMTP ready\r\n\r\n").unwrap();
+        });
+        let err = request(&addr, "GET", "/healthz", b"", Duration::from_secs(2)).unwrap_err();
+        assert!(matches!(err, ClientError::BadResponse(_)), "{err:?}");
+        server.join().unwrap();
+    }
+}

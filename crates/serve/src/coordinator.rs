@@ -1,0 +1,406 @@
+//! Coordinator mode: fan a campaign out over backend `apf-serve` workers
+//! and merge the shards bit-identically to a single-process run.
+//!
+//! # Why this is sound
+//!
+//! The engine's determinism makes trials embarrassingly distributable: a
+//! trial's entire behaviour is a function of its spec (absolute index ⇒
+//! derived seed and generator offsets), never of which process runs it. A
+//! shard `[lo, hi)` therefore produces per-trial results and digests equal
+//! to the corresponding slice of a full run, no matter which backend
+//! executes it — or re-executes it after a disconnect.
+//!
+//! # Why the merge transports per-trial records
+//!
+//! Welford/percentile merges are order-sensitive in the last ulps, so
+//! merging shard-*level* aggregates would NOT reproduce a single-process
+//! run bit for bit. Backends instead return per-trial [`RunResult`]s
+//! (`detail: true`), and the coordinator replays the engine's exact fold
+//! over the concatenation in shard order
+//! ([`StreamingAggregate::replay`]) — same chunking, same merge order,
+//! bitwise-equal statistics. Digests concatenate in shard order, which is
+//! trial order. `check.sh` gates on both equalities over real sockets.
+//!
+//! # Failure handling
+//!
+//! Each backend gets one dispatch thread feeding from a shared shard
+//! queue. A transport error, backend-side failure, or malformed payload
+//! requeues the shard — whichever live backend drains it next re-runs it.
+//! Re-execution cannot double-count: every shard has exactly one result
+//! slot, filled once, and determinism makes any re-run bit-identical. A
+//! backend with several consecutive transport failures is retired; the job
+//! fails only if a shard exhausts its attempt budget or no backend remains.
+
+use crate::client::{self, ClientError};
+use crate::job::{JobOutcome, JobSpec};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::shard::{split_trials, Shard};
+use apf_bench::engine::{CancelToken, LiveStats, StreamingAggregate};
+use apf_bench::RunResult;
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Consecutive transport failures after which a backend is retired.
+const BACKEND_STRIKES: usize = 3;
+
+/// How the coordinator is shaped; every knob has a CLI flag.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Backend `host:port` addresses (non-empty ⇒ coordinator mode).
+    pub backends: Vec<String>,
+    /// Shards created per backend (load-balancing granularity; the shard
+    /// count is capped by the trial count).
+    pub shards_per_backend: usize,
+    /// Backend status-poll interval.
+    pub poll_interval: Duration,
+    /// Per-request timeout for backend calls.
+    pub request_timeout: Duration,
+    /// Dispatch attempts per shard before the job fails.
+    pub max_attempts: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            backends: Vec::new(),
+            shards_per_backend: 2,
+            poll_interval: Duration::from_millis(50),
+            request_timeout: client::REQUEST_TIMEOUT,
+            max_attempts: 8,
+        }
+    }
+}
+
+/// A coordinated campaign's merged outcome.
+#[derive(Debug)]
+pub struct CoordReport {
+    /// The merged outcome (digests and statistics bit-identical to a
+    /// single-process run of the executed prefix).
+    pub outcome: JobOutcome,
+    /// Whether cancellation stopped the run before completing every shard.
+    pub cancelled: bool,
+}
+
+/// One shard's execution record.
+#[derive(Debug)]
+struct ShardResult {
+    digests: Vec<u64>,
+    records: Vec<RunResult>,
+    /// Executed < requested (backend was cancelled mid-shard).
+    partial: bool,
+}
+
+struct Dispatch {
+    queue: VecDeque<usize>,
+    attempts: Vec<usize>,
+    results: Vec<Option<ShardResult>>,
+    live_backends: usize,
+    failure: Option<String>,
+}
+
+impl Dispatch {
+    fn abort(&mut self, why: String) {
+        if self.failure.is_none() {
+            self.failure = Some(why);
+        }
+        self.queue.clear();
+    }
+}
+
+/// Runs `spec` by sharding it across `cfg.backends`.
+///
+/// Progress folds into `live` per completed shard; `cancel` stops dispatch
+/// at the next poll and cancels in-flight backend jobs.
+///
+/// # Errors
+///
+/// Returns the failure description when a shard exhausts its attempts, all
+/// backends are retired, or a backend reports a failed job.
+pub fn run_job(
+    cfg: &CoordinatorConfig,
+    spec: &JobSpec,
+    cancel: &CancelToken,
+    live: &LiveStats,
+    metrics: &Metrics,
+) -> Result<CoordReport, String> {
+    assert!(!cfg.backends.is_empty(), "coordinator mode needs at least one backend");
+    let (lo, hi) = spec.range.unwrap_or((0, spec.canonical.trials));
+    let shards = split_trials(hi - lo, cfg.backends.len() * cfg.shards_per_backend.max(1))
+        .into_iter()
+        .map(|s| Shard { lo: lo + s.lo, hi: lo + s.hi })
+        .collect::<Vec<_>>();
+
+    let dispatch = Mutex::new(Dispatch {
+        queue: (0..shards.len()).collect(),
+        attempts: vec![0; shards.len()],
+        results: (0..shards.len()).map(|_| None).collect(),
+        live_backends: cfg.backends.len(),
+        failure: None,
+    });
+
+    std::thread::scope(|scope| {
+        for backend in &cfg.backends {
+            let dispatch = &dispatch;
+            let shards = &shards;
+            scope.spawn(move || {
+                backend_loop(cfg, spec, backend, shards, dispatch, cancel, live, metrics)
+            });
+        }
+    });
+
+    let mut d = lock(&dispatch);
+    let cancelled = cancel.is_cancelled();
+    if let Some(why) = d.failure.take() {
+        return Err(why);
+    }
+    if !cancelled {
+        if let Some(k) = d.results.iter().position(Option::is_none) {
+            // Only cancellation may leave holes; anything else is a retired
+            // backend set, which must have recorded a failure above.
+            return Err(format!("shard {k} never completed (all backends retired)"));
+        }
+    }
+
+    // Merge the longest contiguous prefix of completed shards (all of them,
+    // unless cancelled) — mirroring the engine's cancelled-run guarantee
+    // that executed trials form a contiguous prefix in trial order.
+    let mut digests = Vec::with_capacity((hi - lo) as usize);
+    let mut records: Vec<RunResult> = Vec::with_capacity((hi - lo) as usize);
+    for slot in d.results.iter_mut() {
+        let Some(result) = slot.take() else { break };
+        digests.extend(&result.digests);
+        records.extend(result.records);
+        if result.partial {
+            break;
+        }
+    }
+    drop(d);
+
+    let stats = StreamingAggregate::replay(&records, 1 << 16);
+    let agg = stats.to_aggregate();
+    let executed = records.len();
+    let outcome = JobOutcome {
+        trials: executed,
+        requested: (hi - lo) as usize,
+        formed: stats.formed(),
+        success: agg.success,
+        mean_cycles: agg.mean_cycles,
+        median_cycles: agg.median_cycles,
+        p95_cycles: agg.p95_cycles,
+        mean_bits: agg.mean_bits,
+        bits_per_cycle: agg.bits_per_cycle,
+        digests,
+        wall_secs: 0.0, // the server fills in the coordinator's wall clock
+        detail: spec.detail.then_some(records),
+        cached: false,
+    };
+    let cancelled = cancelled && executed < outcome.requested;
+    Ok(CoordReport { outcome, cancelled })
+}
+
+fn lock(dispatch: &Mutex<Dispatch>) -> MutexGuard<'_, Dispatch> {
+    // apf-lint: allow(panic-policy) — poisoning means a dispatch thread panicked; propagate
+    dispatch.lock().expect("dispatch lock poisoned")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backend_loop(
+    cfg: &CoordinatorConfig,
+    spec: &JobSpec,
+    backend: &str,
+    shards: &[Shard],
+    dispatch: &Mutex<Dispatch>,
+    cancel: &CancelToken,
+    live: &LiveStats,
+    metrics: &Metrics,
+) {
+    let mut strikes = 0;
+    loop {
+        if cancel.is_cancelled() {
+            return;
+        }
+        let popped = {
+            let mut d = lock(dispatch);
+            match d.queue.pop_front() {
+                Some(k) => {
+                    d.attempts[k] += 1;
+                    if d.attempts[k] > cfg.max_attempts {
+                        d.abort(format!("shard {k} failed {} dispatch attempts", cfg.max_attempts));
+                        return;
+                    }
+                    Some(k)
+                }
+                None => {
+                    // The queue is empty, but a shard in flight on another
+                    // backend may yet fail and be requeued — exit only once
+                    // every slot is filled or the job aborted; otherwise
+                    // stay alive to pick up requeued work.
+                    if d.failure.is_some() || d.results.iter().all(Option::is_some) {
+                        return;
+                    }
+                    None
+                }
+            }
+        };
+        let Some(k) = popped else {
+            std::thread::sleep(cfg.poll_interval);
+            continue;
+        };
+        let shard = shards[k];
+        metrics.shards_dispatched.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match run_shard(cfg, spec, backend, shard, cancel) {
+            Ok(result) => {
+                strikes = 0;
+                for r in &result.records {
+                    // Busy time is a backend-side quantity the shard result
+                    // does not carry per trial; zero keeps utilization
+                    // honest (coordinator workers are not busy *executing*).
+                    live.record(r, Duration::ZERO);
+                }
+                lock(dispatch).results[k] = Some(result);
+            }
+            Err(ShardError::Cancelled) => {
+                // Leave the shard unfinished; run_job merges the completed
+                // prefix. (Do not requeue: the whole job is stopping.)
+                return;
+            }
+            Err(ShardError::Fatal(why)) => {
+                lock(dispatch).abort(format!("shard {k} on {backend}: {why}"));
+                return;
+            }
+            Err(ShardError::Transient(why)) => {
+                metrics.shard_retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                strikes += 1;
+                let mut d = lock(dispatch);
+                d.queue.push_back(k);
+                if strikes >= BACKEND_STRIKES {
+                    // Retire this backend; the shard stays queued for the
+                    // survivors.
+                    d.live_backends -= 1;
+                    if d.live_backends == 0 {
+                        d.abort(format!("no live backends remain (last error: {why})"));
+                    }
+                    return;
+                }
+                drop(d);
+                std::thread::sleep(cfg.poll_interval);
+            }
+        }
+    }
+}
+
+enum ShardError {
+    /// Retry-able: backend unreachable, overloaded, or mid-shard disconnect.
+    Transient(String),
+    /// The job is stopping; leave the shard unfinished.
+    Cancelled,
+    /// Deterministic failure (a backend worker panic is a bug, not noise).
+    Fatal(String),
+}
+
+/// Submits one shard to `backend`, polls it to completion, and fetches the
+/// detail result.
+fn run_shard(
+    cfg: &CoordinatorConfig,
+    spec: &JobSpec,
+    backend: &str,
+    shard: Shard,
+    cancel: &CancelToken,
+) -> Result<ShardResult, ShardError> {
+    let shard_spec = JobSpec {
+        canonical: spec.canonical.clone(),
+        range: Some((shard.lo, shard.hi)),
+        detail: true,
+    };
+    let body = shard_spec.to_json().render();
+
+    let transient = |why: String| ShardError::Transient(why);
+    let submit = call(cfg, backend, "POST", "/v1/jobs", body.as_bytes()).map_err(transient)?;
+    if submit.0 == 429 || submit.0 == 503 {
+        return Err(ShardError::Transient(format!("backend busy ({})", submit.0)));
+    }
+    if submit.0 != 202 {
+        // A 4xx on a spec the coordinator itself validated is a protocol
+        // bug; retrying elsewhere would loop forever.
+        return Err(ShardError::Fatal(format!("submit returned {}", submit.0)));
+    }
+    let id = submit
+        .1
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ShardError::Fatal("submit response missing id".to_string()))?;
+    let job_path = format!("/v1/jobs/{id}");
+
+    loop {
+        if cancel.is_cancelled() {
+            // Best effort: stop the backend's work too, then bail.
+            let _ = client::request(backend, "DELETE", &job_path, b"", cfg.request_timeout);
+            return Err(ShardError::Cancelled);
+        }
+        let (status, v) = call(cfg, backend, "GET", &job_path, b"").map_err(transient)?;
+        if status != 200 {
+            return Err(ShardError::Transient(format!("status poll returned {status}")));
+        }
+        match v.get("status").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("cancelled") => {
+                if cancel.is_cancelled() {
+                    break; // our own cancellation propagated; keep the prefix
+                }
+                // The backend cancelled unilaterally (it is shutting down):
+                // the shard must be re-run in full on a surviving backend.
+                return Err(ShardError::Transient(
+                    "backend cancelled the shard (backend shutting down?)".to_string(),
+                ));
+            }
+            Some("failed") => {
+                return Err(ShardError::Fatal("backend reports a failed job".to_string()))
+            }
+            Some(_) => std::thread::sleep(cfg.poll_interval),
+            None => return Err(ShardError::Transient("status poll missing status".to_string())),
+        }
+    }
+
+    let (status, v) =
+        call(cfg, backend, "GET", &format!("{job_path}/result"), b"").map_err(transient)?;
+    if status != 200 {
+        return Err(ShardError::Transient(format!("result fetch returned {status}")));
+    }
+    let result = v
+        .get("result")
+        .ok_or_else(|| ShardError::Transient("result fetch missing result".to_string()))?;
+    let outcome = JobOutcome::from_json(result).map_err(ShardError::Transient)?;
+    let records = outcome
+        .detail
+        .ok_or_else(|| ShardError::Transient("shard result missing detail".to_string()))?;
+    let executed = outcome.trials;
+    if executed > shard.len() as usize
+        || records.len() != executed
+        || outcome.digests.len() != executed
+    {
+        return Err(ShardError::Transient(format!(
+            "shard payload inconsistent: {executed} trials, {} records, {} digests",
+            records.len(),
+            outcome.digests.len()
+        )));
+    }
+    Ok(ShardResult { digests: outcome.digests, records, partial: executed < shard.len() as usize })
+}
+
+/// One backend call returning the parsed JSON body.
+fn call(
+    cfg: &CoordinatorConfig,
+    backend: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(u16, Json), String> {
+    let resp = client::request(backend, method, path, body, cfg.request_timeout)
+        .map_err(|e: ClientError| format!("{method} {path}: {e}"))?;
+    let text =
+        std::str::from_utf8(&resp.body).map_err(|_| format!("{method} {path}: non-UTF-8 body"))?;
+    let v = json::parse(text).map_err(|e| format!("{method} {path}: {e}"))?;
+    Ok((resp.status, v))
+}

@@ -1,72 +1,46 @@
 //! Job specifications and lifecycle state.
 //!
-//! A job is a campaign described over the wire. [`JobSpec`] maps the JSON
-//! body of `POST /jobs` onto the exact `Campaign` construction the CLI
-//! harness uses — same campaign seed, same per-trial generator offsets
-//! (`symmetric_configuration(n, rho, 1000 + i)` /
-//! `random_pattern(n, 2000 + i)`, as in experiment E1) — so a job submitted
-//! over HTTP reproduces a CLI run of the same spec **bit for bit**, digests
-//! included. That parity is asserted by the integration tests and the
-//! `check.sh` smoke step.
+//! A job is a campaign described over the wire. [`JobSpec`] is a thin
+//! transport wrapper around [`apf_bench::spec::CanonicalSpec`] — the single
+//! shared campaign-spec type — plus two serve-only extensions: an optional
+//! trial sub-range (shard execution for the coordinator) and a `detail`
+//! flag (include per-trial records in the result, the coordinator's merge
+//! input). The canonical core is the single code path from a spec to a
+//! `Campaign`, to `apf-cli job-digest`, and to the content-address the
+//! result cache keys on, so a job submitted over HTTP reproduces a CLI run
+//! of the same spec **bit for bit**, digests included. That parity is
+//! asserted by the integration tests and the `check.sh` smoke step.
 
 use crate::json::{self, Json};
-use apf_bench::engine::{Campaign, CancelToken, LiveStats, RunSpec};
-use apf_scheduler::SchedulerKind;
+use apf_bench::engine::{Campaign, CancelToken, LiveStats};
+use apf_bench::spec::{scheduler_from_label, scheduler_label, CanonicalSpec, Generator};
+use apf_bench::RunResult;
+use apf_trace::PhaseKind;
 use std::sync::{Arc, Mutex};
 
-/// Upper bound on trials per job (bounds queue memory and worker latency).
-pub const MAX_TRIALS: u64 = 4096;
-/// Upper bound on robots per trial.
-pub const MAX_ROBOTS: usize = 64;
-/// Upper bound on the per-trial step budget.
-pub const MAX_BUDGET: u64 = 20_000_000;
+pub use apf_bench::spec::{MAX_BUDGET, MAX_ROBOTS, MAX_TRIALS};
 
-/// Which instance generator seeds the initial configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Generator {
-    /// `apf_patterns::symmetric_configuration(n, rho, 1000 + i)` — the
-    /// worst-case election path (experiment E1's generator).
-    Symmetric,
-    /// `apf_patterns::asymmetric_configuration(n, 1000 + i)`.
-    Asymmetric,
-}
-
-/// A validated campaign description, as submitted over the wire.
-#[derive(Debug, Clone, PartialEq)]
+/// A validated campaign description, as submitted over the wire: the shared
+/// canonical spec plus serve-only transport extensions.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JobSpec {
-    /// Campaign name (reports, metrics labels).
-    pub name: String,
-    /// Campaign seed (per-trial seeds derive from it).
-    pub seed: u64,
-    /// Number of trials.
-    pub trials: u64,
-    /// Robots per trial.
-    pub n: usize,
-    /// Symmetricity parameter for the symmetric generator.
-    pub rho: usize,
-    /// Initial-configuration generator.
-    pub generator: Generator,
-    /// Scheduler kind.
-    pub scheduler: SchedulerKind,
-    /// Per-trial engine-step budget.
-    pub budget: u64,
+    /// The canonical campaign description (shared with `apf-bench` and the
+    /// CLI; the content-addressed identity of the job).
+    pub canonical: CanonicalSpec,
+    /// Execute only trials `lo..hi` of the campaign (a coordinator shard).
+    /// Absolute indices: trial `i` here is bit-identical to trial `i` of
+    /// the full campaign. `None` = all trials.
+    pub range: Option<(u64, u64)>,
+    /// Include per-trial records in the result (`result.detail`), the input
+    /// a coordinator needs to merge shards bit-identically.
+    pub detail: bool,
 }
 
-impl Default for JobSpec {
-    /// The defaults mirror one row of experiment E1 in `--quick` mode:
-    /// `n = 8`, `rho = 4`, 8 trials, campaign seed 1, RoundRobin, a 2 M-step
-    /// budget.
-    fn default() -> Self {
-        JobSpec {
-            name: "job".to_string(),
-            seed: 1,
-            trials: 8,
-            n: 8,
-            rho: 4,
-            generator: Generator::Symmetric,
-            scheduler: SchedulerKind::RoundRobin,
-            budget: 2_000_000,
-        }
+impl std::ops::Deref for JobSpec {
+    type Target = CanonicalSpec;
+
+    fn deref(&self) -> &CanonicalSpec {
+        &self.canonical
     }
 }
 
@@ -89,41 +63,39 @@ impl JobSpec {
             match key.as_str() {
                 "name" => {
                     let s = value.as_str().ok_or("\"name\" must be a string")?;
-                    if s.is_empty() || s.len() > 128 {
-                        return Err("\"name\" must be 1..=128 chars".to_string());
-                    }
-                    spec.name = s.to_string();
+                    spec.canonical.name = s.to_string();
                 }
-                "seed" => spec.seed = req_u64(value, "seed")?,
-                "trials" => spec.trials = req_u64(value, "trials")?,
-                "n" => spec.n = req_u64(value, "n")? as usize,
-                "rho" => spec.rho = req_u64(value, "rho")? as usize,
+                "seed" => spec.canonical.seed = req_u64(value, "seed")?,
+                "trials" => spec.canonical.trials = req_u64(value, "trials")?,
+                "n" => spec.canonical.n = req_u64(value, "n")? as usize,
+                "rho" => spec.canonical.rho = req_u64(value, "rho")? as usize,
                 "generator" => {
-                    spec.generator = match value.as_str() {
-                        Some("symmetric") => Generator::Symmetric,
-                        Some("asymmetric") => Generator::Asymmetric,
-                        _ => {
-                            return Err(
-                                "\"generator\" must be \"symmetric\" or \"asymmetric\"".to_string()
-                            )
-                        }
-                    }
+                    spec.canonical.generator = value
+                        .as_str()
+                        .and_then(Generator::from_label)
+                        .ok_or("\"generator\" must be \"symmetric\" or \"asymmetric\"")?;
                 }
                 "scheduler" => {
-                    spec.scheduler =
-                        match value.as_str() {
-                            Some("fsync") => SchedulerKind::Fsync,
-                            Some("ssync") => SchedulerKind::Ssync,
-                            Some("async") => SchedulerKind::Async,
-                            Some("round_robin") => SchedulerKind::RoundRobin,
-                            _ => return Err(
-                                "\"scheduler\" must be one of \"fsync\", \"ssync\", \"async\", \
-                             \"round_robin\""
-                                    .to_string(),
-                            ),
-                        }
+                    spec.canonical.scheduler =
+                        value.as_str().and_then(scheduler_from_label).ok_or(
+                            "\"scheduler\" must be one of \"fsync\", \"ssync\", \"async\", \
+                             \"round_robin\"",
+                        )?;
                 }
-                "budget" => spec.budget = req_u64(value, "budget")?,
+                "budget" => spec.canonical.budget = req_u64(value, "budget")?,
+                "range" => {
+                    let arr = value.as_arr().ok_or("\"range\" must be [lo, hi]")?;
+                    let [lo, hi] = arr else {
+                        return Err("\"range\" must be [lo, hi]".to_string());
+                    };
+                    spec.range = Some((req_u64(lo, "range[0]")?, req_u64(hi, "range[1]")?));
+                }
+                "detail" => {
+                    spec.detail = match value {
+                        Json::Bool(b) => *b,
+                        _ => return Err("\"detail\" must be a boolean".to_string()),
+                    };
+                }
                 other => return Err(format!("unknown field {other:?}")),
             }
         }
@@ -132,79 +104,69 @@ impl JobSpec {
         Ok(spec)
     }
 
-    /// Range-checks the spec and verifies every trial's instance builds —
-    /// after this, running the campaign cannot fail validation.
+    /// Range-checks the spec (canonical core plus the shard range) and
+    /// verifies every trial's instance builds — after this, running the
+    /// campaign cannot fail validation.
     ///
     /// # Errors
     ///
     /// Returns the 400 body text.
     pub fn validate(&self) -> Result<(), String> {
-        if self.trials == 0 || self.trials > MAX_TRIALS {
-            return Err(format!("\"trials\" must be 1..={MAX_TRIALS}"));
-        }
-        if self.n < 7 || self.n > MAX_ROBOTS {
-            return Err(format!("\"n\" must be 7..={MAX_ROBOTS} (the paper needs n >= 7)"));
-        }
-        if self.generator == Generator::Symmetric
-            && (self.rho < 2 || !self.n.is_multiple_of(self.rho))
-        {
-            return Err(
-                "\"rho\" must be >= 2 and divide \"n\" for the symmetric generator".to_string()
-            );
-        }
-        if self.budget == 0 || self.budget > MAX_BUDGET {
-            return Err(format!("\"budget\" must be 1..={MAX_BUDGET}"));
-        }
-        let campaign = self.to_campaign();
-        for (i, spec) in campaign.specs().iter().enumerate() {
-            spec.build_world().map_err(|e| format!("trial {i} is invalid: {e}"))?;
+        self.canonical.validate()?;
+        if let Some((lo, hi)) = self.range {
+            if lo > hi || hi > self.canonical.trials {
+                return Err(format!(
+                    "\"range\" [{lo}, {hi}] must satisfy lo <= hi <= trials ({})",
+                    self.canonical.trials
+                ));
+            }
         }
         Ok(())
     }
 
-    /// The spec's campaign — identical construction to a CLI run.
+    /// The campaign this job executes: the full canonical campaign, or the
+    /// shard slice when a range is set. Either way the construction is the
+    /// single shared `CanonicalSpec` path — identical to a CLI run.
     pub fn to_campaign(&self) -> Campaign {
-        let mut c = Campaign::new(self.name.clone(), self.seed);
-        let (n, rho, generator, scheduler, budget) =
-            (self.n, self.rho, self.generator, self.scheduler, self.budget);
-        c.add_trials(self.trials, |i, _seed| {
-            let initial = match generator {
-                Generator::Symmetric => apf_patterns::symmetric_configuration(n, rho, 1000 + i),
-                Generator::Asymmetric => apf_patterns::asymmetric_configuration(n, 1000 + i),
-            };
-            RunSpec::new(initial, apf_patterns::random_pattern(n, 2000 + i))
-                .scheduler(scheduler)
-                .budget(budget)
-        });
-        c
+        match self.range {
+            Some((lo, hi)) => self.canonical.to_campaign_range(lo, hi),
+            None => self.canonical.to_campaign(),
+        }
     }
 
-    /// The spec as response JSON (echoed in job status).
+    /// Whether the result may be served from / stored into the
+    /// content-addressed cache: only whole-campaign, no-detail runs — the
+    /// cache is keyed on the canonical spec alone, and shard/detail results
+    /// describe something narrower than the key.
+    pub fn cacheable(&self) -> bool {
+        self.range.is_none() && !self.detail
+    }
+
+    /// The spec as response JSON (echoed in job status). Canonical fields
+    /// always; transport extensions only when set.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("name", Json::str(self.name.clone())),
-            ("seed", Json::u64(self.seed)),
-            ("trials", Json::u64(self.trials)),
-            ("n", Json::usize(self.n)),
-            ("rho", Json::usize(self.rho)),
-            (
-                "generator",
-                Json::str(match self.generator {
-                    Generator::Symmetric => "symmetric",
-                    Generator::Asymmetric => "asymmetric",
-                }),
-            ),
-            (
-                "scheduler",
-                Json::str(match self.scheduler {
-                    SchedulerKind::Fsync => "fsync",
-                    SchedulerKind::Ssync => "ssync",
-                    SchedulerKind::Async => "async",
-                    SchedulerKind::RoundRobin => "round_robin",
-                }),
-            ),
-            ("budget", Json::u64(self.budget)),
-        ])
+        let c = &self.canonical;
+        let mut obj = match Json::obj([
+            ("name", Json::str(c.name.clone())),
+            ("seed", Json::u64(c.seed)),
+            ("trials", Json::u64(c.trials)),
+            ("n", Json::usize(c.n)),
+            ("rho", Json::usize(c.rho)),
+            ("generator", Json::str(c.generator.label())),
+            ("scheduler", Json::str(scheduler_label(c.scheduler))),
+            ("budget", Json::u64(c.budget)),
+        ]) {
+            Json::Obj(m) => m,
+            // apf-lint: allow(panic-policy) — Json::obj always returns Json::Obj
+            _ => unreachable!("Json::obj returns an object"),
+        };
+        if let Some((lo, hi)) = self.range {
+            obj.insert("range".to_string(), Json::Arr(vec![Json::u64(lo), Json::u64(hi)]));
+        }
+        if self.detail {
+            obj.insert("detail".to_string(), Json::Bool(true));
+        }
+        Json::Obj(obj)
     }
 }
 
@@ -221,7 +183,7 @@ pub enum JobStatus {
     Running,
     /// Completed every trial.
     Done,
-    /// Stopped by `DELETE /jobs/{id}` or shutdown; partial results kept.
+    /// Stopped by `DELETE /v1/jobs/{id}` or shutdown; partial results kept.
     Cancelled,
     /// The worker panicked (a bug, surfaced rather than hidden).
     Failed,
@@ -246,7 +208,7 @@ impl JobStatus {
 }
 
 /// The final outcome a worker records.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// Trials executed (a prefix of the campaign when cancelled).
     pub trials: usize,
@@ -268,14 +230,20 @@ pub struct JobOutcome {
     pub bits_per_cycle: f64,
     /// Per-trial FNV-1a trace digests, in trial order.
     pub digests: Vec<u64>,
-    /// Campaign wall-clock seconds.
+    /// Campaign wall-clock seconds (timing-noisy; excluded from equality
+    /// comparisons done by the cache verifier and check.sh).
     pub wall_secs: f64,
+    /// Per-trial results in trial order (only when the spec set `detail`).
+    pub detail: Option<Vec<RunResult>>,
+    /// Whether this outcome was answered from the content-addressed cache
+    /// rather than executed.
+    pub cached: bool,
 }
 
 impl JobOutcome {
     /// The outcome as response JSON.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut obj = match Json::obj([
             ("trials", Json::usize(self.trials)),
             ("requested", Json::usize(self.requested)),
             ("formed", Json::u64(self.formed)),
@@ -287,8 +255,105 @@ impl JobOutcome {
             ("bits_per_cycle", Json::f64(self.bits_per_cycle)),
             ("digests", json::u64_array(&self.digests)),
             ("wall_secs", Json::f64(self.wall_secs)),
-        ])
+        ]) {
+            Json::Obj(m) => m,
+            // apf-lint: allow(panic-policy) — Json::obj always returns Json::Obj
+            _ => unreachable!("Json::obj returns an object"),
+        };
+        if let Some(detail) = &self.detail {
+            obj.insert("detail".to_string(), Json::Arr(detail.iter().map(trial_to_json).collect()));
+        }
+        if self.cached {
+            obj.insert("cached".to_string(), Json::Bool(true));
+        }
+        Json::Obj(obj)
     }
+
+    /// Parses an outcome back from its [`JobOutcome::to_json`] form (the
+    /// cache's disk format; also how the coordinator reads backend results).
+    /// Numeric fields round-trip exactly: `u64` tokens are parsed as `u64`,
+    /// and `f64` values use Rust's shortest-round-trip formatting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<JobOutcome, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("result missing {k:?}"));
+        let u = |k: &str| field(k)?.as_u64().ok_or_else(|| format!("{k:?} must be a u64"));
+        let f = |k: &str| field(k)?.as_f64().ok_or_else(|| format!("{k:?} must be a number"));
+        let digests = field("digests")?
+            .as_arr()
+            .ok_or("\"digests\" must be an array")?
+            .iter()
+            .map(|d| d.as_u64().ok_or_else(|| "digest must be a u64".to_string()))
+            .collect::<Result<Vec<u64>, String>>()?;
+        let detail = match v.get("detail") {
+            None => None,
+            Some(Json::Arr(items)) => {
+                Some(items.iter().map(trial_from_json).collect::<Result<Vec<_>, _>>()?)
+            }
+            Some(_) => return Err("\"detail\" must be an array".to_string()),
+        };
+        Ok(JobOutcome {
+            trials: u("trials")? as usize,
+            requested: u("requested")? as usize,
+            formed: u("formed")?,
+            success: f("success")?,
+            mean_cycles: f("mean_cycles")?,
+            median_cycles: f("median_cycles")?,
+            p95_cycles: f("p95_cycles")?,
+            mean_bits: f("mean_bits")?,
+            bits_per_cycle: f("bits_per_cycle")?,
+            digests,
+            wall_secs: f("wall_secs")?,
+            detail,
+            cached: matches!(v.get("cached"), Some(Json::Bool(true))),
+        })
+    }
+}
+
+/// One per-trial record on the wire. `distance` is the only float; Rust's
+/// shortest formatting plus the token-preserving parser round-trips it bit
+/// for bit, which the coordinator's bitwise merge depends on.
+fn trial_to_json(r: &RunResult) -> Json {
+    Json::obj([
+        ("formed", Json::Bool(r.formed)),
+        ("steps", Json::u64(r.steps)),
+        ("cycles", Json::u64(r.cycles)),
+        ("bits", Json::u64(r.bits)),
+        ("distance", Json::f64(r.distance)),
+        ("phase_cycles", json::u64_array(&r.phase_cycles)),
+        ("phase_bits", json::u64_array(&r.phase_bits)),
+    ])
+}
+
+/// Parses one per-trial record (inverse of [`trial_to_json`]).
+fn trial_from_json(v: &Json) -> Result<RunResult, String> {
+    let field = |k: &str| v.get(k).ok_or_else(|| format!("trial record missing {k:?}"));
+    let u = |k: &str| field(k)?.as_u64().ok_or_else(|| format!("{k:?} must be a u64"));
+    let phases = |k: &str| -> Result<[u64; PhaseKind::COUNT], String> {
+        let arr = field(k)?.as_arr().ok_or_else(|| format!("{k:?} must be an array"))?;
+        if arr.len() != PhaseKind::COUNT {
+            return Err(format!("{k:?} must have {} entries", PhaseKind::COUNT));
+        }
+        let mut out = [0u64; PhaseKind::COUNT];
+        for (slot, item) in out.iter_mut().zip(arr) {
+            *slot = item.as_u64().ok_or_else(|| format!("{k:?} entries must be u64"))?;
+        }
+        Ok(out)
+    };
+    Ok(RunResult {
+        formed: match field("formed")? {
+            Json::Bool(b) => *b,
+            _ => return Err("\"formed\" must be a boolean".to_string()),
+        },
+        steps: u("steps")?,
+        cycles: u("cycles")?,
+        bits: u("bits")?,
+        distance: field("distance")?.as_f64().ok_or("\"distance\" must be a number")?,
+        phase_cycles: phases("phase_cycles")?,
+        phase_bits: phases("phase_bits")?,
+    })
 }
 
 /// One submitted job: spec, lifecycle state, live counters, cancel token.
@@ -302,6 +367,10 @@ pub struct Job {
     pub cancel: CancelToken,
     /// Live per-trial counters the engine updates while running.
     pub live: Arc<LiveStats>,
+    /// When set, this job is a cache-integrity replay: after it finishes,
+    /// the worker compares its digests against the cached outcome for this
+    /// canonical-spec digest instead of double-counting a user job.
+    pub verify_against: Option<u64>,
     state: Mutex<JobState>,
 }
 
@@ -319,8 +388,24 @@ impl Job {
             spec,
             cancel: CancelToken::new(),
             live: Arc::new(LiveStats::default()),
+            verify_against: None,
             state: Mutex::new(JobState { status: JobStatus::Queued, outcome: None }),
         }
+    }
+
+    /// A freshly completed job (a cache hit: terminal on arrival).
+    pub fn new_done(id: u64, spec: JobSpec, outcome: JobOutcome) -> Job {
+        let job = Job::new(id, spec);
+        job.finish(JobStatus::Done, Some(outcome));
+        job
+    }
+
+    /// A cache-integrity replay of `spec`, verified against the cached
+    /// outcome keyed by `digest` when it finishes.
+    pub fn new_verify(id: u64, spec: JobSpec, digest: u64) -> Job {
+        let mut job = Job::new(id, spec);
+        job.verify_against = Some(digest);
+        job
     }
 
     /// Current status.
@@ -365,7 +450,7 @@ impl Job {
         self.lock().outcome.clone()
     }
 
-    /// Status JSON for `GET /jobs/{id}`.
+    /// Status JSON for `GET /v1/jobs/{id}`.
     pub fn status_json(&self) -> Json {
         let (status, outcome) = {
             let s = self.lock();
@@ -413,6 +498,11 @@ mod tests {
         let body = spec.to_json().render();
         let back = JobSpec::from_json_bytes(body.as_bytes()).unwrap();
         assert_eq!(back, spec);
+
+        let sharded = JobSpec { range: Some((2, 5)), detail: true, ..JobSpec::default() };
+        let body = sharded.to_json().render();
+        let back = JobSpec::from_json_bytes(body.as_bytes()).unwrap();
+        assert_eq!(back, sharded);
     }
 
     #[test]
@@ -428,6 +518,10 @@ mod tests {
             (r#"{"seed":1.5}"#, "fractional seed"),
             (r#"{"bogus":1}"#, "unknown field"),
             (r#"{"scheduler":"serial"}"#, "unknown scheduler"),
+            (r#"{"range":[5,2]}"#, "backwards range"),
+            (r#"{"range":[0,9]}"#, "range beyond trials"),
+            (r#"{"range":[0]}"#, "range not a pair"),
+            (r#"{"detail":1}"#, "non-boolean detail"),
             (r#"not json"#, "malformed"),
         ] {
             assert!(JobSpec::from_json_bytes(body.as_bytes()).is_err(), "accepted {why}: {body}");
@@ -435,24 +529,62 @@ mod tests {
     }
 
     #[test]
-    fn spec_matches_e1_quick_campaign() {
-        // The default spec's campaign must be *constructed* exactly like one
-        // row of E1 --quick (n=8, rho=4, 16->8 trials, seed 1): same derived
-        // per-trial seeds, same generator offsets.
-        let c = JobSpec::default().to_campaign();
-        assert_eq!(c.len(), 8);
-        let mut reference = Campaign::new("e1 n=8 rho=4", 1);
-        reference.add_trials(8, |i, _seed| {
-            RunSpec::new(
-                apf_patterns::symmetric_configuration(8, 4, 1000 + i),
-                apf_patterns::random_pattern(8, 2000 + i),
-            )
-            .scheduler(SchedulerKind::RoundRobin)
-            .budget(2_000_000)
-        });
-        for (a, b) in c.specs().iter().zip(reference.specs()) {
-            assert_eq!(format!("{a:?}"), format!("{b:?}"));
-        }
+    fn canonicalization_is_field_order_independent() {
+        // Submitting the same values with fields in any order (and defaults
+        // spelled out or omitted) must hit the same content address — the
+        // cache-key property.
+        let a = JobSpec::from_json_bytes(br#"{"seed":7,"trials":4,"name":"x"}"#).unwrap();
+        let b = JobSpec::from_json_bytes(
+            br#"{"name":"x","budget":2000000,"trials":4,"rho":4,"generator":"symmetric","n":8,"seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(a.canonical.digest(), b.canonical.digest());
+        assert_eq!(a.canonical.canonical_json(), b.canonical.canonical_json());
+        // The transport extensions do not perturb the canonical identity.
+        let c = JobSpec::from_json_bytes(
+            br#"{"seed":7,"trials":4,"name":"x","range":[0,2],"detail":true}"#,
+        )
+        .unwrap();
+        assert_eq!(a.canonical.digest(), c.canonical.digest());
+        assert!(!c.cacheable());
+        assert!(a.cacheable());
+    }
+
+    #[test]
+    fn outcome_round_trips_through_json_bitwise() {
+        let mut trial = RunResult {
+            formed: true,
+            steps: 12345,
+            cycles: 678,
+            bits: 91,
+            distance: 0.1 + 0.2, // a value with no short decimal form
+            ..RunResult::default()
+        };
+        trial.phase_cycles[3] = 17;
+        trial.phase_bits[5] = u64::MAX;
+        let outcome = JobOutcome {
+            trials: 2,
+            requested: 3,
+            formed: 1,
+            success: 1.0 / 3.0,
+            mean_cycles: 678.0,
+            median_cycles: 678.0,
+            p95_cycles: 678.0,
+            mean_bits: 91.0,
+            bits_per_cycle: 91.0 / 678.0,
+            digests: vec![u64::MAX, 0, 0xDEAD_BEEF],
+            wall_secs: 0.25,
+            detail: Some(vec![trial, RunResult::default()]),
+            cached: false,
+        };
+        let back = JobOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(back, outcome);
+        // Bitwise, not approximately: the floats must survive exactly.
+        assert_eq!(back.success.to_bits(), outcome.success.to_bits());
+        assert_eq!(
+            back.detail.as_ref().unwrap()[0].distance.to_bits(),
+            outcome.detail.as_ref().unwrap()[0].distance.to_bits()
+        );
     }
 
     #[test]

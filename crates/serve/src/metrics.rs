@@ -28,6 +28,22 @@ pub struct Metrics {
     pub jobs_failed: AtomicU64,
     /// Submissions rejected with 429 (queue full).
     pub jobs_rejected: AtomicU64,
+    /// Submissions rejected with 429 (per-client quota exhausted).
+    pub quota_rejected: AtomicU64,
+    /// Cache lookups that answered a submission without running.
+    pub cache_hits: AtomicU64,
+    /// Cache lookups that missed (cacheable specs only).
+    pub cache_misses: AtomicU64,
+    /// Results stored into the cache.
+    pub cache_stores: AtomicU64,
+    /// Integrity replays whose digests matched the cached outcome.
+    pub cache_verify_ok: AtomicU64,
+    /// Integrity replays that contradicted the cache (entry evicted).
+    pub cache_verify_fail: AtomicU64,
+    /// Shards dispatched to backends (coordinator mode).
+    pub shards_dispatched: AtomicU64,
+    /// Shards requeued after a backend error (coordinator mode).
+    pub shard_retries: AtomicU64,
     /// HTTP responses by status class: 2xx, 4xx, 5xx.
     pub http_2xx: AtomicU64,
     /// 4xx responses.
@@ -93,6 +109,33 @@ impl Metrics {
                 ("state", "failed", self.jobs_failed.load(Ordering::Relaxed) as f64),
                 ("state", "rejected", self.jobs_rejected.load(Ordering::Relaxed) as f64),
             ],
+        );
+        counter(
+            &mut out,
+            "apf_cache_total",
+            "Content-addressed result cache events.",
+            &[
+                ("event", "hit", self.cache_hits.load(Ordering::Relaxed) as f64),
+                ("event", "miss", self.cache_misses.load(Ordering::Relaxed) as f64),
+                ("event", "store", self.cache_stores.load(Ordering::Relaxed) as f64),
+                ("event", "verify_ok", self.cache_verify_ok.load(Ordering::Relaxed) as f64),
+                ("event", "verify_fail", self.cache_verify_fail.load(Ordering::Relaxed) as f64),
+            ],
+        );
+        counter(
+            &mut out,
+            "apf_shards_total",
+            "Coordinator shard dispatch events.",
+            &[
+                ("event", "dispatched", self.shards_dispatched.load(Ordering::Relaxed) as f64),
+                ("event", "retried", self.shard_retries.load(Ordering::Relaxed) as f64),
+            ],
+        );
+        simple_counter(
+            &mut out,
+            "apf_quota_rejected_total",
+            "Submissions rejected by the per-client quota.",
+            self.quota_rejected.load(Ordering::Relaxed) as f64,
         );
         counter(
             &mut out,

@@ -11,14 +11,37 @@
 //! determinism guarantees mean a job's digests are identical no matter
 //! which worker runs it or how the queue interleaved.
 //!
+//! # API surface
+//!
+//! The job API is versioned under `/v1/` (`POST /v1/jobs`,
+//! `GET /v1/jobs/{id}`, `GET /v1/jobs/{id}/result`, `DELETE /v1/jobs/{id}`,
+//! `GET|POST /v1/spec-digest`); the legacy unversioned `/jobs*` paths
+//! answer `308 Permanent Redirect` with a `Location` header (308 preserves
+//! method and body, so a legacy `POST /jobs` replays correctly). The
+//! infrastructure endpoints `/healthz` and `/metrics` stay available both
+//! bare and under `/v1/`.
+//!
+//! # Coordinator mode and the cache
+//!
+//! With backends configured ([`ServerConfig::coordinator`]), workers do not
+//! run the engine: they shard each campaign across the backends and merge
+//! the results bit-identically (see [`crate::coordinator`]). Independently,
+//! cacheable submissions are answered from the content-addressed result
+//! cache when the canonical-spec digest matches ([`crate::cache`]), with
+//! every Nth hit re-verified by a replay job whose digests must match the
+//! cached outcome.
+//!
 //! # Lifecycle
 //!
 //! Shutdown is cooperative: a SIGTERM/SIGINT (via [`crate::signal`]) or a
 //! [`ShutdownHandle`] raises a flag; the accept loop stops accepting, every
-//! job's [`CancelToken`] fires, workers finish the trial in flight, record
+//! job's [`apf_bench::engine::CancelToken`] fires, workers finish the trial
+//! in flight, record
 //! partial results, drain the queue as cancelled, and join. `run` then
 //! returns `Ok(())` so the process can exit 0.
 
+use crate::cache::{CacheConfig, ClientQuotas, ResultCache};
+use crate::coordinator::{self, CoordinatorConfig};
 use crate::http::{read_request, RecvError, Request, Response};
 use crate::job::{Job, JobOutcome, JobSpec, JobStatus};
 use crate::json::Json;
@@ -50,6 +73,13 @@ pub struct ServerConfig {
     pub max_jobs: usize,
     /// Emit a JSONL request-log line to stderr per request.
     pub log_requests: bool,
+    /// Coordinator mode: non-empty `backends` makes workers shard campaigns
+    /// across backend `apf-serve` processes instead of running the engine.
+    pub coordinator: CoordinatorConfig,
+    /// Content-addressed result cache (`max_entries == 0` disables it).
+    pub cache: CacheConfig,
+    /// Per-client submissions per minute (0 = unlimited).
+    pub quota_per_minute: u64,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +91,9 @@ impl Default for ServerConfig {
             engine_jobs: 1,
             max_jobs: 4096,
             log_requests: false,
+            coordinator: CoordinatorConfig::default(),
+            cache: CacheConfig::default(),
+            quota_per_minute: 0,
         }
     }
 }
@@ -88,6 +121,8 @@ struct Shared {
     metrics: Metrics,
     jobs: Mutex<JobTable>,
     queue_cv: Condvar,
+    cache: ResultCache,
+    quotas: ClientQuotas,
     shutdown: Arc<AtomicBool>,
     running: AtomicUsize,
     started: Instant,
@@ -96,6 +131,14 @@ struct Shared {
 impl Shared {
     fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire) || signal::shutdown_requested()
+    }
+
+    fn coordinating(&self) -> bool {
+        !self.cfg.coordinator.backends.is_empty()
+    }
+
+    fn cache_enabled(&self) -> bool {
+        self.cfg.cache.max_entries > 0
     }
 
     fn lock_jobs(&self) -> MutexGuard<'_, JobTable> {
@@ -136,15 +179,18 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and builds the (not yet running) service.
+    /// Binds the listener, opens the result cache, and builds the (not yet
+    /// running) service.
     ///
     /// # Errors
     ///
-    /// Propagates bind/configuration errors.
+    /// Propagates bind/configuration and cache-directory errors.
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let cache = ResultCache::open(cfg.cache.clone())?;
+        let quotas = ClientQuotas::new(cfg.quota_per_minute);
         Ok(Server {
             listener,
             local_addr,
@@ -157,6 +203,8 @@ impl Server {
                     queue: VecDeque::new(),
                 }),
                 queue_cv: Condvar::new(),
+                cache,
+                quotas,
                 shutdown: Arc::new(AtomicBool::new(false)),
                 running: AtomicUsize::new(0),
                 started: Instant::now(),
@@ -193,7 +241,7 @@ impl Server {
                     break Ok(());
                 }
                 match self.listener.accept() {
-                    Ok((stream, _peer)) => handle_connection(shared, stream),
+                    Ok((stream, peer)) => handle_connection(shared, stream, peer),
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(10));
                     }
@@ -246,33 +294,31 @@ fn worker_loop(shared: &Shared) {
         }
 
         shared.running.fetch_add(1, Ordering::Relaxed);
-        let campaign = job.spec.to_campaign();
-        let engine = Engine::new()
-            .jobs(shared.cfg.engine_jobs.max(1))
-            .trace_digests(true)
-            .cancel_token(job.cancel.clone())
-            .live_stats(Arc::clone(&job.live));
-        // The spec was fully validated at submission, so the engine cannot
-        // reject an instance; catch_unwind turns any residual bug into a
+        // The spec was fully validated at submission, so execution cannot
+        // fail validation; catch_unwind turns any residual bug into a
         // Failed job instead of a dead worker.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&campaign)));
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if shared.coordinating() {
+                run_coordinated(shared, &job)
+            } else {
+                Ok(run_local(shared, &job))
+            }
+        }));
         shared.running.fetch_sub(1, Ordering::Relaxed);
 
-        match outcome {
-            Ok(report) => {
-                shared.metrics.fold_report(&report.stats, report.longest_trial.map(|(_, d)| d));
-                let status = if report.cancelled && report.trials < report.requested {
-                    JobStatus::Cancelled
-                } else {
-                    JobStatus::Done
-                };
+        match executed {
+            Ok(Ok((status, outcome))) => {
                 let counter = match status {
                     JobStatus::Cancelled => &shared.metrics.jobs_cancelled,
                     _ => &shared.metrics.jobs_done,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
-                job.finish(status, Some(outcome_of(&report)));
+                finish_job(shared, &job, status, outcome);
+            }
+            Ok(Err(why)) => {
+                eprintln!("job {} failed: {why}", job.id);
+                shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                job.finish(JobStatus::Failed, None);
             }
             Err(_) => {
                 shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
@@ -282,7 +328,91 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn outcome_of(report: &CampaignReport) -> JobOutcome {
+/// Runs a job on the local engine.
+fn run_local(shared: &Shared, job: &Job) -> (JobStatus, JobOutcome) {
+    let campaign = job.spec.to_campaign();
+    let engine = Engine::new()
+        .jobs(shared.cfg.engine_jobs.max(1))
+        .trace_digests(true)
+        .collect_results(job.spec.detail)
+        .cancel_token(job.cancel.clone())
+        .live_stats(Arc::clone(&job.live));
+    let report = engine.run(&campaign);
+    shared.metrics.fold_report(&report.stats, report.longest_trial.map(|(_, d)| d));
+    let status = if report.cancelled && report.trials < report.requested {
+        JobStatus::Cancelled
+    } else {
+        JobStatus::Done
+    };
+    (status, outcome_of(&report, job.spec.detail))
+}
+
+/// Runs a job by sharding it across the configured backends.
+fn run_coordinated(shared: &Shared, job: &Job) -> Result<(JobStatus, JobOutcome), String> {
+    let t0 = Instant::now();
+    let report = coordinator::run_job(
+        &shared.cfg.coordinator,
+        &job.spec,
+        &job.cancel,
+        &job.live,
+        &shared.metrics,
+    )?;
+    let mut outcome = report.outcome;
+    outcome.wall_secs = t0.elapsed().as_secs_f64();
+    let status = if report.cancelled { JobStatus::Cancelled } else { JobStatus::Done };
+    Ok((status, outcome))
+}
+
+/// Records a finished job, feeding the cache and the verify pipeline.
+fn finish_job(shared: &Shared, job: &Job, status: JobStatus, outcome: JobOutcome) {
+    let complete = status == JobStatus::Done && outcome.trials == outcome.requested;
+    match job.verify_against {
+        Some(digest) => {
+            // A cache-integrity replay: compare against the cached entry
+            // instead of publishing anything new.
+            if complete {
+                match shared.cache.peek(digest) {
+                    Some(cached) if same_result(&cached, &outcome) => {
+                        shared.metrics.cache_verify_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(_) => {
+                        shared.metrics.cache_verify_fail.fetch_add(1, Ordering::Relaxed);
+                        shared.cache.evict(digest);
+                        eprintln!(
+                            "cache verify FAILED for spec digest {digest:016x}: evicted \
+                             (cached bytes and a fresh engine run disagree)"
+                        );
+                    }
+                    None => {} // evicted meanwhile; nothing to verify
+                }
+            }
+        }
+        None => {
+            if complete && shared.cache_enabled() && job.spec.cacheable() {
+                shared.cache.store(&job.spec.canonical, &outcome);
+                shared.metrics.cache_stores.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    job.finish(status, Some(outcome));
+}
+
+/// Result equality for cache verification: every deterministic field, i.e.
+/// everything except `wall_secs` (timing) and the response-only flags.
+fn same_result(cached: &JobOutcome, fresh: &JobOutcome) -> bool {
+    cached.trials == fresh.trials
+        && cached.requested == fresh.requested
+        && cached.formed == fresh.formed
+        && cached.success.to_bits() == fresh.success.to_bits()
+        && cached.mean_cycles.to_bits() == fresh.mean_cycles.to_bits()
+        && cached.median_cycles.to_bits() == fresh.median_cycles.to_bits()
+        && cached.p95_cycles.to_bits() == fresh.p95_cycles.to_bits()
+        && cached.mean_bits.to_bits() == fresh.mean_bits.to_bits()
+        && cached.bits_per_cycle.to_bits() == fresh.bits_per_cycle.to_bits()
+        && cached.digests == fresh.digests
+}
+
+fn outcome_of(report: &CampaignReport, detail: bool) -> JobOutcome {
     let agg = report.aggregate();
     JobOutcome {
         trials: report.trials,
@@ -296,14 +426,16 @@ fn outcome_of(report: &CampaignReport) -> JobOutcome {
         bits_per_cycle: agg.bits_per_cycle,
         digests: report.digests.clone().unwrap_or_default(),
         wall_secs: report.wall.as_secs_f64(),
+        detail: if detail { report.results.clone() } else { None },
+        cached: false,
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
     let t0 = Instant::now();
     let (response, method, path) = match read_request(&mut stream) {
         Ok(req) => {
-            let response = route(shared, &req);
+            let response = route(shared, &req, peer);
             (response, req.method, req.path)
         }
         Err(err) => {
@@ -345,17 +477,18 @@ fn log_request(method: &str, path: &str, status: u16, took: Duration) {
     let _ = writeln!(handle, "{line}");
 }
 
-fn route(shared: &Shared, req: &Request) -> Response {
+fn route(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::json(
+        // Infrastructure endpoints: available bare and under /v1.
+        ("GET", ["healthz"] | ["v1", "healthz"]) => Response::json(
             200,
             &Json::obj([
                 ("status", Json::str("ok")),
                 ("shutting_down", Json::Bool(shared.is_shutdown())),
             ]),
         ),
-        ("GET", ["metrics"]) => {
+        ("GET", ["metrics"] | ["v1", "metrics"]) => {
             let body = shared.metrics.render(&shared.live_view());
             Response {
                 status: 200,
@@ -364,8 +497,10 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 body: body.into_bytes(),
             }
         }
-        ("POST", ["jobs"]) => submit_job(shared, req),
-        ("GET", ["jobs"]) => {
+
+        // The versioned job API.
+        ("POST", ["v1", "jobs"]) => submit_job(shared, req, peer),
+        ("GET", ["v1", "jobs"]) => {
             let t = shared.lock_jobs();
             let list: Vec<Json> = t
                 .all
@@ -376,10 +511,10 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 .collect();
             Response::json(200, &Json::obj([("jobs", Json::Arr(list))]))
         }
-        ("GET", ["jobs", id]) => {
+        ("GET", ["v1", "jobs", id]) => {
             with_job(shared, id, |job| Response::json(200, &job.status_json()))
         }
-        ("GET", ["jobs", id, "result"]) => with_job(shared, id, |job| {
+        ("GET", ["v1", "jobs", id, "result"]) => with_job(shared, id, |job| {
             let status = job.status();
             match job.outcome() {
                 Some(outcome) if status.is_terminal() => Response::json(
@@ -397,16 +532,51 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 _ => Response::error(409, "job not finished").header("Retry-After", "1"),
             }
         }),
-        ("DELETE", ["jobs", id]) => with_job(shared, id, |job| {
+        ("DELETE", ["v1", "jobs", id]) => with_job(shared, id, |job| {
             let status = job.request_cancel();
             Response::json(
                 200,
                 &Json::obj([("id", Json::u64(job.id)), ("status", Json::str(status.label()))]),
             )
         }),
-        (_, ["healthz"] | ["metrics"] | ["jobs"] | ["jobs", _] | ["jobs", _, "result"]) => {
-            Response::error(405, "method not allowed").header("Allow", "GET, POST, DELETE")
+
+        // Canonicalization as a service: the digest the cache would key on.
+        ("GET" | "POST", ["v1", "spec-digest"]) => match JobSpec::from_json_bytes(&req.body) {
+            Ok(spec) => Response::json(
+                200,
+                &Json::obj([
+                    ("digest", Json::str(format!("{:016x}", spec.canonical.digest()))),
+                    (
+                        "canonical",
+                        crate::json::parse(&spec.canonical.canonical_json()).unwrap_or(Json::Null),
+                    ),
+                    ("cacheable", Json::Bool(spec.cacheable())),
+                ]),
+            ),
+            Err(why) => Response::error(400, &why),
+        },
+
+        // Legacy unversioned job paths: 308 preserves method + body, so
+        // clients that follow redirects keep working unchanged.
+        (_, ["jobs"] | ["jobs", _] | ["jobs", _, "result"]) => {
+            let location = format!("/v1{}", req.path);
+            Response::json(
+                308,
+                &Json::obj([
+                    ("error", Json::str("the job API moved under /v1/")),
+                    ("location", Json::str(location.clone())),
+                ]),
+            )
+            .header("Location", location)
         }
+
+        (
+            _,
+            ["healthz" | "metrics"]
+            | ["v1", "healthz" | "metrics" | "jobs" | "spec-digest"]
+            | ["v1", "jobs", _]
+            | ["v1", "jobs", _, "result"],
+        ) => Response::error(405, "method not allowed").header("Allow", "GET, POST, DELETE"),
         _ => Response::error(404, "no such route"),
     }
 }
@@ -425,7 +595,7 @@ fn with_job(shared: &Shared, id: &str, f: impl FnOnce(&Job) -> Response) -> Resp
     }
 }
 
-fn submit_job(shared: &Shared, req: &Request) -> Response {
+fn submit_job(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
     if shared.is_shutdown() {
         return Response::error(503, "shutting down");
     }
@@ -433,6 +603,57 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
         Ok(spec) => spec,
         Err(why) => return Response::error(400, &why),
     };
+
+    // Per-client quota: explicit client id first, peer address as fallback.
+    let client = req.header("x-client-id").map_or_else(|| peer.ip().to_string(), str::to_string);
+    if !shared.quotas.admit(&client) {
+        shared.metrics.quota_rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::error(429, "client quota exceeded").header("Retry-After", "60");
+    }
+
+    // Content-addressed cache: answer a repeated cacheable spec without
+    // running it; every Nth hit also enqueues an integrity replay.
+    let cacheable = shared.cache_enabled() && spec.cacheable();
+    if cacheable {
+        let digest = spec.canonical.digest();
+        if let Some(hit) = shared.cache.lookup(digest) {
+            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let job = {
+                let mut t = shared.lock_jobs();
+                if t.all.len() >= shared.cfg.max_jobs {
+                    shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Response::error(429, "job table full").header("Retry-After", "1");
+                }
+                let id = t.next_id;
+                t.next_id += 1;
+                let job = Arc::new(Job::new_done(id, spec.clone(), hit.outcome));
+                t.all.insert(id, Arc::clone(&job));
+                if hit.verify {
+                    // Opportunistic: replay only if the queue has room.
+                    if t.queue.len() < shared.cfg.queue_depth && t.all.len() < shared.cfg.max_jobs {
+                        let vid = t.next_id;
+                        t.next_id += 1;
+                        let verify = Arc::new(Job::new_verify(vid, spec.clone(), digest));
+                        t.all.insert(vid, Arc::clone(&verify));
+                        t.queue.push_back(verify);
+                        shared.queue_cv.notify_one();
+                    }
+                }
+                job
+            };
+            shared.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+            return Response::json(
+                202,
+                &Json::obj([
+                    ("id", Json::u64(job.id)),
+                    ("status", Json::str("done")),
+                    ("cached", Json::Bool(true)),
+                ]),
+            );
+        }
+        shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     let job = {
         let mut t = shared.lock_jobs();
         if t.queue.len() >= shared.cfg.queue_depth || t.all.len() >= shared.cfg.max_jobs {

@@ -1,0 +1,91 @@
+//! Trial-range sharding for coordinator mode.
+//!
+//! A campaign of `trials` trials is split into contiguous ranges
+//! `[lo, hi)`; each shard executes independently on a backend and, because
+//! per-trial seeds and generator offsets are functions of the absolute
+//! trial index, produces results bit-identical to the corresponding slice
+//! of a single-process run. Shards are merged back **in shard order**,
+//! which is trial order, so concatenated digests and the replayed aggregate
+//! match a direct run exactly (see `apf_bench::engine::StreamingAggregate::replay`).
+
+/// One contiguous shard: trials `lo..hi` of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// First trial index (inclusive).
+    pub lo: u64,
+    /// One past the last trial index.
+    pub hi: u64,
+}
+
+impl Shard {
+    /// Number of trials in the shard.
+    pub fn len(self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the shard holds no trials.
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// Splits `trials` into at most `shards` contiguous, non-empty,
+/// near-equal ranges covering `0..trials` in order.
+///
+/// The first `trials % shards` shards get one extra trial, so sizes differ
+/// by at most one. Fewer trials than shards yields one single-trial shard
+/// per trial; zero trials yields no shards. `shards == 0` is treated as 1.
+pub fn split_trials(trials: u64, shards: usize) -> Vec<Shard> {
+    let shards = (shards.max(1) as u64).min(trials);
+    let mut out = Vec::with_capacity(shards as usize);
+    if trials == 0 {
+        return out;
+    }
+    let base = trials / shards;
+    let extra = trials % shards;
+    let mut lo = 0;
+    for k in 0..shards {
+        let len = base + u64::from(k < extra);
+        out.push(Shard { lo, hi: lo + len });
+        lo += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(trials: u64, shards: &[Shard]) {
+        let mut next = 0;
+        for s in shards {
+            assert_eq!(s.lo, next, "gap or overlap at {next}");
+            assert!(s.hi > s.lo, "empty shard {s:?}");
+            next = s.hi;
+        }
+        assert_eq!(next, trials, "shards do not cover 0..{trials}");
+    }
+
+    #[test]
+    fn splits_cover_in_order_with_near_equal_sizes() {
+        for trials in [1u64, 2, 3, 7, 8, 100, 4095, 4096] {
+            for shards in [1usize, 2, 3, 4, 7, 16] {
+                let split = split_trials(trials, shards);
+                covers(trials, &split);
+                assert!(split.len() <= shards.max(1));
+                let min = split.iter().map(|s| s.len()).min().unwrap();
+                let max = split.iter().map(|s| s.len()).max().unwrap();
+                assert!(max - min <= 1, "uneven split {split:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(split_trials(0, 4).is_empty());
+        assert_eq!(split_trials(3, 0), split_trials(3, 1));
+        // Fewer trials than shards: one single-trial shard per trial.
+        let split = split_trials(2, 8);
+        assert_eq!(split, vec![Shard { lo: 0, hi: 1 }, Shard { lo: 1, hi: 2 }]);
+    }
+}

@@ -57,15 +57,15 @@ fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
 }
 
 fn submit(addr: SocketAddr, body: &str) -> (u16, Json) {
-    let (status, _head, payload) = request(addr, "POST", "/jobs", body);
+    let (status, _head, payload) = request(addr, "POST", "/v1/jobs", body);
     (status, json::parse(&payload).unwrap_or(Json::Null))
 }
 
-/// Polls `GET /jobs/{id}` until its status satisfies `pred`.
+/// Polls `GET /v1/jobs/{id}` until its status satisfies `pred`.
 fn wait_for_status(addr: SocketAddr, id: u64, pred: impl Fn(&str) -> bool) -> Json {
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {
-        let (status, v) = get_json(addr, &format!("/jobs/{id}"));
+        let (status, v) = get_json(addr, &format!("/v1/jobs/{id}"));
         assert_eq!(status, 200, "job {id} disappeared");
         let s = v.get("status").and_then(Json::as_str).expect("status field").to_string();
         if pred(&s) {
@@ -84,18 +84,31 @@ fn terminal(s: &str) -> bool {
 fn healthz_routes_and_errors() {
     let ts = start(ServerConfig::default());
 
-    let (status, v) = get_json(ts.addr, "/healthz");
-    assert_eq!(status, 200);
-    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    // Infrastructure endpoints answer both bare and under /v1.
+    for path in ["/healthz", "/v1/healthz"] {
+        let (status, v) = get_json(ts.addr, path);
+        assert_eq!(status, 200);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    }
 
     let (status, _, _) = request(ts.addr, "GET", "/nope", "");
     assert_eq!(status, 404);
     let (status, _, _) = request(ts.addr, "DELETE", "/metrics", "");
     assert_eq!(status, 405);
-    let (status, _, _) = request(ts.addr, "GET", "/jobs/7", "");
+    let (status, _, _) = request(ts.addr, "GET", "/v1/jobs/7", "");
     assert_eq!(status, 404);
-    let (status, _, _) = request(ts.addr, "GET", "/jobs/bogus", "");
+    let (status, _, _) = request(ts.addr, "GET", "/v1/jobs/bogus", "");
     assert_eq!(status, 404);
+
+    // Legacy unversioned job paths answer 308 with the /v1 location —
+    // method-preserving, so clients that follow redirects keep working.
+    for (method, path) in
+        [("POST", "/jobs"), ("GET", "/jobs"), ("GET", "/jobs/7"), ("GET", "/jobs/7/result")]
+    {
+        let (status, head, _) = request(ts.addr, method, path, "");
+        assert_eq!(status, 308, "{method} {path}: {head}");
+        assert!(head.contains(&format!("Location: /v1{path}")), "{head}");
+    }
 
     let (status, v) = submit(ts.addr, "this is not json");
     assert_eq!(status, 400);
@@ -125,7 +138,7 @@ fn http_job_reproduces_direct_engine_digests() {
     let v = wait_for_status(ts.addr, id, terminal);
     assert_eq!(v.get("status").and_then(Json::as_str), Some("done"));
 
-    let (status, result) = get_json(ts.addr, &format!("/jobs/{id}/result"));
+    let (status, result) = get_json(ts.addr, &format!("/v1/jobs/{id}/result"));
     assert_eq!(status, 200);
     let server_digests: Vec<u64> = result
         .get("result")
@@ -140,8 +153,11 @@ fn http_job_reproduces_direct_engine_digests() {
     // The same spec executed directly through the engine — the path
     // `apf-cli job-digest` takes — must produce identical trace digests.
     let spec = apf_serve::JobSpec {
-        name: "parity".to_string(),
-        trials: 3,
+        canonical: apf_bench::spec::CanonicalSpec {
+            name: "parity".to_string(),
+            trials: 3,
+            ..apf_bench::spec::CanonicalSpec::default()
+        },
         ..apf_serve::JobSpec::default()
     };
     let report =
@@ -172,18 +188,18 @@ fn queue_backpressure_and_cancellation() {
     assert_eq!(status, 202);
     let id_b = b.get("id").and_then(Json::as_u64).expect("id");
 
-    let (status, head, _) = request(ts.addr, "POST", "/jobs", long);
+    let (status, head, _) = request(ts.addr, "POST", "/v1/jobs", long);
     assert_eq!(status, 429, "{head}");
     assert!(head.contains("Retry-After:"), "{head}");
 
     // A result query on an unfinished job is a 409.
-    let (status, _, _) = request(ts.addr, "GET", &format!("/jobs/{id_a}/result"), "");
+    let (status, _, _) = request(ts.addr, "GET", &format!("/v1/jobs/{id_a}/result"), "");
     assert_eq!(status, 409);
 
     // Cancel both; the running one keeps a well-formed partial prefix.
-    let (status, _, _) = request(ts.addr, "DELETE", &format!("/jobs/{id_a}"), "");
+    let (status, _, _) = request(ts.addr, "DELETE", &format!("/v1/jobs/{id_a}"), "");
     assert_eq!(status, 200);
-    let (status, _, _) = request(ts.addr, "DELETE", &format!("/jobs/{id_b}"), "");
+    let (status, _, _) = request(ts.addr, "DELETE", &format!("/v1/jobs/{id_b}"), "");
     assert_eq!(status, 200);
 
     let va = wait_for_status(ts.addr, id_a, terminal);
@@ -272,6 +288,82 @@ fn graceful_shutdown_drains_running_job() {
 }
 
 #[test]
+fn spec_digest_endpoint_matches_canonicalization() {
+    let ts = start(ServerConfig::default());
+
+    // Field order must not matter — both orderings canonicalize to the
+    // same digest, and the digest matches the library's own computation.
+    let (status, _, a) =
+        request(ts.addr, "POST", "/v1/spec-digest", r#"{"seed":7,"trials":4,"name":"x"}"#);
+    assert_eq!(status, 200);
+    let (status, _, b) =
+        request(ts.addr, "POST", "/v1/spec-digest", r#"{"name":"x","trials":4,"seed":7}"#);
+    assert_eq!(status, 200);
+    let a = json::parse(&a).expect("json");
+    let b = json::parse(&b).expect("json");
+    let digest = a.get("digest").and_then(Json::as_str).expect("digest").to_string();
+    assert_eq!(Some(digest.as_str()), b.get("digest").and_then(Json::as_str));
+    assert_eq!(a.get("cacheable"), Some(&Json::Bool(true)));
+
+    let expected = apf_bench::spec::CanonicalSpec {
+        name: "x".to_string(),
+        seed: 7,
+        trials: 4,
+        ..apf_bench::spec::CanonicalSpec::default()
+    };
+    assert_eq!(digest, format!("{:016x}", expected.digest()));
+    assert_eq!(a.get("canonical").and_then(|c| c.get("seed")).and_then(Json::as_u64), Some(7));
+
+    // Sharded/detail specs canonicalize to the same digest but are not
+    // cacheable.
+    let (status, _, c) = request(
+        ts.addr,
+        "POST",
+        "/v1/spec-digest",
+        r#"{"seed":7,"trials":4,"name":"x","range":[0,2],"detail":true}"#,
+    );
+    assert_eq!(status, 200);
+    let c = json::parse(&c).expect("json");
+    assert_eq!(c.get("digest").and_then(Json::as_str), Some(digest.as_str()));
+    assert_eq!(c.get("cacheable"), Some(&Json::Bool(false)));
+
+    let (status, _, _) = request(ts.addr, "POST", "/v1/spec-digest", "not json");
+    assert_eq!(status, 400);
+
+    ts.stop();
+}
+
+#[test]
+fn per_client_quota_rejects_with_429() {
+    let ts = start(ServerConfig { quota_per_minute: 2, ..ServerConfig::default() });
+
+    // The test's connections all come from loopback, so distinct client
+    // identities need the x-client-id header.
+    let send = |client: &str| {
+        let mut stream = TcpStream::connect(ts.addr).expect("connect");
+        let body = r#"{"name":"q","trials":1}"#;
+        let req = format!(
+            "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nx-client-id: {client}\r\nContent-Length: \
+             {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok()).expect("status")
+    };
+    assert_eq!(send("alice"), 202);
+    assert_eq!(send("alice"), 202);
+    assert_eq!(send("alice"), 429, "third submission in the window must bounce");
+    assert_eq!(send("bob"), 202, "quota is per client");
+
+    let (_, _, metrics) = request(ts.addr, "GET", "/metrics", "");
+    assert!(metrics.contains("apf_quota_rejected_total 1"), "{metrics}");
+
+    ts.stop();
+}
+
+#[test]
 fn submissions_during_shutdown_are_rejected() {
     let ts = start(ServerConfig::default());
     ts.handle.shutdown();
@@ -282,7 +374,7 @@ fn submissions_during_shutdown_are_rejected() {
         let Ok(mut stream) = TcpStream::connect(ts.addr) else { break };
         let body = r#"{"name":"x"}"#;
         let req = format!(
-            "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
         if stream.write_all(req.as_bytes()).is_err() {

@@ -678,6 +678,8 @@ mod tests {
         };
         let a = run(false);
         let b = run(true);
+        assert_eq!(a.len(), b.len());
+        // apf-lint: allow(zip-length-mismatch) — lengths asserted equal just above
         for (pa, pb) in a.iter().zip(b.iter()) {
             assert!(pa.approx_eq(*pb, &Tol::new(1e-6)), "{pa} vs {pb}");
         }

@@ -29,8 +29,9 @@ echo "==> conformance: fixed-seed fuzzer smoke"
 # Deterministic in the seed for any --jobs value; any counterexample is
 # shrunk and dumped as a replayable script.
 FUZZ_DIR="$(mktemp -d)"
+SERVE_PIDS=()
 trap 'rm -rf "$FUZZ_DIR" "${TRACE_DIR:-}" "${SERVE_DIR:-}";
-      [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+      for p in ${SERVE_PIDS[@]+"${SERVE_PIDS[@]}"}; do kill "$p" 2>/dev/null || true; done' EXIT
 cargo run -q --release --bin apf-cli -- conformance fuzz \
     --schedules 16 --seed 12648430 --jobs 2 --dump-dir "$FUZZ_DIR"
 
@@ -52,50 +53,188 @@ for f in "$TRACE_DIR"/*.jsonl; do
 done
 [ "$found" = 1 ] || { echo "harness --trace-out produced no traces"; exit 1; }
 
-echo "==> serve smoke: HTTP campaign reproduces direct engine digests"
+# Starts an apf-serve process on an ephemeral port with the given extra
+# flags, logging to $1; sets ADDR to the bound host:port and records the PID
+# in SERVE_PIDS for the exit trap.
+start_serve() {
+    local log="$1"; shift
+    ./target/release/apf-cli serve --addr 127.0.0.1:0 "$@" \
+        > "$log" 2> "$log.err" &
+    SERVE_PIDS+=("$!")
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's#^apf-serve listening on http://##p' "$log")"
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "serve never reported its address ($log)"; exit 1; }
+}
+
+# Polls GET /v1/jobs/$2 on $1 until the job reaches a terminal state; fails
+# the gate unless that state is "done".
+wait_job_done() {
+    local addr="$1" id="$2" status=""
+    for _ in $(seq 1 600); do
+        status="$(curl -fsS "http://$addr/v1/jobs/$id" \
+            | sed -n 's/.*"status":"\([a-z]*\)".*/\1/p')"
+        case "$status" in
+            done) return 0 ;;
+            failed|cancelled) echo "job $id ended $status"; exit 1 ;;
+            *) sleep 0.1 ;;
+        esac
+    done
+    echo "job $id never finished (last status: $status)"
+    exit 1
+}
+
+# Unwraps the `{"id":N,"result":{...},"status":"..."}` job envelope and
+# drops the timing-noisy / transport-only fields, so what remains is exactly
+# the deterministic aggregate `job-digest --report` prints (both sides
+# render sorted keys via the same Json type). awk so the output always ends
+# in a newline, matching the CLI's println.
+strip_noise() {
+    awk '{
+        sub(/^\{"id":[0-9]+,"result":/, "");
+        sub(/,"status":"[a-z]+"\}$/, "");
+        gsub(/,"wall_secs":[0-9.eE+-]*/, "");
+        gsub(/"cached":true,/, "");
+        print
+    }'
+}
+
+echo "==> serve smoke: /v1 API, legacy 308s, digest parity, result cache"
 # Start the campaign service on an ephemeral port, submit a tiny E1-shaped
-# job over a real socket, and require its per-trial digests to match a
-# direct `job-digest` run of the same spec bit for bit; then SIGTERM must
-# drain and exit 0.
+# job over a real socket, and require its per-trial digests and aggregate to
+# match a direct `job-digest` run of the same spec bit for bit. Then submit
+# the identical spec again: the content-addressed cache must answer it
+# without re-running, and (with --cache-verify 1) the hit must trigger a
+# re-verification replay that compares clean. SIGTERM must drain and exit 0.
 SERVE_DIR="$(mktemp -d)"
 SPEC='{"name":"smoke","seed":1,"trials":3,"n":8,"rho":4,"budget":2000000}'
 printf '%s' "$SPEC" > "$SERVE_DIR/spec.json"
 cargo run -q --release --bin apf-cli -- job-digest "$SERVE_DIR/spec.json" \
     > "$SERVE_DIR/expected.txt"
-./target/release/apf-cli serve --addr 127.0.0.1:0 --jobs 1 --queue-depth 4 \
-    > "$SERVE_DIR/serve.log" 2> "$SERVE_DIR/serve.err" &
-SERVE_PID=$!
-ADDR=""
-for _ in $(seq 1 100); do
-    ADDR="$(sed -n 's#^apf-serve listening on http://##p' "$SERVE_DIR/serve.log")"
-    [ -n "$ADDR" ] && break
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "serve never reported its address"; exit 1; }
+./target/release/apf-cli job-digest --report "$SERVE_DIR/spec.json" \
+    > "$SERVE_DIR/expected_report.json"
+start_serve "$SERVE_DIR/serve.log" --jobs 1 --queue-depth 8 --cache-verify 1
 curl -fsS "http://$ADDR/healthz" > /dev/null
+curl -fsS "http://$ADDR/v1/healthz" > /dev/null
 curl -fsS "http://$ADDR/metrics" | grep -q '^apf_jobs_total' \
     || { echo "/metrics scrape missing apf_jobs_total"; exit 1; }
-JOB_ID="$(curl -fsS -X POST --data-binary @"$SERVE_DIR/spec.json" "http://$ADDR/jobs" \
-    | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
+# The unversioned paths answer 308 Permanent Redirect pointing into /v1/.
+REDIRECT="$(curl -sS -o /dev/null -D - -X POST \
+    --data-binary @"$SERVE_DIR/spec.json" "http://$ADDR/jobs")"
+printf '%s' "$REDIRECT" | grep -q '^HTTP/1.1 308' \
+    || { echo "legacy POST /jobs did not answer 308: $REDIRECT"; exit 1; }
+printf '%s' "$REDIRECT" | grep -qi '^Location: /v1/jobs' \
+    || { echo "308 missing Location: /v1/jobs: $REDIRECT"; exit 1; }
+JOB_ID="$(curl -fsS -X POST --data-binary @"$SERVE_DIR/spec.json" \
+    "http://$ADDR/v1/jobs" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
 [ -n "$JOB_ID" ] || { echo "job submission returned no id"; exit 1; }
-STATUS=""
-for _ in $(seq 1 600); do
-    STATUS="$(curl -fsS "http://$ADDR/jobs/$JOB_ID" \
-        | sed -n 's/.*"status":"\([a-z]*\)".*/\1/p')"
-    case "$STATUS" in
-        done) break ;;
-        failed|cancelled) echo "job ended $STATUS"; exit 1 ;;
-        *) sleep 0.1 ;;
-    esac
-done
-[ "$STATUS" = done ] || { echo "job never finished (last status: $STATUS)"; exit 1; }
-curl -fsS "http://$ADDR/jobs/$JOB_ID/result" | tr -d ' ' \
+wait_job_done "$ADDR" "$JOB_ID"
+curl -fsS "http://$ADDR/v1/jobs/$JOB_ID/result" > "$SERVE_DIR/result.json"
+tr -d ' ' < "$SERVE_DIR/result.json" \
     | sed -n 's/.*"digests":\[\([0-9,]*\)\].*/\1\n/p' | tr ',' '\n' \
     > "$SERVE_DIR/served.txt"
 diff -u "$SERVE_DIR/expected.txt" "$SERVE_DIR/served.txt" \
     || { echo "served digests diverge from the direct engine run"; exit 1; }
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID" || { echo "serve did not exit 0 on SIGTERM"; exit 1; }
-SERVE_PID=""
+strip_noise < "$SERVE_DIR/result.json" > "$SERVE_DIR/served_report.json"
+diff -u "$SERVE_DIR/expected_report.json" "$SERVE_DIR/served_report.json" \
+    || { echo "served aggregate diverges from the direct engine run"; exit 1; }
+# Same spec again: must be answered from the cache, bit-identically.
+RESP2="$(curl -fsS -X POST --data-binary @"$SERVE_DIR/spec.json" \
+    "http://$ADDR/v1/jobs")"
+printf '%s' "$RESP2" | grep -q '"cached":true' \
+    || { echo "repeat submission was not a cache hit: $RESP2"; exit 1; }
+JOB2="$(printf '%s' "$RESP2" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
+curl -fsS "http://$ADDR/v1/jobs/$JOB2/result" | strip_noise \
+    > "$SERVE_DIR/cached_report.json"
+diff -u "$SERVE_DIR/expected_report.json" "$SERVE_DIR/cached_report.json" \
+    || { echo "cached aggregate diverges from the direct engine run"; exit 1; }
+# --cache-verify 1 replays every hit against the engine in the background;
+# wait for the verification to land and require it to have compared clean.
+VERIFIED=""
+for _ in $(seq 1 600); do
+    METRICS="$(curl -fsS "http://$ADDR/metrics")"
+    printf '%s\n' "$METRICS" \
+        | grep -q '^apf_cache_total{event="verify_fail"} 0$' \
+        || { echo "cache re-verification FAILED:"; printf '%s\n' "$METRICS" \
+             | grep '^apf_cache_total'; exit 1; }
+    if printf '%s\n' "$METRICS" \
+        | grep -q '^apf_cache_total{event="verify_ok"} [1-9]'; then
+        VERIFIED=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$VERIFIED" ] || { echo "cache re-verification never ran"; exit 1; }
+SMOKE_PID="${SERVE_PIDS[0]}"
+kill -TERM "$SMOKE_PID"
+wait "$SMOKE_PID" || { echo "serve did not exit 0 on SIGTERM"; exit 1; }
+SERVE_PIDS=()
+
+echo "==> coordinator: sharded fan-out merges bit-identical to a direct run"
+# Two backend workers plus a coordinator fanning trial-range shards out to
+# them; the merged digests and aggregate must equal the direct engine run of
+# the same spec bit for bit (the "determinism => distributability" gate).
+CSPEC='{"name":"coord-smoke","seed":7,"trials":6,"n":8,"rho":4,"budget":2000000}'
+printf '%s' "$CSPEC" > "$SERVE_DIR/cspec.json"
+./target/release/apf-cli job-digest --report "$SERVE_DIR/cspec.json" \
+    > "$SERVE_DIR/cexpected.json"
+start_serve "$SERVE_DIR/b1.log" --jobs 1 --queue-depth 8
+B1_ADDR="$ADDR"
+start_serve "$SERVE_DIR/b2.log" --jobs 1 --queue-depth 8
+B2_ADDR="$ADDR"
+start_serve "$SERVE_DIR/coord.log" --jobs 1 --queue-depth 8 \
+    --backend "$B1_ADDR" --backend "$B2_ADDR" --shards-per-backend 2
+COORD_ADDR="$ADDR"
+CJOB="$(curl -fsS -X POST --data-binary @"$SERVE_DIR/cspec.json" \
+    "http://$COORD_ADDR/v1/jobs" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
+[ -n "$CJOB" ] || { echo "coordinator job submission returned no id"; exit 1; }
+wait_job_done "$COORD_ADDR" "$CJOB"
+curl -fsS "http://$COORD_ADDR/v1/jobs/$CJOB/result" | strip_noise \
+    > "$SERVE_DIR/cserved.json"
+diff -u "$SERVE_DIR/cexpected.json" "$SERVE_DIR/cserved.json" \
+    || { echo "coordinator merge diverges from the direct engine run"; exit 1; }
+curl -fsS "http://$COORD_ADDR/metrics" \
+    | grep -q '^apf_shards_total{event="dispatched"} [1-9]' \
+    || { echo "coordinator reported no dispatched shards"; exit 1; }
+for p in "${SERVE_PIDS[@]}"; do kill -TERM "$p"; done
+for p in "${SERVE_PIDS[@]}"; do
+    wait "$p" || { echo "a serve process did not exit 0 on SIGTERM"; exit 1; }
+done
+SERVE_PIDS=()
+
+echo "==> perf snapshot vs committed BENCH_*.json (tolerance band)"
+# Regenerate the fixed perf workload and compare campaign throughput against
+# the newest committed snapshot. Wall-clock numbers are machine- and
+# load-dependent, so the band is deliberately wide: only a >2.5x slowdown
+# fails the gate. Regenerate the committed snapshot via
+# `apf-cli perf-snapshot --out BENCH_<PR>.json` when the workload changes.
+PREV="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [ -n "$PREV" ]; then
+    ./target/release/apf-cli perf-snapshot --out "$SERVE_DIR/perf.json"
+    tps() {
+        sed -n "s/.*\"$2\":{\"trials\":[0-9]*,\"trials_per_sec\":\([0-9.eE+-]*\),.*/\1/p" "$1"
+    }
+    for c in e2_ours e2_yy; do
+        OLD="$(tps "$PREV" "$c")"
+        NEW="$(tps "$SERVE_DIR/perf.json" "$c")"
+        [ -n "$OLD" ] && [ -n "$NEW" ] \
+            || { echo "perf snapshot missing campaign $c"; exit 1; }
+        awk -v old="$OLD" -v new="$NEW" -v c="$c" -v snap="$PREV" 'BEGIN {
+            ratio = new / old;
+            printf "    %-8s %8.2f -> %8.2f trials/s (x%.2f vs %s)\n",
+                   c, old, new, ratio, snap;
+            if (ratio < 0.4) {
+                printf "perf regression: %s dropped to x%.2f of %s\n",
+                       c, ratio, snap;
+                exit 1;
+            }
+        }' || exit 1
+    done
+else
+    echo "    no committed BENCH_*.json yet; skipping the diff"
+fi
 
 echo "OK"

@@ -58,16 +58,35 @@
 //! ```text
 //! apf-cli serve [--addr HOST:PORT] [--jobs N] [--queue-depth N]
 //!               [--engine-jobs N] [--max-jobs N] [--quiet]
-//! apf-cli job-digest FILE [--jobs N]
+//!               [--backend HOST:PORT]... [--shards-per-backend N]
+//!               [--cache-dir DIR] [--cache-entries N] [--cache-verify N]
+//!               [--quota N]
+//! apf-cli job-digest FILE [--jobs N] [--report]
+//! apf-cli spec-digest FILE
+//! apf-cli perf-snapshot [--out PATH] [--jobs N]
 //! ```
 //!
 //! `serve` prints the bound address (`--addr 127.0.0.1:0` picks an
 //! ephemeral port) and runs until SIGTERM/SIGINT, draining in-flight trials
-//! before exiting 0. `job-digest` runs a job-spec file (the same JSON body
-//! `POST /jobs` accepts) straight through the engine and prints one
-//! per-trial FNV trace digest per line — submitting the same spec to the
-//! service must reproduce exactly these digests, which `scripts/check.sh`
-//! verifies over a real socket.
+//! before exiting 0. With one or more `--backend` flags it runs as a
+//! *coordinator*: each campaign is split into trial-range shards, fanned
+//! out to the backend `apf-serve` processes, and merged bit-identically to
+//! a single-process run. The content-addressed result cache answers
+//! repeated specs without re-running them (`--cache-dir` persists it;
+//! every `--cache-verify`'th hit is replayed against the engine and
+//! compared). `job-digest` runs a job-spec file (the same JSON body
+//! `POST /v1/jobs` accepts) straight through the engine and prints one
+//! per-trial FNV trace digest per line (`--report`: the deterministic
+//! aggregate as JSON) — submitting the same spec to the service must
+//! reproduce exactly these digests, which `scripts/check.sh` verifies over
+//! a real socket. `spec-digest` prints a spec's canonical JSON and content
+//! address without running it.
+//!
+//! The `perf-snapshot` subcommand runs the fixed perf workload (the E2
+//! randomness-budget campaigns plus the E9 geometry kernels) and emits one
+//! JSON object of throughput numbers; `scripts/check.sh` diffs a fresh
+//! snapshot's trials/sec against the committed `BENCH_<PR>.json` with a
+//! tolerance band so slowdowns fail loudly instead of accruing silently.
 
 use apf::prelude::*;
 use apf::render::{Style, SvgScene};
@@ -160,7 +179,7 @@ fn trace_main(args: &[String]) -> ! {
 /// static-analysis pass over the workspace sources.
 fn lint_main(args: &[String]) -> ! {
     let usage = "apf-cli lint [--json] [--root DIR] [--config PATH] [--list-rules]\n\
-                 static analysis: determinism & randomness-budget rules (D1-D7, P1)\n\
+                 static analysis: determinism & randomness-budget rules (D1-D9, P1)\n\
                  exit codes: 0 clean, 1 findings, 2 config or I/O errors";
     let mut json = false;
     let mut root = String::from(".");
@@ -358,7 +377,15 @@ fn conformance_main(args: &[String]) -> ! {
 fn serve_main(args: &[String]) -> ! {
     let usage = "apf-cli serve [--addr HOST:PORT] [--jobs N] [--queue-depth N]\n\
                  \x20             [--engine-jobs N] [--max-jobs N] [--quiet]\n\
-                 campaign service: JSON job API + Prometheus /metrics\n\
+                 \x20             [--backend HOST:PORT]... [--shards-per-backend N]\n\
+                 \x20             [--cache-dir DIR] [--cache-entries N] [--cache-verify N]\n\
+                 \x20             [--quota N]\n\
+                 campaign service: versioned JSON job API + Prometheus /metrics\n\
+                 --backend (repeatable) switches on coordinator mode: campaigns are\n\
+                 sharded across the given backend apf-serve processes and merged\n\
+                 bit-identically to a single-process run\n\
+                 --cache-dir persists the content-addressed result cache; every\n\
+                 --cache-verify'th hit is re-verified against a fresh engine run\n\
                  exit codes: 0 clean shutdown, 2 usage or bind errors";
     let mut cfg =
         apf_serve::ServerConfig { log_requests: true, ..apf_serve::ServerConfig::default() };
@@ -384,6 +411,21 @@ fn serve_main(args: &[String]) -> ! {
                 cfg.engine_jobs = value().parse().unwrap_or_else(|e| parse_fail(&e));
             }
             "--max-jobs" => cfg.max_jobs = value().parse().unwrap_or_else(|e| parse_fail(&e)),
+            "--backend" => cfg.coordinator.backends.push(value()),
+            "--shards-per-backend" => {
+                cfg.coordinator.shards_per_backend =
+                    value().parse().unwrap_or_else(|e| parse_fail(&e));
+            }
+            "--cache-dir" => cfg.cache.dir = Some(value().into()),
+            "--cache-entries" => {
+                cfg.cache.max_entries = value().parse().unwrap_or_else(|e| parse_fail(&e));
+            }
+            "--cache-verify" => {
+                cfg.cache.verify_every = value().parse().unwrap_or_else(|e| parse_fail(&e));
+            }
+            "--quota" => {
+                cfg.quota_per_minute = value().parse().unwrap_or_else(|e| parse_fail(&e));
+            }
             "--quiet" => cfg.log_requests = false,
             "--help" | "-h" => {
                 println!("{usage}");
@@ -423,12 +465,16 @@ fn serve_main(args: &[String]) -> ! {
 /// of the bit-for-bit reproduction check: the same spec submitted to
 /// `apf-cli serve` must report exactly these digests.
 fn job_digest_main(args: &[String]) -> ! {
-    let usage = "apf-cli job-digest FILE [--jobs N]\n\
-                 run a job spec (JSON, as POSTed to /jobs) locally and print\n\
-                 one FNV-1a trace digest per trial, in trial order\n\
+    let usage = "apf-cli job-digest FILE [--jobs N] [--report]\n\
+                 run a job spec (JSON, as POSTed to /v1/jobs) locally and print\n\
+                 one FNV-1a trace digest per trial, in trial order; --report\n\
+                 instead prints the deterministic aggregate as one JSON object\n\
+                 (the /v1/jobs result minus timing), for bit-exact comparison\n\
+                 against a service or coordinator run of the same spec\n\
                  exit codes: 0 ok, 2 bad spec or I/O errors";
     let mut file: Option<String> = None;
     let mut jobs: usize = 1;
+    let mut report_json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -442,6 +488,7 @@ fn job_digest_main(args: &[String]) -> ! {
                     std::process::exit(2);
                 });
             }
+            "--report" => report_json = true,
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -473,8 +520,234 @@ fn job_digest_main(args: &[String]) -> ! {
         .jobs(jobs.max(1))
         .trace_digests(true)
         .run(&spec.to_campaign());
-    for d in report.digests.as_deref().unwrap_or_default() {
-        println!("{d}");
+    if report_json {
+        // The same fields and renderer as the service's result JSON, minus
+        // the timing-noisy wall clock — so `diff` against a served result
+        // (with "wall_secs" stripped) is a bitwise aggregate comparison.
+        use apf_serve::Json;
+        let agg = report.aggregate();
+        let out = Json::obj([
+            ("trials", Json::usize(report.trials)),
+            ("requested", Json::usize(report.requested)),
+            ("formed", Json::u64(report.stats.formed())),
+            ("success", Json::f64(agg.success)),
+            ("mean_cycles", Json::f64(agg.mean_cycles)),
+            ("median_cycles", Json::f64(agg.median_cycles)),
+            ("p95_cycles", Json::f64(agg.p95_cycles)),
+            ("mean_bits", Json::f64(agg.mean_bits)),
+            ("bits_per_cycle", Json::f64(agg.bits_per_cycle)),
+            (
+                "digests",
+                Json::Arr(
+                    report
+                        .digests
+                        .as_deref()
+                        .unwrap_or_default()
+                        .iter()
+                        .map(|&d| Json::u64(d))
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", out.render());
+    } else {
+        for d in report.digests.as_deref().unwrap_or_default() {
+            println!("{d}");
+        }
+    }
+    std::process::exit(0);
+}
+
+/// The `spec-digest` subcommand: canonicalize a job spec and print its
+/// content address — the digest the result cache keys on and the
+/// `GET /v1/spec-digest` endpoint reports — without running anything.
+fn spec_digest_main(args: &[String]) -> ! {
+    let usage = "apf-cli spec-digest FILE\n\
+                 canonicalize a job spec (JSON, as POSTed to /v1/jobs) and print\n\
+                 its 16-hex FNV-1a content address, then the canonical JSON\n\
+                 exit codes: 0 ok, 2 bad spec or I/O errors";
+    let mut file: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            f if f.starts_with('-') => {
+                eprintln!("error: unknown flag {f}\n{usage}");
+                std::process::exit(2);
+            }
+            _ if file.is_none() => file = Some(arg.clone()),
+            _ => {
+                eprintln!("error: more than one spec file given");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: spec-digest needs a FILE\n{usage}");
+        std::process::exit(2);
+    };
+    let body = std::fs::read(&file).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {file}: {e}");
+        std::process::exit(2);
+    });
+    let spec = apf_serve::JobSpec::from_json_bytes(&body).unwrap_or_else(|e| {
+        eprintln!("error: {file}: {e}");
+        std::process::exit(2);
+    });
+    println!("{:016x}", spec.canonical.digest());
+    println!("{}", spec.canonical.canonical_json());
+    std::process::exit(0);
+}
+
+/// The `perf-snapshot` subcommand: run the fixed perf workload — the E2
+/// randomness-budget campaigns (quick subset) through the trial engine plus
+/// the E9 geometry kernels — and print one JSON object of throughput
+/// numbers. `scripts/check.sh` regenerates a snapshot each run and diffs its
+/// trials/sec against the committed `BENCH_<PR>.json` inside a tolerance
+/// band, making speed a regression-gated invariant (ROADMAP "perf
+/// trajectory tracking"). The numbers are machine-dependent by nature;
+/// regenerate the committed snapshot with `--out` when the workload or the
+/// reference machine changes, never by hand-editing.
+fn perf_snapshot_main(args: &[String]) -> ! {
+    use apf_bench::engine::{AlgorithmSpec, Campaign, Engine, RunSpec};
+    let usage = "apf-cli perf-snapshot [--out PATH] [--jobs N]\n\
+                 run the fixed perf workload (E2 campaigns + E9 kernels) and\n\
+                 write the snapshot JSON to PATH (default: stdout); --jobs\n\
+                 fixes the engine worker count (default 2, for snapshots\n\
+                 comparable across differently-sized hosts)\n\
+                 exit codes: 0 ok, 2 usage or I/O errors";
+    let mut out: Option<String> = None;
+    let mut jobs: usize = 2;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {arg} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value()),
+            "--jobs" => {
+                jobs = value().parse().unwrap_or_else(|e| {
+                    eprintln!("error: --jobs: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The E2 quick subset, verbatim: symmetric starts, round-robin
+    // scheduler, 2M-step budget, 16 trials per n — ours vs YY-style.
+    let campaign = |name: &str, alg: AlgorithmSpec| {
+        let mut c = Campaign::new(name, 2);
+        for n in [8usize, 12] {
+            let rho = if n % 4 == 0 { 4 } else { 3 };
+            c.add_trials(16, |i, _| {
+                RunSpec::new(
+                    apf::patterns::symmetric_configuration(n, rho, 3000 + i),
+                    apf::patterns::random_pattern(n, 4000 + i),
+                )
+                .scheduler(SchedulerKind::RoundRobin)
+                .budget(2_000_000)
+                .algorithm(alg)
+            });
+        }
+        c
+    };
+    let engine = Engine::new().jobs(jobs.max(1));
+    let mut campaigns = Vec::new();
+    for (key, alg) in [("e2_ours", AlgorithmSpec::FormPattern), ("e2_yy", AlgorithmSpec::YyStyle)] {
+        let report = engine.run(&campaign(key, alg));
+        campaigns.push((
+            key,
+            apf_serve::Json::obj([
+                ("trials", apf_serve::Json::usize(report.trials)),
+                ("wall_secs", apf_serve::Json::f64(report.wall.as_secs_f64())),
+                ("trials_per_sec", apf_serve::Json::f64(report.trials_per_sec())),
+            ]),
+        ));
+    }
+
+    // The E9 kernel microbenches at two fixed sizes (µs per call).
+    let mut kernels = Vec::new();
+    for n in [32usize, 128] {
+        let pts = apf::patterns::asymmetric_configuration(n, 17_000 + n as u64);
+        let cfg = apf::geometry::Configuration::new(pts.clone());
+        let tol = apf::geometry::Tol::default();
+        let time = |f: &mut dyn FnMut()| {
+            let reps = 20;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / f64::from(reps) * 1e6
+        };
+        let center = cfg.sec().center;
+        let fields = [
+            (
+                "sec_us",
+                time(&mut || {
+                    let _ = apf::geometry::smallest_enclosing_circle(&pts);
+                }),
+            ),
+            (
+                "rho_us",
+                time(&mut || {
+                    let _ = apf::geometry::symmetry::symmetricity(&cfg, center, &tol);
+                }),
+            ),
+            (
+                "views_us",
+                time(&mut || {
+                    let _ = apf::geometry::symmetry::ViewAnalysis::compute(&cfg, center, &tol);
+                }),
+            ),
+            (
+                "regular_us",
+                time(&mut || {
+                    let _ = apf::geometry::symmetry::regular_set_of(&cfg, &tol);
+                }),
+            ),
+            (
+                "shifted_us",
+                time(&mut || {
+                    let _ = apf::geometry::symmetry::find_shifted_regular(&cfg, &tol);
+                }),
+            ),
+        ];
+        kernels.push((
+            format!("n{n}"),
+            apf_serve::Json::obj(fields.map(|(k, v)| (k, apf_serve::Json::f64(v)))),
+        ));
+    }
+
+    let doc = apf_serve::Json::obj([
+        ("schema", apf_serve::Json::usize(1)),
+        ("engine_jobs", apf_serve::Json::usize(jobs.max(1))),
+        ("campaigns", apf_serve::Json::obj(campaigns)),
+        ("kernels", apf_serve::Json::Obj(kernels.into_iter().collect())),
+    ]);
+    let rendered = format!("{}\n", doc.render());
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("perf snapshot written to {path}");
+        }
+        None => print!("{rendered}"),
     }
     std::process::exit(0);
 }
@@ -532,8 +805,10 @@ fn parse_args() -> Result<Args, String> {
                      subcommands: trace FILE [--replay] [--robot N]  inspect a JSONL trace\n\
                      \x20            conformance corpus|regen|fuzz      golden traces & fuzzing\n\
                      \x20            lint [--json] [--list-rules]       determinism static analysis\n\
-                     \x20            serve [--addr A] [--jobs N]        campaign service (HTTP)\n\
-                     \x20            job-digest FILE                    job spec -> trial digests"
+                     \x20            serve [--addr A] [--backend A]...  campaign service (HTTP)\n\
+                     \x20            job-digest FILE [--report]         job spec -> digests/aggregate\n\
+                     \x20            spec-digest FILE                   job spec -> content address\n\
+                     \x20            perf-snapshot [--out PATH]         fixed perf workload -> JSON"
                 );
                 std::process::exit(0);
             }
@@ -587,6 +862,12 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("job-digest") {
         job_digest_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("spec-digest") {
+        spec_digest_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("perf-snapshot") {
+        perf_snapshot_main(&raw[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,
