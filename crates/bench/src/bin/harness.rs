@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! harness [--quick] [--jobs N] [--json PATH] [--trace-out DIR] [--progress]
-//!         [--list] [e1 e2 ... | all]
+//!         [--profile] [--list] [e1 e2 ... | all]
 //! ```
 //!
 //! * `--quick` shrinks seed counts and sweeps for CI-speed runs; the
@@ -13,6 +13,9 @@
 //! * `--trace-out DIR` dumps JSONL event traces of failed/outlier trials
 //!   into DIR (inspect/replay them with `apf-cli trace`).
 //! * `--progress` prints a live per-campaign progress line to stderr.
+//! * `--profile` records wall-time spans (phases + analysis kernels) and
+//!   prints per-kernel latency tables (also under `"kernels"` in `--json`).
+//!   Timing-noisy; the deterministic tables are unaffected.
 //! * `--list` prints the experiment registry and exits.
 //!
 //! Unknown experiments or flags are errors (exit code 2) — a typo must not
@@ -24,7 +27,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: harness [--quick] [--jobs N] [--json PATH] [--trace-out DIR] \
-                     [--progress] [--list] [e1 e2 ... | all]";
+                     [--progress] [--profile] [--list] [e1 e2 ... | all]";
 
 struct Options {
     quick: bool,
@@ -32,6 +35,7 @@ struct Options {
     json: Option<String>,
     trace_out: Option<String>,
     progress: bool,
+    profile: bool,
     list: bool,
     picks: Vec<String>,
 }
@@ -43,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: None,
         trace_out: None,
         progress: false,
+        profile: false,
         list: false,
         picks: Vec::new(),
     };
@@ -68,6 +73,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = Some(value("--json")?),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--progress" => opts.progress = true,
+            "--profile" => opts.profile = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -118,7 +124,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let ctx = ExpCtx { quick: opts.quick, jobs: opts.jobs, trace_out, progress: opts.progress };
+    let ctx = ExpCtx {
+        quick: opts.quick,
+        jobs: opts.jobs,
+        trace_out,
+        progress: opts.progress,
+        profile: opts.profile,
+    };
     let jobs = ctx.engine().effective_jobs();
     println!(
         "APF experiment harness ({} mode, {} worker{}) — experiments: {}",

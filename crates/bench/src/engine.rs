@@ -27,12 +27,14 @@
 //! 3. chunk aggregates are merged **in chunk order** after all workers
 //!    join, so floating-point reduction order is fixed.
 
+use crate::profile::SpanProfile;
 use crate::{Aggregate, RunResult};
 use apf_baselines::{DeterministicFormation, YyStyleFormation};
 use apf_core::{validate_instance, BuildError, FormPattern};
 use apf_geometry::{Point, Tol};
 use apf_scheduler::{AsyncConfig, SchedulerKind};
 use apf_sim::{RobotAlgorithm, World, WorldConfig};
+use apf_trace::span::{self, SpanLabel};
 use apf_trace::{HashSink, JsonlSink, PhaseKind, TraceSink};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -915,6 +917,9 @@ pub struct CampaignReport {
     pub longest_trial: Option<(usize, Duration)>,
     /// Wall-clock time of the whole campaign.
     pub wall: Duration,
+    /// Merged span profile (only with [`Engine::profile_spans`]). Timing
+    /// data only — never part of the deterministic output.
+    pub profile: Option<crate::profile::SpanProfile>,
 }
 
 impl CampaignReport {
@@ -952,6 +957,7 @@ pub struct Engine {
     collect: bool,
     digests: bool,
     progress: bool,
+    profile: bool,
     percentile_cap: usize,
     cancel: Option<CancelToken>,
     live: Option<Arc<LiveStats>>,
@@ -972,6 +978,7 @@ impl Engine {
             collect: false,
             digests: false,
             progress: false,
+            profile: false,
             percentile_cap: 1 << 16,
             cancel: None,
             live: None,
@@ -1021,6 +1028,15 @@ impl Engine {
         self
     }
 
+    /// Also records wall-time spans (phases + analysis kernels) into a
+    /// merged [`crate::profile::SpanProfile`] on the report. Spans travel a
+    /// channel separate from trace events, so enabling this changes no
+    /// digest and no aggregate byte — only timing columns appear.
+    pub fn profile_spans(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     /// Installs a cooperative [`CancelToken`]: workers check it before
     /// claiming each trial and stop claiming once it fires, so cancellation
     /// latency is bounded by one trial. Executed trials always form a
@@ -1061,11 +1077,13 @@ impl Engine {
 
         type ChunkData = (StreamingAggregate, Vec<RunResult>, Vec<u64>);
         type ChunkOut = (usize, ChunkData);
-        type WorkerOut = (Vec<ChunkOut>, WorkerStats, Option<(usize, Duration)>);
+        type WorkerOut =
+            (Vec<ChunkOut>, WorkerStats, Option<(usize, Duration)>, Option<SpanProfile>);
         let mut chunks: Vec<Option<ChunkData>> = Vec::new();
         chunks.resize_with(nchunks, || None);
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
         let mut longest_trial: Option<(usize, Duration)> = None;
+        let mut profile = self.profile.then(SpanProfile::new);
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -1076,6 +1094,14 @@ impl Engine {
                         let mut out: Vec<ChunkOut> = Vec::new();
                         let mut stats = WorkerStats::default();
                         let mut longest: Option<(usize, Duration)> = None;
+                        // Span recording is thread-local: each worker
+                        // installs a shared-handle profile once and reads
+                        // it back when it runs out of chunks.
+                        let profile_handle = self.profile.then(|| {
+                            let handle = Arc::new(Mutex::new(SpanProfile::new()));
+                            drop(span::install(Box::new(Arc::clone(&handle))));
+                            handle
+                        });
                         loop {
                             if cancel.is_some_and(CancelToken::is_cancelled) {
                                 break;
@@ -1093,6 +1119,8 @@ impl Engine {
                                 if self.digests { Vec::with_capacity(hi - lo) } else { Vec::new() };
                             for (off, spec) in specs[lo..hi].iter().enumerate() {
                                 let t_trial = Instant::now();
+                                span::set_trial(Some((lo + off) as u64));
+                                let _trial_span = span::enter(SpanLabel::Trial);
                                 let r = if self.digests {
                                     let sink = HashSink::new();
                                     let probe = sink.probe();
@@ -1122,7 +1150,12 @@ impl Engine {
                             }
                             out.push((c, (agg, results, digests)));
                         }
-                        (out, stats, longest)
+                        let worker_profile = profile_handle.map(|handle| {
+                            drop(span::take());
+                            // apf-lint: allow(panic-policy) — only this thread recorded into the handle, so the lock cannot be poisoned
+                            handle.lock().expect("span profile lock").clone()
+                        });
+                        (out, stats, longest, worker_profile)
                     })
                 })
                 .collect();
@@ -1152,7 +1185,8 @@ impl Engine {
 
             for handle in handles {
                 // apf-lint: allow(panic-policy) — a worker panic must abort the campaign, not hang it
-                let (chunk_outs, stats, longest) = handle.join().expect("engine worker panicked");
+                let joined = handle.join().expect("engine worker panicked");
+                let (chunk_outs, stats, longest, worker_profile) = joined;
                 for (c, data) in chunk_outs {
                     chunks[c] = Some(data);
                 }
@@ -1161,6 +1195,9 @@ impl Engine {
                     if longest_trial.is_none_or(|(_, best)| dt > best) {
                         longest_trial = Some((idx, dt));
                     }
+                }
+                if let (Some(total), Some(wp)) = (profile.as_mut(), worker_profile.as_ref()) {
+                    total.merge(wp);
                 }
             }
             finished.store(true, Ordering::Release);
@@ -1200,6 +1237,7 @@ impl Engine {
             workers: worker_stats,
             longest_trial,
             wall: t0.elapsed(),
+            profile,
         }
     }
 }

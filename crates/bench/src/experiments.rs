@@ -10,6 +10,7 @@
 //! scheduler randomness comes from the campaign-derived per-trial seed.
 
 use crate::engine::{trace_failures, AlgorithmSpec, Campaign, Engine, RunSpec};
+use crate::profile::SpanProfile;
 use crate::report::{ExperimentReport, PhaseLine};
 use crate::Aggregate;
 use apf_geometry::{Configuration, Tol};
@@ -33,6 +34,8 @@ pub struct ExpCtx {
     pub trace_out: Option<PathBuf>,
     /// Print a live per-campaign progress line to stderr.
     pub progress: bool,
+    /// Record wall-time spans and surface per-kernel latency tables.
+    pub profile: bool,
 }
 
 impl ExpCtx {
@@ -42,6 +45,7 @@ impl ExpCtx {
             .jobs(self.jobs)
             .progress(self.progress)
             .collect_results(self.trace_out.is_some())
+            .profile_spans(self.profile)
     }
 
     fn seeds(&self, full: u64) -> u64 {
@@ -61,6 +65,7 @@ struct Rows {
     trials: usize,
     phase_cycles: [f64; PhaseKind::COUNT],
     phase_bits: [f64; PhaseKind::COUNT],
+    profile: SpanProfile,
     traces: Vec<String>,
 }
 
@@ -72,6 +77,7 @@ impl Rows {
             trials: 0,
             phase_cycles: [0.0; PhaseKind::COUNT],
             phase_bits: [0.0; PhaseKind::COUNT],
+            profile: SpanProfile::new(),
             traces: Vec::new(),
         }
     }
@@ -83,6 +89,9 @@ impl Rows {
         for kind in PhaseKind::ALL {
             self.phase_cycles[kind.index()] += report.stats.phase_cycles_total(kind);
             self.phase_bits[kind.index()] += report.stats.phase_bits_total(kind);
+        }
+        if let Some(p) = &report.profile {
+            self.profile.merge(p);
         }
         if let (Some(dir), Some(results)) = (&self.trace_out, &report.results) {
             match trace_failures(campaign, results, dir, MAX_TRACES_PER_ROW) {
@@ -121,6 +130,7 @@ impl Rows {
             trials: self.trials,
             wall_s: t0.elapsed().as_secs_f64(),
             phases,
+            kernels: self.profile.rows(),
             traces: self.traces,
         }
     }
@@ -484,6 +494,13 @@ pub fn e8(ctx: &ExpCtx) -> ExperimentReport {
 pub fn e9(ctx: &ExpCtx) -> ExperimentReport {
     let t0 = Instant::now();
     let mut rows = Vec::new();
+    // Under --profile the kernels' own spans are collected too (the
+    // kernels run on this thread, so the sink installs here).
+    let profile_handle = ctx.profile.then(|| {
+        let handle = std::sync::Arc::new(std::sync::Mutex::new(SpanProfile::new()));
+        drop(apf_trace::span::install(Box::new(std::sync::Arc::clone(&handle))));
+        handle
+    });
     let sizes: &[usize] = if ctx.quick { &[8, 32] } else { &[8, 16, 32, 64, 128, 256] };
     for &n in sizes {
         let pts = apf_patterns::asymmetric_configuration(n.max(3), 17_000 + n as u64);
@@ -521,6 +538,13 @@ pub fn e9(ctx: &ExpCtx) -> ExperimentReport {
             format!("{t_shift:.1}"),
         ]);
     }
+    let kernels = profile_handle
+        .map(|handle| {
+            drop(apf_trace::span::take());
+            // apf-lint: allow(panic-policy) — only this thread recorded into the handle, so the lock cannot be poisoned
+            handle.lock().expect("span profile lock").rows()
+        })
+        .unwrap_or_default();
     ExperimentReport {
         id: "e9".into(),
         title: "E9: analysis kernel cost (µs per call, asymmetric configs)".into(),
@@ -529,6 +553,7 @@ pub fn e9(ctx: &ExpCtx) -> ExperimentReport {
         trials: 0,
         wall_s: t0.elapsed().as_secs_f64(),
         phases: Vec::new(),
+        kernels,
         traces: Vec::new(),
     }
 }

@@ -14,6 +14,7 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod profile;
 pub mod report;
 pub mod spec;
 

@@ -5,6 +5,7 @@
 //! object per experiment with its table and throughput accounting.
 
 use crate::print_table;
+use crate::profile::{fmt_ns, ProfileRow};
 
 /// One algorithm phase's share of an experiment's successful trials.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,10 @@ pub struct ExperimentReport {
     /// Per-phase cycle/bit totals over every successful trial of the
     /// experiment (empty for timing-only experiments).
     pub phases: Vec<PhaseLine>,
+    /// Wall-time span statistics per phase/kernel label, hottest first
+    /// (empty unless the experiment ran with `--profile`). Timing-noisy by
+    /// nature; never part of the deterministic table.
+    pub kernels: Vec<ProfileRow>,
     /// JSONL trace files written for failed/outlier trials (`--trace-out`).
     pub traces: Vec<String>,
 }
@@ -73,6 +78,21 @@ impl ExperimentReport {
                     p.cycles,
                     p.bits,
                     p.bits_per_cycle()
+                );
+            }
+        }
+        if !self.kernels.is_empty() {
+            println!("span profile (wall time, hottest first):");
+            for k in &self.kernels {
+                println!(
+                    "  {:<10} count {:>10}  mean {:>9}  p50 {:>9}  p95 {:>9}  max {:>9}  self {:>9}",
+                    k.label.label(),
+                    k.count,
+                    fmt_ns(k.mean_ns),
+                    fmt_ns(k.p50_ns as f64),
+                    fmt_ns(k.p95_ns as f64),
+                    fmt_ns(k.max_ns as f64),
+                    fmt_ns(k.self_ns as f64),
                 );
             }
         }
@@ -121,6 +141,25 @@ impl ExperimentReport {
                 json_f64(p.cycles),
                 json_f64(p.bits),
                 json_f64(p.bits_per_cycle())
+            ));
+        }
+        s.push_str("],");
+        s.push_str("\"kernels\":[");
+        for (i, k) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"label\":{},\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\
+                 \"max_ns\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                json_string(k.label.label()),
+                k.count,
+                json_f64(k.mean_ns),
+                k.p50_ns,
+                k.p95_ns,
+                k.max_ns,
+                k.total_ns,
+                k.self_ns
             ));
         }
         s.push_str("],");
@@ -204,6 +243,16 @@ mod tests {
             trials: 16,
             wall_s: 2.0,
             phases: vec![PhaseLine { label: "rsb-election".into(), cycles: 100.0, bits: 40.0 }],
+            kernels: vec![ProfileRow {
+                label: apf_trace::SpanLabel::Shifted,
+                count: 12,
+                mean_ns: 1500.0,
+                p50_ns: 2048,
+                p95_ns: 4096,
+                max_ns: 3900,
+                total_ns: 18_000,
+                self_ns: 18_000,
+            }],
             traces: vec!["out/e1-trial0-failed.jsonl".into()],
         }
     }
@@ -218,6 +267,7 @@ mod tests {
         assert!(j.contains("\"trials_per_sec\":8"));
         assert!(j.contains("\"phases\":[{\"phase\":\"rsb-election\""));
         assert!(j.contains("\"bits_per_cycle\":0.4"));
+        assert!(j.contains("\"kernels\":[{\"label\":\"shifted\",\"count\":12,\"mean_ns\":1500"));
         assert!(j.contains("\"traces\":[\"out/e1-trial0-failed.jsonl\"]"));
     }
 

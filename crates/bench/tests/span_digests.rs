@@ -1,0 +1,88 @@
+//! Profiling must be *observationally free*: enabling span recording may
+//! add timing columns, but every deterministic output — per-trial trace
+//! digests, merged aggregates down to the last float ulp, collected
+//! results — must be byte-identical to an unprofiled run. Spans travel a
+//! channel structurally separate from [`apf_trace::TraceSink`], so this
+//! holds by construction; these tests (and a `scripts/check.sh` gate over
+//! the CLI) keep it true.
+
+use apf_bench::engine::{Campaign, Engine, RunSpec};
+use apf_bench::Aggregate;
+
+fn campaign() -> Campaign {
+    // Small on purpose (this digest-identity property is also gated over a
+    // real CLI campaign in scripts/check.sh): quick-forming symmetric
+    // instances, tight budget.
+    let mut c = Campaign::new("span-digests", 2);
+    c.add_trials(4, |i, _seed| {
+        RunSpec::new(
+            apf_patterns::symmetric_configuration(8, 4, 900 + i),
+            apf_patterns::random_pattern(8, 1900 + i),
+        )
+        .budget(20_000)
+    });
+    c
+}
+
+/// Bitwise-comparable view of an [`Aggregate`] (floats via `to_bits`).
+fn aggregate_bits(a: &Aggregate) -> Vec<u64> {
+    vec![
+        a.runs as u64,
+        a.success.to_bits(),
+        a.mean_cycles.to_bits(),
+        a.median_cycles.to_bits(),
+        a.p95_cycles.to_bits(),
+        a.mean_bits.to_bits(),
+        a.bits_per_cycle.to_bits(),
+    ]
+}
+
+#[test]
+fn profiling_changes_no_digest_and_no_aggregate_bit() {
+    let c = campaign();
+    let base = Engine::new().jobs(2).collect_results(true).trace_digests(true).run(&c);
+    let profiled =
+        Engine::new().jobs(2).collect_results(true).trace_digests(true).profile_spans(true).run(&c);
+
+    assert!(base.profile.is_none(), "profile absent unless requested");
+    let profile = profiled.profile.as_ref().expect("profile present when requested");
+    assert!(profile.span_count() > 0, "sanity: the profiled run recorded spans");
+
+    assert_eq!(base.digests, profiled.digests, "per-trial trace digests must be bit-identical");
+    assert_eq!(base.results, profiled.results, "per-trial results must be identical");
+    assert_eq!(
+        aggregate_bits(&base.aggregate()),
+        aggregate_bits(&profiled.aggregate()),
+        "merged aggregates must match to the last float bit"
+    );
+}
+
+#[test]
+fn profile_sees_phases_and_kernels() {
+    use apf_trace::SpanLabel;
+    let c = campaign();
+    let report = Engine::new().jobs(2).trace_digests(true).profile_spans(true).run(&c);
+    let profile = report.profile.expect("profile requested");
+
+    // Engine-level attribution: one Trial span per executed trial.
+    let trials = profile.label(SpanLabel::Trial).expect("trial stats");
+    assert_eq!(trials.count() as usize, report.trials);
+
+    // Sim-level: every trial runs Look/Compute; the algorithm analyses
+    // snapshots, so at least one geometry kernel fires.
+    for label in [SpanLabel::Look, SpanLabel::Compute, SpanLabel::Sec] {
+        let stats = profile.label(label).unwrap_or_else(|| panic!("{label:?} stats"));
+        assert!(stats.count() > 0, "{label:?} spans must be recorded");
+    }
+
+    // The fold table renders non-empty collapsed-stacks lines.
+    let mut folded = Vec::new();
+    profile.write_folded(&mut folded).expect("fold write");
+    let text = String::from_utf8(folded).expect("utf8");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(!stack.is_empty() && stack.split(';').all(|f| !f.is_empty()), "{line}");
+        assert!(count.parse::<u64>().is_ok(), "{line}");
+    }
+}

@@ -72,6 +72,7 @@ impl Circle {
 /// Panics if `points` is empty.
 pub fn smallest_enclosing_circle(points: &[Point]) -> Circle {
     assert!(!points.is_empty(), "smallest enclosing circle of an empty set is undefined");
+    let _span = apf_trace::span::enter(apf_trace::SpanLabel::Sec);
     let mut pts: Vec<Point> = points.to_vec();
     deterministic_shuffle(&mut pts);
 

@@ -253,6 +253,7 @@ pub fn find_regular_center(points: &[Point], tol: &Tol) -> Option<(Point, Regula
 /// Returns `None` when the configuration contains a robot at `c(P)` (the
 /// paper's definitions assume `c(P) ∉ P`) or no candidate qualifies.
 pub fn regular_set_of(config: &Configuration, tol: &Tol) -> Option<RegularSet> {
+    let _span = apf_trace::span::enter(apf_trace::SpanLabel::Regular);
     let n = config.len();
     let c_sec = config.sec().center;
     if config.points().iter().any(|p| p.approx_eq(c_sec, tol)) {

@@ -35,6 +35,7 @@ use std::f64::consts::TAU;
 /// assert_eq!(symmetricity(&cfg, Point::new(0.0, 0.0), &Tol::default()), 4);
 /// ```
 pub fn symmetricity(config: &Configuration, center: Point, tol: &Tol) -> usize {
+    let _span = apf_trace::span::enter(apf_trace::SpanLabel::Rho);
     let polar: Vec<PolarPoint> =
         config.polar_around(center).into_iter().filter(|p| !tol.is_zero(p.radius)).collect();
     let n = polar.len();

@@ -68,6 +68,7 @@ impl ShiftedRegularSet {
 /// by Theorem 1 the shifted set is unique for `n ≥ 7`, so the order only
 /// matters for degenerate small configurations.
 pub fn find_shifted_regular(config: &Configuration, tol: &Tol) -> Option<ShiftedRegularSet> {
+    let _span = apf_trace::span::enter(apf_trace::SpanLabel::Shifted);
     find_shifted_subset(config, tol).or_else(|| find_shifted_whole(config, tol))
 }
 

@@ -94,6 +94,7 @@ impl ViewAnalysis {
     /// Robots located (within tolerance) at `center` receive the minimal
     /// "center view".
     pub fn compute(config: &Configuration, center: Point, tol: &Tol) -> Self {
+        let _span = apf_trace::span::enter(apf_trace::SpanLabel::Views);
         let polar = config.polar_around(center);
         let robots = (0..config.len()).map(|i| robot_view(&polar, i, tol)).collect();
         ViewAnalysis { robots }

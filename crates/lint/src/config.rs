@@ -56,7 +56,11 @@ impl Default for Config {
                     "apf-sim".to_string(),
                     "apf-scheduler".to_string(),
                     "apf-geometry".to_string(),
+                    "apf-trace".to_string(),
                 ]),
+                // The span profiler's monotonic clock — the only sanctioned
+                // wall-clock site in scope.
+                allow_files: vec!["crates/trace/src/span.rs".to_string()],
                 ..RuleConfig::default()
             },
         );

@@ -130,7 +130,13 @@ pub const RULES: &[RuleDef] = &[
         code: "D3",
         summary: "simulation crates must not read wall clocks; time only exists as \
                   scheduler steps",
-        default_crates: Some(&["apf-core", "apf-sim", "apf-scheduler", "apf-geometry"]),
+        default_crates: Some(&[
+            "apf-core",
+            "apf-sim",
+            "apf-scheduler",
+            "apf-geometry",
+            "apf-trace",
+        ]),
         applies_in_tests: false,
         applies_in_bins: true,
         matcher: Matcher::Needles(&[Needle::Exact("Instant::now"), Needle::Ident("SystemTime")]),

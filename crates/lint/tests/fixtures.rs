@@ -103,6 +103,18 @@ fn d3_wallclock_fires_in_sim_crates_only() {
     assert!(lint("crates/bench/src/engine.rs", "apf-bench", src).is_empty());
 }
 
+#[test]
+fn d3_trace_is_in_scope_with_only_the_span_module_allowlisted() {
+    // apf-trace's event/digest paths must stay clock-free: a wall-clock read
+    // anywhere in the crate fires ...
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    let f = lint("crates/trace/src/sink.rs", "apf-trace", src);
+    assert_eq!(rules_fired(&f), vec!["no-wallclock-in-sim"]);
+    // ... except in the span profiler, the one sanctioned monotonic-clock
+    // site (structurally separate from every digest path).
+    assert!(lint("crates/trace/src/span.rs", "apf-trace", src).is_empty());
+}
+
 // ---------------------------------------------------------------- D4
 
 #[test]

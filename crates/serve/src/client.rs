@@ -54,7 +54,9 @@ pub struct ClientResponse {
 }
 
 /// Issues one request to `addr` (a `host:port` string) and reads the full
-/// response.
+/// response. `headers` are extra `(name, value)` pairs appended to the
+/// request head verbatim (the coordinator uses this to propagate
+/// `X-Apf-Request-Id` to backends).
 ///
 /// # Errors
 ///
@@ -65,6 +67,7 @@ pub fn request(
     addr: &str,
     method: &str,
     path: &str,
+    headers: &[(&str, &str)],
     body: &[u8],
     timeout: Duration,
 ) -> Result<ClientResponse, ClientError> {
@@ -78,6 +81,12 @@ pub fn request(
     );
     if !body.is_empty() {
         head.push_str("Content-Type: application/json\r\n");
+    }
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes()).map_err(|e| ClientError::Io(e.kind()))?;
@@ -171,11 +180,14 @@ mod tests {
             }
             let req = String::from_utf8(seen).unwrap();
             assert!(req.starts_with("POST /v1/jobs HTTP/1.1\r\n"), "{req}");
+            assert!(req.contains("\r\nX-Apf-Request-Id: rid-42\r\n"), "{req}");
             assert!(req.ends_with("{\"trials\":1}"), "{req}");
             s.write_all(b"HTTP/1.1 202 Accepted\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: 8\r\n\r\n{\"id\":1}")
                 .unwrap();
         });
-        let resp = request(&addr, "POST", "/v1/jobs", b"{\"trials\":1}", REQUEST_TIMEOUT).unwrap();
+        let headers = [("X-Apf-Request-Id", "rid-42")];
+        let resp = request(&addr, "POST", "/v1/jobs", &headers, b"{\"trials\":1}", REQUEST_TIMEOUT)
+            .unwrap();
         assert_eq!(resp.status, 202);
         assert_eq!(resp.body, b"{\"id\":1}");
         server.join().unwrap();
@@ -188,7 +200,7 @@ mod tests {
             let l = TcpListener::bind("127.0.0.1:0").unwrap();
             l.local_addr().unwrap().to_string()
         };
-        match request(&addr, "GET", "/healthz", b"", Duration::from_secs(1)) {
+        match request(&addr, "GET", "/healthz", &[], b"", Duration::from_secs(1)) {
             Err(ClientError::Connect(_)) => {}
             other => panic!("expected Connect error, got {other:?}"),
         }
@@ -204,7 +216,7 @@ mod tests {
             let _ = s.read(&mut buf);
             s.write_all(b"SMTP ready\r\n\r\n").unwrap();
         });
-        let err = request(&addr, "GET", "/healthz", b"", Duration::from_secs(2)).unwrap_err();
+        let err = request(&addr, "GET", "/healthz", &[], b"", Duration::from_secs(2)).unwrap_err();
         assert!(matches!(err, ClientError::BadResponse(_)), "{err:?}");
         server.join().unwrap();
     }

@@ -40,7 +40,11 @@ use apf_bench::engine::{CancelToken, LiveStats, StreamingAggregate};
 use apf_bench::RunResult;
 use std::collections::VecDeque;
 use std::sync::{Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The header carrying the coordinator-generated request id to backends,
+/// tying one submission's shard jobs together across process boundaries.
+pub const REQUEST_ID_HEADER: &str = "X-Apf-Request-Id";
 
 /// Consecutive transport failures after which a backend is retired.
 const BACKEND_STRIKES: usize = 3;
@@ -112,7 +116,9 @@ impl Dispatch {
 /// Runs `spec` by sharding it across `cfg.backends`.
 ///
 /// Progress folds into `live` per completed shard; `cancel` stops dispatch
-/// at the next poll and cancels in-flight backend jobs.
+/// at the next poll and cancels in-flight backend jobs. `request_id` is
+/// forwarded to every backend call as [`REQUEST_ID_HEADER`] so backend
+/// request logs correlate with the coordinator submission.
 ///
 /// # Errors
 ///
@@ -121,11 +127,13 @@ impl Dispatch {
 pub fn run_job(
     cfg: &CoordinatorConfig,
     spec: &JobSpec,
+    request_id: &str,
     cancel: &CancelToken,
     live: &LiveStats,
     metrics: &Metrics,
 ) -> Result<CoordReport, String> {
     assert!(!cfg.backends.is_empty(), "coordinator mode needs at least one backend");
+    let t0 = Instant::now();
     let (lo, hi) = spec.range.unwrap_or((0, spec.canonical.trials));
     let shards = split_trials(hi - lo, cfg.backends.len() * cfg.shards_per_backend.max(1))
         .into_iter()
@@ -145,7 +153,9 @@ pub fn run_job(
             let dispatch = &dispatch;
             let shards = &shards;
             scope.spawn(move || {
-                backend_loop(cfg, spec, backend, shards, dispatch, cancel, live, metrics)
+                backend_loop(
+                    cfg, spec, request_id, backend, shards, dispatch, cancel, live, metrics,
+                )
             });
         }
     });
@@ -192,7 +202,9 @@ pub fn run_job(
         mean_bits: agg.mean_bits,
         bits_per_cycle: agg.bits_per_cycle,
         digests,
-        wall_secs: 0.0, // the server fills in the coordinator's wall clock
+        // The coordinator's own wall clock: sharding, dispatch, polling, and
+        // the merge — what the submitter actually waited for.
+        wall_secs: t0.elapsed().as_secs_f64(),
         detail: spec.detail.then_some(records),
         cached: false,
     };
@@ -209,6 +221,7 @@ fn lock(dispatch: &Mutex<Dispatch>) -> MutexGuard<'_, Dispatch> {
 fn backend_loop(
     cfg: &CoordinatorConfig,
     spec: &JobSpec,
+    request_id: &str,
     backend: &str,
     shards: &[Shard],
     dispatch: &Mutex<Dispatch>,
@@ -250,8 +263,10 @@ fn backend_loop(
         };
         let shard = shards[k];
         metrics.shards_dispatched.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        match run_shard(cfg, spec, backend, shard, cancel) {
+        let shard_t0 = Instant::now();
+        match run_shard(cfg, spec, request_id, backend, shard, cancel) {
             Ok(result) => {
+                metrics.shard_roundtrip_seconds.observe(shard_t0.elapsed());
                 strikes = 0;
                 for r in &result.records {
                     // Busy time is a backend-side quantity the shard result
@@ -301,10 +316,11 @@ enum ShardError {
 }
 
 /// Submits one shard to `backend`, polls it to completion, and fetches the
-/// detail result.
+/// detail result. Every call carries the coordinator's request id.
 fn run_shard(
     cfg: &CoordinatorConfig,
     spec: &JobSpec,
+    request_id: &str,
     backend: &str,
     shard: Shard,
     cancel: &CancelToken,
@@ -317,7 +333,8 @@ fn run_shard(
     let body = shard_spec.to_json().render();
 
     let transient = |why: String| ShardError::Transient(why);
-    let submit = call(cfg, backend, "POST", "/v1/jobs", body.as_bytes()).map_err(transient)?;
+    let submit =
+        call(cfg, backend, request_id, "POST", "/v1/jobs", body.as_bytes()).map_err(transient)?;
     if submit.0 == 429 || submit.0 == 503 {
         return Err(ShardError::Transient(format!("backend busy ({})", submit.0)));
     }
@@ -336,10 +353,13 @@ fn run_shard(
     loop {
         if cancel.is_cancelled() {
             // Best effort: stop the backend's work too, then bail.
-            let _ = client::request(backend, "DELETE", &job_path, b"", cfg.request_timeout);
+            let headers = [(REQUEST_ID_HEADER, request_id)];
+            let _ =
+                client::request(backend, "DELETE", &job_path, &headers, b"", cfg.request_timeout);
             return Err(ShardError::Cancelled);
         }
-        let (status, v) = call(cfg, backend, "GET", &job_path, b"").map_err(transient)?;
+        let (status, v) =
+            call(cfg, backend, request_id, "GET", &job_path, b"").map_err(transient)?;
         if status != 200 {
             return Err(ShardError::Transient(format!("status poll returned {status}")));
         }
@@ -363,8 +383,8 @@ fn run_shard(
         }
     }
 
-    let (status, v) =
-        call(cfg, backend, "GET", &format!("{job_path}/result"), b"").map_err(transient)?;
+    let (status, v) = call(cfg, backend, request_id, "GET", &format!("{job_path}/result"), b"")
+        .map_err(transient)?;
     if status != 200 {
         return Err(ShardError::Transient(format!("result fetch returned {status}")));
     }
@@ -389,15 +409,18 @@ fn run_shard(
     Ok(ShardResult { digests: outcome.digests, records, partial: executed < shard.len() as usize })
 }
 
-/// One backend call returning the parsed JSON body.
+/// One backend call returning the parsed JSON body, tagged with the
+/// coordinator's request id.
 fn call(
     cfg: &CoordinatorConfig,
     backend: &str,
+    request_id: &str,
     method: &str,
     path: &str,
     body: &[u8],
 ) -> Result<(u16, Json), String> {
-    let resp = client::request(backend, method, path, body, cfg.request_timeout)
+    let headers = [(REQUEST_ID_HEADER, request_id)];
+    let resp = client::request(backend, method, path, &headers, body, cfg.request_timeout)
         .map_err(|e: ClientError| format!("{method} {path}: {e}"))?;
     let text =
         std::str::from_utf8(&resp.body).map_err(|_| format!("{method} {path}: non-UTF-8 body"))?;

@@ -17,6 +17,7 @@ use apf_bench::spec::{scheduler_from_label, scheduler_label, CanonicalSpec, Gene
 use apf_bench::RunResult;
 use apf_trace::PhaseKind;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 pub use apf_bench::spec::{MAX_BUDGET, MAX_ROBOTS, MAX_TRIALS};
 
@@ -371,6 +372,13 @@ pub struct Job {
     /// the worker compares its digests against the cached outcome for this
     /// canonical-spec digest instead of double-counting a user job.
     pub verify_against: Option<u64>,
+    /// The request id this job was submitted under (client-supplied
+    /// `X-Apf-Request-Id` or coordinator-generated). Empty for jobs created
+    /// outside the HTTP path (tests, embedders).
+    pub request_id: String,
+    /// When the job entered the queue; queue-wait latency is measured from
+    /// here to the worker claiming it.
+    pub submitted: Instant,
     state: Mutex<JobState>,
 }
 
@@ -389,8 +397,16 @@ impl Job {
             cancel: CancelToken::new(),
             live: Arc::new(LiveStats::default()),
             verify_against: None,
+            request_id: String::new(),
+            submitted: Instant::now(),
             state: Mutex::new(JobState { status: JobStatus::Queued, outcome: None }),
         }
+    }
+
+    /// Tags the job with the request id it was submitted under.
+    pub fn with_request_id(mut self, request_id: String) -> Job {
+        self.request_id = request_id;
+        self
     }
 
     /// A freshly completed job (a cache hit: terminal on arrival).

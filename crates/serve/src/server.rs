@@ -52,7 +52,7 @@ use apf_trace::escape_json_str;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -292,11 +292,13 @@ fn worker_loop(shared: &Shared) {
             shared.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
             continue;
         }
+        shared.metrics.job_queue_wait_seconds.observe(job.submitted.elapsed());
 
         shared.running.fetch_add(1, Ordering::Relaxed);
         // The spec was fully validated at submission, so execution cannot
         // fail validation; catch_unwind turns any residual bug into a
         // Failed job instead of a dead worker.
+        let exec_t0 = Instant::now();
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if shared.coordinating() {
                 run_coordinated(shared, &job)
@@ -304,6 +306,7 @@ fn worker_loop(shared: &Shared) {
                 Ok(run_local(shared, &job))
             }
         }));
+        shared.metrics.job_exec_seconds.observe(exec_t0.elapsed());
         shared.running.fetch_sub(1, Ordering::Relaxed);
 
         match executed {
@@ -347,20 +350,19 @@ fn run_local(shared: &Shared, job: &Job) -> (JobStatus, JobOutcome) {
     (status, outcome_of(&report, job.spec.detail))
 }
 
-/// Runs a job by sharding it across the configured backends.
+/// Runs a job by sharding it across the configured backends. The outcome's
+/// `wall_secs` is the coordinator's own clock, recorded inside `run_job`.
 fn run_coordinated(shared: &Shared, job: &Job) -> Result<(JobStatus, JobOutcome), String> {
-    let t0 = Instant::now();
     let report = coordinator::run_job(
         &shared.cfg.coordinator,
         &job.spec,
+        &job.request_id,
         &job.cancel,
         &job.live,
         &shared.metrics,
     )?;
-    let mut outcome = report.outcome;
-    outcome.wall_secs = t0.elapsed().as_secs_f64();
     let status = if report.cancelled { JobStatus::Cancelled } else { JobStatus::Done };
-    Ok((status, outcome))
+    Ok((status, report.outcome))
 }
 
 /// Records a finished job, feeding the cache and the verify pipeline.
@@ -452,8 +454,17 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
         }
     };
     shared.metrics.count_response(response.status);
+    let took = t0.elapsed();
+    shared.metrics.http_request_seconds.observe(took);
     if shared.cfg.log_requests {
-        log_request(&method, &path, response.status, t0.elapsed());
+        // The response header carries the request id whether it was echoed
+        // from the client or generated by submit_job.
+        let request_id = response
+            .headers
+            .iter()
+            .find(|(n, _)| *n == coordinator::REQUEST_ID_HEADER)
+            .map(|(_, v)| v.as_str());
+        log_request(&method, &path, response.status, took, request_id);
     }
     // The client may already be gone; nothing useful to do with the error.
     let _ = response.send(&mut stream);
@@ -462,12 +473,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: SocketAddr) {
 /// One JSONL request-log line on stderr, with the attacker-controlled parts
 /// (method, path) escaped through `apf-trace`'s JSON string escaper so the
 /// log stream stays one parseable event per line.
-fn log_request(method: &str, path: &str, status: u16, took: Duration) {
+fn log_request(method: &str, path: &str, status: u16, took: Duration, request_id: Option<&str>) {
     let mut line = String::with_capacity(96);
     line.push_str("{\"ev\":\"http\",\"method\":\"");
     escape_json_str(method, &mut line);
     line.push_str("\",\"path\":\"");
     escape_json_str(path, &mut line);
+    if let Some(id) = request_id {
+        line.push_str("\",\"request_id\":\"");
+        escape_json_str(id, &mut line);
+    }
     let _ = std::fmt::Write::write_fmt(
         &mut line,
         format_args!("\",\"status\":{status},\"micros\":{}}}", took.as_micros()),
@@ -595,6 +610,42 @@ fn with_job(shared: &Shared, id: &str, f: impl FnOnce(&Job) -> Response) -> Resp
     }
 }
 
+/// The request id for a submission: a well-formed `X-Apf-Request-Id` (an
+/// upstream coordinator propagating its id, or a client threading its own
+/// correlation id) is reused; anything absent or malformed gets a fresh
+/// process-unique id. The id is echoed on every submit response and
+/// forwarded to backends on every shard call, so one submission's requests
+/// correlate across the whole fleet.
+fn request_id_of(req: &Request) -> String {
+    let well_formed = |id: &str| {
+        !id.is_empty()
+            && id.len() <= 64
+            && id.bytes().all(|b| b.is_ascii_alphanumeric() || b"-_.".contains(&b))
+    };
+    match req.header("x-apf-request-id") {
+        Some(id) if well_formed(id) => id.to_string(),
+        _ => next_request_id(),
+    }
+}
+
+/// A fresh request id: FNV-1a over the wall clock and a process counter,
+/// rendered as 16 hex digits. The counter alone guarantees uniqueness
+/// within the process; the clock makes ids distinct across restarts.
+fn next_request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let now =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap_or_default();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [now.as_secs(), u64::from(now.subsec_nanos()), count] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
 fn submit_job(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
     if shared.is_shutdown() {
         return Response::error(503, "shutting down");
@@ -603,12 +654,15 @@ fn submit_job(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
         Ok(spec) => spec,
         Err(why) => return Response::error(400, &why),
     };
+    let request_id = request_id_of(req);
 
     // Per-client quota: explicit client id first, peer address as fallback.
     let client = req.header("x-client-id").map_or_else(|| peer.ip().to_string(), str::to_string);
     if !shared.quotas.admit(&client) {
         shared.metrics.quota_rejected.fetch_add(1, Ordering::Relaxed);
-        return Response::error(429, "client quota exceeded").header("Retry-After", "60");
+        return Response::error(429, "client quota exceeded")
+            .header("Retry-After", "60")
+            .header(coordinator::REQUEST_ID_HEADER, request_id);
     }
 
     // Content-addressed cache: answer a repeated cacheable spec without
@@ -622,18 +676,26 @@ fn submit_job(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
                 let mut t = shared.lock_jobs();
                 if t.all.len() >= shared.cfg.max_jobs {
                     shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-                    return Response::error(429, "job table full").header("Retry-After", "1");
+                    return Response::error(429, "job table full")
+                        .header("Retry-After", "1")
+                        .header(coordinator::REQUEST_ID_HEADER, request_id);
                 }
                 let id = t.next_id;
                 t.next_id += 1;
-                let job = Arc::new(Job::new_done(id, spec.clone(), hit.outcome));
+                let job = Arc::new(
+                    Job::new_done(id, spec.clone(), hit.outcome)
+                        .with_request_id(request_id.clone()),
+                );
                 t.all.insert(id, Arc::clone(&job));
                 if hit.verify {
                     // Opportunistic: replay only if the queue has room.
                     if t.queue.len() < shared.cfg.queue_depth && t.all.len() < shared.cfg.max_jobs {
                         let vid = t.next_id;
                         t.next_id += 1;
-                        let verify = Arc::new(Job::new_verify(vid, spec.clone(), digest));
+                        let verify = Arc::new(
+                            Job::new_verify(vid, spec.clone(), digest)
+                                .with_request_id(request_id.clone()),
+                        );
                         t.all.insert(vid, Arc::clone(&verify));
                         t.queue.push_back(verify);
                         shared.queue_cv.notify_one();
@@ -649,7 +711,8 @@ fn submit_job(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
                     ("status", Json::str("done")),
                     ("cached", Json::Bool(true)),
                 ]),
-            );
+            )
+            .header(coordinator::REQUEST_ID_HEADER, request_id);
         }
         shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
@@ -658,11 +721,13 @@ fn submit_job(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
         let mut t = shared.lock_jobs();
         if t.queue.len() >= shared.cfg.queue_depth || t.all.len() >= shared.cfg.max_jobs {
             shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            return Response::error(429, "queue full").header("Retry-After", "1");
+            return Response::error(429, "queue full")
+                .header("Retry-After", "1")
+                .header(coordinator::REQUEST_ID_HEADER, request_id);
         }
         let id = t.next_id;
         t.next_id += 1;
-        let job = Arc::new(Job::new(id, spec));
+        let job = Arc::new(Job::new(id, spec).with_request_id(request_id.clone()));
         t.all.insert(id, Arc::clone(&job));
         t.queue.push_back(Arc::clone(&job));
         job
@@ -670,4 +735,5 @@ fn submit_job(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
     shared.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
     shared.queue_cv.notify_one();
     Response::json(202, &Json::obj([("id", Json::u64(job.id)), ("status", Json::str("queued"))]))
+        .header(coordinator::REQUEST_ID_HEADER, request_id)
 }

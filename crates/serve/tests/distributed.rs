@@ -139,6 +139,18 @@ fn coordinator_merge_is_bit_identical_to_single_process_run() {
     let outcome = fetch_outcome(coord.addr, id);
     assert_bit_identical(&outcome, &spec);
     assert!(!outcome.cached);
+    // The coordinator records its own wall clock (sharding + dispatch +
+    // merge), not a placeholder.
+    assert!(outcome.wall_secs > 0.0, "coordinated outcome must carry real wall time");
+
+    // The fan-out's shard round-trips landed in the latency histogram.
+    let (_, _, metrics) = request(coord.addr, "GET", "/metrics", "");
+    let roundtrips = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("apf_shard_roundtrip_seconds_count "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("shard round-trip histogram");
+    assert!(roundtrips >= 4, "expected >= 4 shard round-trips, saw {roundtrips}:\n{metrics}");
 
     // A single-trial campaign: fewer trials than shard slots.
     let spec1 = CanonicalSpec { name: "one".to_string(), trials: 1, ..CanonicalSpec::default() };

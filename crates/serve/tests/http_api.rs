@@ -31,10 +31,22 @@ impl TestServer {
 
 /// A raw one-shot HTTP/1.1 exchange.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    request_with_headers(addr, method, path, &[], body)
+}
+
+/// A raw exchange with extra request headers.
+fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let extra: String = headers.iter().map(|(n, v)| format!("{n}: {v}\r\n")).collect();
     let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra}Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(req.as_bytes()).expect("send");
@@ -239,8 +251,14 @@ fn metrics_scrape_is_valid_prometheus_text() {
             let mut it = rest.split(' ');
             let name = it.next().expect("type name");
             let kind = it.next().expect("type kind");
-            assert!(matches!(kind, "counter" | "gauge"), "{line}");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
             announced.insert(name.to_string());
+            if kind == "histogram" {
+                // Histogram samples use derived names.
+                announced.insert(format!("{name}_bucket"));
+                announced.insert(format!("{name}_sum"));
+                announced.insert(format!("{name}_count"));
+            }
         } else if !line.starts_with('#') {
             let (name_labels, value) = line.rsplit_once(' ').expect("sample line");
             let name = name_labels.split('{').next().expect("name");
@@ -257,6 +275,47 @@ fn metrics_scrape_is_valid_prometheus_text() {
     assert!(body.contains("apf_trials_total 2"), "{body}");
     assert!(body.contains("apf_queue_depth 0"), "{body}");
     assert!(body.contains("apf_phase_cycles_total"), "{body}");
+
+    // The latency histograms saw the HTTP traffic and the job's lifecycle.
+    assert!(body.contains("# TYPE apf_http_request_seconds histogram"), "{body}");
+    assert!(body.contains("apf_http_request_seconds_bucket{le=\"+Inf\"}"), "{body}");
+    assert!(body.contains("apf_job_queue_wait_seconds_count 1"), "{body}");
+    assert!(body.contains("apf_job_exec_seconds_count 1"), "{body}");
+
+    ts.stop();
+}
+
+#[test]
+fn submit_echoes_and_generates_request_ids() {
+    let ts = start(ServerConfig::default());
+
+    // A well-formed client-supplied id is echoed back verbatim.
+    let (status, head, _) = request_with_headers(
+        ts.addr,
+        "POST",
+        "/v1/jobs",
+        &[("X-Apf-Request-Id", "coord-7f.3")],
+        r#"{"name":"rid","trials":1,"budget":2000000}"#,
+    );
+    assert_eq!(status, 202);
+    assert!(head.contains("X-Apf-Request-Id: coord-7f.3"), "{head}");
+
+    // A malformed id is replaced by a fresh 16-hex-digit one.
+    let (status, head, _) = request_with_headers(
+        ts.addr,
+        "POST",
+        "/v1/jobs",
+        &[("X-Apf-Request-Id", "bad id with spaces")],
+        r#"{"name":"rid2","trials":1,"budget":2000000}"#,
+    );
+    assert_eq!(status, 202);
+    let rid = head
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Apf-Request-Id: "))
+        .expect("generated request id")
+        .trim();
+    assert_eq!(rid.len(), 16, "{head}");
+    assert!(rid.bytes().all(|b| b.is_ascii_hexdigit()), "{head}");
 
     ts.stop();
 }

@@ -25,9 +25,10 @@ pub struct WorldConfig {
     pub randomize_frames: bool,
     /// Whether to record every configuration for later rendering.
     pub record_trace: bool,
-    /// Whether to measure Compute wall time into the per-phase metrics.
-    /// Off by default: an `Instant::now` pair per cycle is measurable
-    /// overhead in million-trial campaigns.
+    /// Whether to measure Compute wall time into the per-phase metrics
+    /// (via [`apf_trace::span::clock_ns`], the workspace's one sanctioned
+    /// wall-clock site). Off by default: a clock-read pair per cycle is
+    /// measurable overhead in million-trial campaigns.
     pub time_compute: bool,
 }
 
@@ -462,19 +463,29 @@ impl World {
     }
 
     fn apply_look(&mut self, robot: usize, observed: &[Point]) -> Result<(), ComputeError> {
+        let _look_span = apf_trace::span::enter_robot(apf_trace::SpanLabel::Look, robot as u32);
         let step = self.metrics.steps;
         let snapshot = self.snapshot_at(robot, observed);
         let bits_before = self.bits[robot].bits_drawn();
-        // apf-lint: allow(no-wallclock-in-sim) — opt-in compute_ns metric only; never steers the sim
-        let timer = self.config.time_compute.then(std::time::Instant::now);
-        let result = match self.sink.as_deref_mut() {
-            Some(sink) => {
-                sink.record(&TraceEvent::Look { step, robot: robot as u32 });
-                let mut tracing =
-                    TracingBits { inner: &mut self.bits[robot], sink, step, robot: robot as u32 };
-                self.algorithm.compute_tagged(&snapshot, &mut tracing)
+        // Timing reads go through the span module's clock — the workspace's
+        // only sanctioned wall-clock site (lint rule D3). Opt-in metric
+        // only; never steers the sim.
+        let timer = self.config.time_compute.then(apf_trace::span::clock_ns);
+        let result = {
+            let _compute_span = apf_trace::span::enter(apf_trace::SpanLabel::Compute);
+            match self.sink.as_deref_mut() {
+                Some(sink) => {
+                    sink.record(&TraceEvent::Look { step, robot: robot as u32 });
+                    let mut tracing = TracingBits {
+                        inner: &mut self.bits[robot],
+                        sink,
+                        step,
+                        robot: robot as u32,
+                    };
+                    self.algorithm.compute_tagged(&snapshot, &mut tracing)
+                }
+                None => self.algorithm.compute_tagged(&snapshot, &mut self.bits[robot]),
             }
-            None => self.algorithm.compute_tagged(&snapshot, &mut self.bits[robot]),
         };
         let drawn = self.bits[robot].bits_drawn() - bits_before;
         let (decision, phase) = match result {
@@ -488,8 +499,8 @@ impl World {
         };
         self.metrics.record_cycle(phase);
         self.metrics.record_bits(phase, drawn);
-        if let Some(t) = timer {
-            self.metrics.record_compute_ns(phase, t.elapsed().as_nanos() as u64);
+        if let Some(t0) = timer {
+            self.metrics.record_compute_ns(phase, apf_trace::span::clock_ns().saturating_sub(t0));
         }
         let mut moved = false;
         let mut path_len = 0.0;
@@ -528,6 +539,7 @@ impl World {
     }
 
     fn apply_move(&mut self, robot: usize, distance: f64, end_phase: bool) {
+        let _move_span = apf_trace::span::enter_robot(apf_trace::SpanLabel::Move, robot as u32);
         let step = self.metrics.steps;
         // apf-lint: allow(panic-policy) — step() rejects Move for robots without a pending path
         let pm = self.pending[robot].as_mut().expect("validated by step()");

@@ -27,7 +27,11 @@
 //! * [`inspect`] — [`inspect::TraceSummary`]: replays an event stream,
 //!   validates it (Look/Move legality, monotonic steps, the paper's
 //!   ≤ 1-bit-per-election-cycle claim), and renders per-robot timelines and
-//!   per-phase statistics.
+//!   per-phase statistics;
+//! * [`span`] — wall-time span profiling ([`Span`]/[`SpanSink`]): a
+//!   *separate* channel from the event stream, so timing data can never
+//!   perturb trace digests. Zero-allocation and branch-cheap when no sink
+//!   is installed.
 //!
 //! This crate is a dependency *leaf*: `apf-sim` emits into it, `apf-core`
 //! tags decisions with its [`PhaseKind`], and `apf-bench`/the CLI consume
@@ -39,6 +43,7 @@ pub mod event;
 pub mod inspect;
 pub mod jsonl;
 pub mod sink;
+pub mod span;
 
 pub use event::{PhaseKind, TraceEvent};
 pub use inspect::{describe, PhaseTally, RobotTally, TraceSummary};
@@ -47,3 +52,4 @@ pub use sink::{
     CountingSink, CrashDumpSink, HashProbe, HashSink, JsonlSink, NullSink, RingSink, TeeSink,
     TraceSink, VecSink,
 };
+pub use span::{NullSpanSink, Span, SpanGuard, SpanLabel, SpanSink, SpanStack, VecSpanSink};

@@ -119,7 +119,10 @@ cargo run -q --release --bin apf-cli -- job-digest "$SERVE_DIR/spec.json" \
 start_serve "$SERVE_DIR/serve.log" --jobs 1 --queue-depth 8 --cache-verify 1
 curl -fsS "http://$ADDR/healthz" > /dev/null
 curl -fsS "http://$ADDR/v1/healthz" > /dev/null
-curl -fsS "http://$ADDR/metrics" | grep -q '^apf_jobs_total' \
+# Capture before grepping: `curl | grep -q` trips pipefail once the body
+# outgrows the pipe buffer (grep exits at the first match, curl gets EPIPE).
+curl -fsS "http://$ADDR/metrics" > "$SERVE_DIR/metrics0.txt"
+grep -q '^apf_jobs_total' "$SERVE_DIR/metrics0.txt" \
     || { echo "/metrics scrape missing apf_jobs_total"; exit 1; }
 # The unversioned paths answer 308 Permanent Redirect pointing into /v1/.
 REDIRECT="$(curl -sS -o /dev/null -D - -X POST \
@@ -128,9 +131,14 @@ printf '%s' "$REDIRECT" | grep -q '^HTTP/1.1 308' \
     || { echo "legacy POST /jobs did not answer 308: $REDIRECT"; exit 1; }
 printf '%s' "$REDIRECT" | grep -qi '^Location: /v1/jobs' \
     || { echo "308 missing Location: /v1/jobs: $REDIRECT"; exit 1; }
-JOB_ID="$(curl -fsS -X POST --data-binary @"$SERVE_DIR/spec.json" \
-    "http://$ADDR/v1/jobs" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
+JOB_ID="$(curl -fsS -D "$SERVE_DIR/submit_hdrs.txt" -X POST \
+    --data-binary @"$SERVE_DIR/spec.json" "http://$ADDR/v1/jobs" \
+    | sed -n 's/.*"id":\([0-9]*\).*/\1/p')"
 [ -n "$JOB_ID" ] || { echo "job submission returned no id"; exit 1; }
+# Every submission response carries the request id that threads through the
+# access log and, on coordinators, onward to the backends.
+grep -qi '^X-Apf-Request-Id: ' "$SERVE_DIR/submit_hdrs.txt" \
+    || { echo "submission response missing X-Apf-Request-Id"; exit 1; }
 wait_job_done "$ADDR" "$JOB_ID"
 curl -fsS "http://$ADDR/v1/jobs/$JOB_ID/result" > "$SERVE_DIR/result.json"
 tr -d ' ' < "$SERVE_DIR/result.json" \
@@ -141,6 +149,18 @@ diff -u "$SERVE_DIR/expected.txt" "$SERVE_DIR/served.txt" \
 strip_noise < "$SERVE_DIR/result.json" > "$SERVE_DIR/served_report.json"
 diff -u "$SERVE_DIR/expected_report.json" "$SERVE_DIR/served_report.json" \
     || { echo "served aggregate diverges from the direct engine run"; exit 1; }
+# The latency histograms must be live: at least one HTTP request handled and
+# one job queued and executed by now.
+HMETRICS="$(curl -fsS "http://$ADDR/metrics")"
+for h in apf_http_request_seconds apf_job_queue_wait_seconds apf_job_exec_seconds; do
+    printf '%s\n' "$HMETRICS" | grep -q "^# TYPE $h histogram" \
+        || { echo "/metrics missing histogram $h"; exit 1; }
+done
+printf '%s\n' "$HMETRICS" | grep -q '^apf_job_exec_seconds_count [1-9]' \
+    || { echo "job execution histogram never observed a job"; exit 1; }
+printf '%s\n' "$HMETRICS" \
+    | grep -q '^apf_http_request_seconds_bucket{le="+Inf"} [1-9]' \
+    || { echo "request latency histogram never observed a request"; exit 1; }
 # Same spec again: must be answered from the cache, bit-identically.
 RESP2="$(curl -fsS -X POST --data-binary @"$SERVE_DIR/spec.json" \
     "http://$ADDR/v1/jobs")"
@@ -196,14 +216,44 @@ curl -fsS "http://$COORD_ADDR/v1/jobs/$CJOB/result" | strip_noise \
     > "$SERVE_DIR/cserved.json"
 diff -u "$SERVE_DIR/cexpected.json" "$SERVE_DIR/cserved.json" \
     || { echo "coordinator merge diverges from the direct engine run"; exit 1; }
-curl -fsS "http://$COORD_ADDR/metrics" \
-    | grep -q '^apf_shards_total{event="dispatched"} [1-9]' \
+curl -fsS "http://$COORD_ADDR/metrics" > "$SERVE_DIR/coord_metrics.txt"
+grep -q '^apf_shards_total{event="dispatched"} [1-9]' \
+    "$SERVE_DIR/coord_metrics.txt" \
     || { echo "coordinator reported no dispatched shards"; exit 1; }
+grep -q '^apf_shard_roundtrip_seconds_count [1-9]' \
+    "$SERVE_DIR/coord_metrics.txt" \
+    || { echo "coordinator recorded no shard round-trip latencies"; exit 1; }
 for p in "${SERVE_PIDS[@]}"; do kill -TERM "$p"; done
 for p in "${SERVE_PIDS[@]}"; do
     wait "$p" || { echo "a serve process did not exit 0 on SIGTERM"; exit 1; }
 done
 SERVE_PIDS=()
+
+echo "==> profile smoke: collapsed stacks + digest identity with spans on"
+# Span profiling must be observationally free: running the smoke spec with
+# the profiler installed must reproduce `job-digest --report` byte for byte.
+# The folded output must be non-empty, well-formed collapsed stacks
+# (`frame;frame;... self_ns`), and on the kernel workload the heaviest
+# frame must be the known-dominant kernel: shifted-pattern matching.
+./target/release/apf-cli profile --spec "$SERVE_DIR/spec.json" --jobs 2 \
+    --fold "$SERVE_DIR/prof.folded" \
+    --report-out "$SERVE_DIR/prof_report.json" > /dev/null
+diff -u "$SERVE_DIR/expected_report.json" "$SERVE_DIR/prof_report.json" \
+    || { echo "profiling changed the campaign aggregate"; exit 1; }
+[ -s "$SERVE_DIR/prof.folded" ] \
+    || { echo "profile wrote an empty fold file"; exit 1; }
+if grep -qvE '^[a-z_]+(;[a-z_]+)* [0-9]+$' "$SERVE_DIR/prof.folded"; then
+    echo "malformed collapsed-stacks line(s):"
+    grep -vE '^[a-z_]+(;[a-z_]+)* [0-9]+$' "$SERVE_DIR/prof.folded"
+    exit 1
+fi
+./target/release/apf-cli profile --kernels 64 --reps 3 \
+    --fold "$SERVE_DIR/kern.folded" > /dev/null
+TOP_STACK="$(sort -t' ' -k2 -rn "$SERVE_DIR/kern.folded" | head -1 \
+    | cut -d' ' -f1)"
+[ "${TOP_STACK##*;}" = "shifted" ] \
+    || { echo "hottest kernel frame is '${TOP_STACK##*;}', expected shifted"
+         exit 1; }
 
 echo "==> perf snapshot vs committed BENCH_*.json (tolerance band)"
 # Regenerate the fixed perf workload and compare campaign throughput against
@@ -232,6 +282,31 @@ if [ -n "$PREV" ]; then
                 exit 1;
             }
         }' || exit 1
+    done
+    # Kernel-level latencies (µs — LOWER is better, so the band flips):
+    # only a >2.5x slowdown on an instrumented kernel fails the gate.
+    kus() {
+        sed -n "s/.*\"$2\":{\([^}]*\)}.*/\1/p" "$1" \
+            | sed -n "s/.*\"$3\":\([0-9.eE+-]*\).*/\1/p"
+    }
+    for nk in n32 n128; do
+        for k in sec_us rho_us views_us regular_us shifted_us; do
+            OLD="$(kus "$PREV" "$nk" "$k")"
+            NEW="$(kus "$SERVE_DIR/perf.json" "$nk" "$k")"
+            [ -n "$OLD" ] && [ -n "$NEW" ] \
+                || { echo "perf snapshot missing kernels.$nk.$k"; exit 1; }
+            awk -v old="$OLD" -v new="$NEW" -v k="$nk.$k" -v snap="$PREV" \
+                'BEGIN {
+                ratio = new / old;
+                printf "    %-20s %10.2f -> %10.2f us (x%.2f vs %s)\n",
+                       k, old, new, ratio, snap;
+                if (ratio > 2.5) {
+                    printf "perf regression: kernel %s slowed to x%.2f of %s\n",
+                           k, ratio, snap;
+                    exit 1;
+                }
+            }' || exit 1
+        done
     done
 else
     echo "    no committed BENCH_*.json yet; skipping the diff"

@@ -85,8 +85,24 @@
 //! The `perf-snapshot` subcommand runs the fixed perf workload (the E2
 //! randomness-budget campaigns plus the E9 geometry kernels) and emits one
 //! JSON object of throughput numbers; `scripts/check.sh` diffs a fresh
-//! snapshot's trials/sec against the committed `BENCH_<PR>.json` with a
-//! tolerance band so slowdowns fail loudly instead of accruing silently.
+//! snapshot's trials/sec and per-kernel µs against the committed
+//! `BENCH_<PR>.json` with a tolerance band so slowdowns fail loudly instead
+//! of accruing silently.
+//!
+//! The `profile` subcommand records wall-time spans (LCM phases + analysis
+//! kernels) while running a campaign — or hammers the kernels directly with
+//! `--kernels N` — prints per-kernel latency statistics, and exports
+//! collapsed-stacks fold files for flamegraph rendering:
+//!
+//! ```text
+//! apf-cli profile [--spec FILE] [--jobs N] [--report-out PATH]
+//!                 [--kernels N] [--reps R] [--fold PATH] [--json PATH]
+//! ```
+//!
+//! Span recording is structurally segregated from trace digesting, so a
+//! profiled campaign's digests and aggregates are bit-identical to an
+//! unprofiled run (`--report-out` emits exactly the `job-digest --report`
+//! object; check.sh diffs the two).
 
 use apf::prelude::*;
 use apf::render::{Style, SvgScene};
@@ -464,6 +480,39 @@ fn serve_main(args: &[String]) -> ! {
 /// engine and print its per-trial FNV trace digests. This is the local half
 /// of the bit-for-bit reproduction check: the same spec submitted to
 /// `apf-cli serve` must report exactly these digests.
+/// A campaign's deterministic aggregate rendered as the service's result
+/// JSON object (minus the timing-noisy wall clock). Shared by
+/// `job-digest --report` and `profile --report-out` so the two renderings
+/// are byte-comparable: `diff` between them proves span recording changed
+/// no digest and no aggregate byte.
+fn job_report_json(report: &apf_bench::engine::CampaignReport) -> apf_serve::Json {
+    use apf_serve::Json;
+    let agg = report.aggregate();
+    Json::obj([
+        ("trials", Json::usize(report.trials)),
+        ("requested", Json::usize(report.requested)),
+        ("formed", Json::u64(report.stats.formed())),
+        ("success", Json::f64(agg.success)),
+        ("mean_cycles", Json::f64(agg.mean_cycles)),
+        ("median_cycles", Json::f64(agg.median_cycles)),
+        ("p95_cycles", Json::f64(agg.p95_cycles)),
+        ("mean_bits", Json::f64(agg.mean_bits)),
+        ("bits_per_cycle", Json::f64(agg.bits_per_cycle)),
+        (
+            "digests",
+            Json::Arr(
+                report
+                    .digests
+                    .as_deref()
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|&d| Json::u64(d))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn job_digest_main(args: &[String]) -> ! {
     let usage = "apf-cli job-digest FILE [--jobs N] [--report]\n\
                  run a job spec (JSON, as POSTed to /v1/jobs) locally and print\n\
@@ -524,32 +573,7 @@ fn job_digest_main(args: &[String]) -> ! {
         // The same fields and renderer as the service's result JSON, minus
         // the timing-noisy wall clock — so `diff` against a served result
         // (with "wall_secs" stripped) is a bitwise aggregate comparison.
-        use apf_serve::Json;
-        let agg = report.aggregate();
-        let out = Json::obj([
-            ("trials", Json::usize(report.trials)),
-            ("requested", Json::usize(report.requested)),
-            ("formed", Json::u64(report.stats.formed())),
-            ("success", Json::f64(agg.success)),
-            ("mean_cycles", Json::f64(agg.mean_cycles)),
-            ("median_cycles", Json::f64(agg.median_cycles)),
-            ("p95_cycles", Json::f64(agg.p95_cycles)),
-            ("mean_bits", Json::f64(agg.mean_bits)),
-            ("bits_per_cycle", Json::f64(agg.bits_per_cycle)),
-            (
-                "digests",
-                Json::Arr(
-                    report
-                        .digests
-                        .as_deref()
-                        .unwrap_or_default()
-                        .iter()
-                        .map(|&d| Json::u64(d))
-                        .collect(),
-                ),
-            ),
-        ]);
-        println!("{}", out.render());
+        println!("{}", job_report_json(&report).render());
     } else {
         for d in report.digests.as_deref().unwrap_or_default() {
             println!("{d}");
@@ -598,6 +622,178 @@ fn spec_digest_main(args: &[String]) -> ! {
     });
     println!("{:016x}", spec.canonical.digest());
     println!("{}", spec.canonical.canonical_json());
+    std::process::exit(0);
+}
+
+/// The `profile` subcommand: wall-time span profiling with collapsed-stacks
+/// (flamegraph) export. Two modes:
+///
+/// * campaign mode (default, or `--spec FILE`): run a campaign through the
+///   engine with span recording on — digests and aggregates stay
+///   bit-identical to an unprofiled run (`--report-out` writes exactly the
+///   `job-digest --report` object so check.sh can diff the two);
+/// * `--kernels N` mode: hammer the five E9 analysis kernels directly on an
+///   asymmetric n-robot configuration (`--reps R` times), the quickest way
+///   to see where analysis wall time goes at a given scale.
+fn profile_main(args: &[String]) -> ! {
+    use apf_bench::engine::{Campaign, Engine, RunSpec};
+    use apf_bench::profile::{fmt_ns, SpanProfile};
+    let usage = "apf-cli profile [--spec FILE] [--jobs N] [--report-out PATH]\n\
+                 \x20           [--kernels N] [--reps R]\n\
+                 \x20           [--fold PATH] [--json PATH]\n\
+                 record wall-time spans (phases + analysis kernels) and print\n\
+                 per-kernel latency stats; --fold writes collapsed-stacks lines\n\
+                 (`a;b;c self_ns`, feed to inferno/flamegraph.pl), --json the\n\
+                 full profile; campaign mode runs --spec (a /v1/jobs JSON body)\n\
+                 or a small built-in campaign, and --report-out writes the\n\
+                 job-digest --report object for bitwise digest comparison;\n\
+                 --kernels N times the five analysis kernels at size N instead\n\
+                 exit codes: 0 ok, 2 usage, bad spec, or I/O errors";
+    let mut spec_file: Option<String> = None;
+    let mut jobs: usize = 2;
+    let mut kernels_n: Option<usize> = None;
+    let mut reps: usize = 20;
+    let mut fold: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {arg} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_fail = |e: &dyn std::fmt::Display| -> ! {
+            eprintln!("error: {arg}: {e}");
+            std::process::exit(2);
+        };
+        match arg.as_str() {
+            "--spec" => spec_file = Some(value()),
+            "--jobs" => jobs = value().parse().unwrap_or_else(|e| parse_fail(&e)),
+            "--kernels" => kernels_n = Some(value().parse().unwrap_or_else(|e| parse_fail(&e))),
+            "--reps" => reps = value().parse().unwrap_or_else(|e| parse_fail(&e)),
+            "--fold" => fold = Some(value()),
+            "--json" => json_out = Some(value()),
+            "--report-out" => report_out = Some(value()),
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if kernels_n.is_some() && (spec_file.is_some() || report_out.is_some()) {
+        eprintln!("error: --kernels runs no campaign; drop --spec/--report-out\n{usage}");
+        std::process::exit(2);
+    }
+
+    let profile: SpanProfile = if let Some(n) = kernels_n {
+        // Kernel mode: the kernels run on this thread, so install here.
+        let n = n.max(3);
+        let handle = std::sync::Arc::new(std::sync::Mutex::new(SpanProfile::new()));
+        drop(apf::trace::span::install(Box::new(std::sync::Arc::clone(&handle))));
+        let pts = apf::patterns::asymmetric_configuration(n, 17_000 + n as u64);
+        let cfg = apf::geometry::Configuration::new(pts.clone());
+        let tol = apf::geometry::Tol::default();
+        let center = cfg.sec().center;
+        for _ in 0..reps.max(1) {
+            let _ = apf::geometry::smallest_enclosing_circle(&pts);
+            let _ = apf::geometry::symmetry::symmetricity(&cfg, center, &tol);
+            let _ = apf::geometry::symmetry::ViewAnalysis::compute(&cfg, center, &tol);
+            let _ = apf::geometry::symmetry::regular_set_of(&cfg, &tol);
+            let _ = apf::geometry::symmetry::find_shifted_regular(&cfg, &tol);
+        }
+        drop(apf::trace::span::take());
+        let p = handle.lock().unwrap_or_else(|_| {
+            eprintln!("error: span profile lock poisoned");
+            std::process::exit(2);
+        });
+        p.clone()
+    } else {
+        let campaign = match &spec_file {
+            Some(file) => {
+                let body = std::fs::read(file).unwrap_or_else(|e| {
+                    eprintln!("error: cannot read {file}: {e}");
+                    std::process::exit(2);
+                });
+                let spec = apf_serve::JobSpec::from_json_bytes(&body).unwrap_or_else(|e| {
+                    eprintln!("error: {file}: {e}");
+                    std::process::exit(2);
+                });
+                spec.to_campaign()
+            }
+            None => {
+                // A small built-in campaign: quick-forming symmetric
+                // instances, enough steps to exercise every kernel.
+                let mut c = Campaign::new("profile", 2);
+                c.add_trials(8, |i, _| {
+                    RunSpec::new(
+                        apf::patterns::symmetric_configuration(8, 4, 3000 + i),
+                        apf::patterns::random_pattern(8, 4000 + i),
+                    )
+                    .scheduler(SchedulerKind::RoundRobin)
+                    .budget(100_000)
+                });
+                c
+            }
+        };
+        let report =
+            Engine::new().jobs(jobs.max(1)).trace_digests(true).profile_spans(true).run(&campaign);
+        if let Some(path) = &report_out {
+            let doc = format!("{}\n", job_report_json(&report).render());
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        report.profile.unwrap_or_else(|| {
+            eprintln!("error: engine returned no profile");
+            std::process::exit(2);
+        })
+    };
+
+    println!("span profile (wall time, hottest first):");
+    for k in profile.rows() {
+        println!(
+            "  {:<10} count {:>10}  mean {:>9}  p50 {:>9}  p95 {:>9}  max {:>9}  self {:>9}",
+            k.label.label(),
+            k.count,
+            fmt_ns(k.mean_ns),
+            fmt_ns(k.p50_ns as f64),
+            fmt_ns(k.p95_ns as f64),
+            fmt_ns(k.max_ns as f64),
+            fmt_ns(k.self_ns as f64),
+        );
+    }
+    if let Some(hot) = profile.hottest_leaf() {
+        println!("hottest frame: {}", hot.label());
+    }
+    if profile.truncated() > 0 {
+        eprintln!("warning: {} spans exceeded the depth limit", profile.truncated());
+    }
+    if let Some(path) = &fold {
+        let mut buf = Vec::new();
+        profile.write_folded(&mut buf).unwrap_or_else(|e| {
+            eprintln!("error: folding: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = std::fs::write(path, buf) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("folded stacks written to {path}");
+    }
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", profile.to_json())) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("profile JSON written to {path}");
+    }
     std::process::exit(0);
 }
 
@@ -808,7 +1004,8 @@ fn parse_args() -> Result<Args, String> {
                      \x20            serve [--addr A] [--backend A]...  campaign service (HTTP)\n\
                      \x20            job-digest FILE [--report]         job spec -> digests/aggregate\n\
                      \x20            spec-digest FILE                   job spec -> content address\n\
-                     \x20            perf-snapshot [--out PATH]         fixed perf workload -> JSON"
+                     \x20            perf-snapshot [--out PATH]         fixed perf workload -> JSON\n\
+                     \x20            profile [--spec FILE] [--fold PATH] wall-time span profiling"
                 );
                 std::process::exit(0);
             }
@@ -868,6 +1065,9 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("perf-snapshot") {
         perf_snapshot_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("profile") {
+        profile_main(&raw[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,
