@@ -38,6 +38,11 @@ pub struct CorpusCase {
     /// `Some(rho)` starts from a `rho`-symmetric configuration, `None` from
     /// an asymmetric one.
     pub symmetric: Option<usize>,
+    /// `Some(family)` overrides the generator with a degenerate instance
+    /// from the geometry fuzzer's seeded families (collinear start,
+    /// ε-perturbed symmetricity, SEC-boundary robot, near-multiplicity
+    /// pair), freezing the engine's behaviour at classifier boundaries.
+    pub degenerate: Option<crate::geometry_fuzz::GeoFamily>,
     /// Whether the target pattern contains multiplicity points (and the
     /// world enables multiplicity detection).
     pub multiplicity: bool,
@@ -56,9 +61,15 @@ pub struct CorpusCase {
 impl CorpusCase {
     /// The spec replaying this case.
     pub fn spec(&self) -> RunSpec {
-        let initial = match self.symmetric {
-            Some(rho) => apf_patterns::symmetric_configuration(self.n, rho, self.seed ^ 0xA5),
-            None => apf_patterns::asymmetric_configuration(self.n, self.seed ^ 0xA5),
+        let initial = match (self.degenerate, self.symmetric) {
+            (Some(family), _) => {
+                crate::geometry_fuzz::degenerate_instance(family, self.n, self.seed ^ 0xD6)
+                    .positions
+            }
+            (None, Some(rho)) => {
+                apf_patterns::symmetric_configuration(self.n, rho, self.seed ^ 0xA5)
+            }
+            (None, None) => apf_patterns::asymmetric_configuration(self.n, self.seed ^ 0xA5),
         };
         let pattern = if self.multiplicity {
             apf_patterns::pattern_with_multiplicity(self.n, self.n - 2, self.seed ^ 0x5A)
@@ -102,13 +113,15 @@ impl CorpusCase {
 
 /// The checked-in corpus: small-n cases across every scheduler kind,
 /// with and without multiplicity, symmetric and asymmetric starts, shared
-/// and randomized frames, default and aggressive ASYNC adversaries.
+/// and randomized frames, default and aggressive ASYNC adversaries, and
+/// degenerate-geometry starts from the fuzzer's instance families.
 pub fn cases() -> Vec<CorpusCase> {
     let base = CorpusCase {
         name: "",
         kind: SchedulerKind::Fsync,
         n: 7,
         symmetric: None,
+        degenerate: None,
         multiplicity: false,
         randomize_frames: true,
         async_config: None,
@@ -195,6 +208,46 @@ pub fn cases() -> Vec<CorpusCase> {
             symmetric: Some(3),
             seed: 20,
             budget: 200,
+            ..base.clone()
+        },
+        // Degenerate-family starts from the geometry fuzzer: the seeds are
+        // chosen so each instance sits on the intended side of its
+        // classifier boundary (asserted by `degenerate_cases_sit_on_the_
+        // intended_boundary_side` below).
+        CorpusCase {
+            name: "fsync-collinear-n8",
+            kind: SchedulerKind::Fsync,
+            n: 8,
+            degenerate: Some(crate::geometry_fuzz::GeoFamily::Collinear),
+            seed: 21,
+            budget: 200,
+            ..base.clone()
+        },
+        CorpusCase {
+            name: "ssync-rho2-eps-n8",
+            kind: SchedulerKind::Ssync,
+            n: 8,
+            degenerate: Some(crate::geometry_fuzz::GeoFamily::PerturbedRho),
+            seed: 30,
+            budget: 240,
+            ..base.clone()
+        },
+        CorpusCase {
+            name: "async-secboundary-n8",
+            kind: SchedulerKind::Async,
+            n: 8,
+            degenerate: Some(crate::geometry_fuzz::GeoFamily::SecBoundary),
+            seed: 28,
+            budget: 320,
+            ..base.clone()
+        },
+        CorpusCase {
+            name: "rr-nearmult-n9",
+            kind: SchedulerKind::RoundRobin,
+            n: 9,
+            degenerate: Some(crate::geometry_fuzz::GeoFamily::NearMultiplicity),
+            seed: 23,
+            budget: 260,
             ..base
         },
     ]
@@ -471,6 +524,40 @@ mod tests {
         assert_eq!(names.len(), cs.len(), "duplicate case names");
         for c in &cs {
             assert!(c.golden_path(Path::new("x")).to_string_lossy().ends_with(".jsonl"));
+        }
+    }
+
+    #[test]
+    fn degenerate_cases_sit_on_the_intended_boundary_side() {
+        use crate::geometry_fuzz::{degenerate_instance, Expectation, GeoFamily};
+        let cs = cases();
+        let degenerate: Vec<&CorpusCase> = cs.iter().filter(|c| c.degenerate.is_some()).collect();
+        assert_eq!(degenerate.len(), 4, "one corpus case per degenerate family");
+        let mut families: Vec<GeoFamily> =
+            degenerate.iter().map(|c| c.degenerate.expect("filtered on degenerate")).collect();
+        families.sort_by_key(|f| f.label());
+        families.dedup();
+        assert_eq!(families.len(), 4, "every family is represented");
+        for c in &degenerate {
+            let family = c.degenerate.expect("filtered on degenerate");
+            let inst = degenerate_instance(family, c.n, c.seed ^ 0xD6);
+            assert_eq!(inst.positions.len(), c.n);
+            match family {
+                // The near-multiplicity pair must be separated *above* the
+                // tolerance threshold: two distinct points the algorithm
+                // tolerates, not an accidental multiplicity.
+                GeoFamily::NearMultiplicity => {
+                    assert_eq!(inst.expectation, Expectation::MustNotHold);
+                    assert!(inst.perturbation > inst.threshold);
+                }
+                // The other three are epsilon-perturbed *within* tolerance:
+                // nonzero perturbation the classifiers must absorb.
+                _ => {
+                    assert_eq!(inst.expectation, Expectation::MustHold);
+                    assert!(inst.perturbation > 0.0);
+                    assert!(inst.perturbation <= inst.threshold);
+                }
+            }
         }
     }
 

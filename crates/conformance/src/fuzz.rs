@@ -270,7 +270,7 @@ fn world_for(cfg: &FuzzConfig, seed: u64, scheduler: Box<dyn Scheduler>) -> Worl
 /// Checks every fuzzed property over a finished run's event stream.
 /// `formed` is the engine's verdict; `check_formation` is disabled during
 /// shrink replays (a truncated script trivially fails to form).
-fn check_events(
+pub(crate) fn check_events(
     cfg: &FuzzConfig,
     events: &[TraceEvent],
     formed: bool,

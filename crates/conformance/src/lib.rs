@@ -3,7 +3,7 @@
 //!
 //! The simulator's experiment claims (bits per cycle, formation
 //! probability, adversary resilience) are only as good as the engine's
-//! behavioral stability. This crate pins that stability down two ways:
+//! behavioral stability. This crate pins that stability down three ways:
 //!
 //! * **[`corpus`]** — a checked-in set of golden JSONL traces (small
 //!   instances across every scheduler kind, with and without multiplicity)
@@ -21,6 +21,13 @@
 //!   schedules to minimal [`ScriptedScheduler`](apf_scheduler::ScriptedScheduler)
 //!   reproducers. Campaigns are bit-deterministic in their seed for any
 //!   `--jobs` value.
+//! * **[`geometry_fuzz`]** — the same adversarial treatment for *instance
+//!   geometry*: seeded degenerate families (ε-perturbed symmetricity,
+//!   collinear, SEC-boundary, near-multiplicity) with perturbations
+//!   laddered across both sides of the classifier tolerance bands, checked
+//!   by a pure-geometry oracle and then under the full scheduler matrix.
+//!   Violations shrink over geometry *and* schedules to minimal
+//!   `(positions, script)` reproducers.
 //!
 //! Crash forensics ride on `apf-trace`'s `CrashDumpSink`: engine invariant
 //! violations flush a last-N event window to disk before panicking (see
@@ -30,6 +37,7 @@
 
 pub mod corpus;
 pub mod fuzz;
+pub mod geometry_fuzz;
 
 pub use corpus::{
     cases, default_corpus_dir, event_diff, fnv1a, read_manifest, regenerate, verify,
@@ -38,4 +46,9 @@ pub use corpus::{
 pub use fuzz::{
     dump_counterexample, fuzz_campaign, replay_violates, script_from_text, script_to_text, shrink,
     Counterexample, FuzzConfig, FuzzReport, Violation,
+};
+pub use geometry_fuzz::{
+    check_instance, degenerate_instance, dump_geo_counterexample, geo_fuzz_campaign,
+    geo_fuzz_rounds, geo_fuzz_timed, shrink_geometry, Expectation, GeoCounterexample, GeoFamily,
+    GeoFuzzConfig, GeoFuzzReport, GeoInstance, GeoOracle,
 };

@@ -10,8 +10,11 @@
 //!   (Definition 1), center finding, and the regular set `reg(P)` of a
 //!   configuration (Definition 2);
 //! * [`shifted`] — ε-shifted regular sets (Definition 3) and the shifted
-//!   robot recovery that powers the symmetry-breaking phase.
+//!   robot recovery that powers the symmetry-breaking phase;
+//! * [`consts`] — the classifiers' shared tolerance bands and slack
+//!   factors, exposed so the geometry fuzzer can target their boundaries.
 
+pub mod consts;
 pub mod regular;
 pub mod rho;
 pub mod shifted;

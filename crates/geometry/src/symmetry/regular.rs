@@ -19,6 +19,7 @@ use crate::circle::holds_sec;
 use crate::config::Configuration;
 use crate::point::Point;
 use crate::polar::PolarPoint;
+use crate::symmetry::consts::coarse_tol;
 use crate::symmetry::rho::{reflection_maps_to_self, symmetricity};
 use crate::symmetry::views::ViewAnalysis;
 use crate::tol::Tol;
@@ -201,7 +202,7 @@ pub fn find_regular_center(points: &[Point], tol: &Tol) -> Option<(Point, Regula
 
     // Weber point candidate.
     let w = weber_point(points);
-    let coarse = Tol { eps: tol.eps, angle_eps: (tol.angle_eps * 1e3).min(1e-3) };
+    let coarse = coarse_tol(tol);
     if check_regular_around(points, w, &coarse).is_some() {
         // Polish to full tolerance.
         for biangular in [false, true] {

@@ -10,6 +10,7 @@ use crate::angle::{angle_dist, normalize_angle};
 use crate::config::Configuration;
 use crate::point::Point;
 use crate::polar::PolarPoint;
+use crate::symmetry::consts::angular_slack;
 use crate::tol::Tol;
 use std::f64::consts::TAU;
 
@@ -133,7 +134,7 @@ pub(crate) fn polar_multiset_eq(a: &[PolarPoint], b: &[PolarPoint], tol: &Tol) -
             }
             if tol.eq(pa.radius, pb.radius)
                 && (tol.is_zero(pa.radius)
-                    || angle_dist(pa.angle, pb.angle) <= tol.angle_eps.max(tol.eps / pa.radius))
+                    || angle_dist(pa.angle, pb.angle) <= angular_slack(tol, pa.radius))
             {
                 used[j] = true;
                 continue 'outer;

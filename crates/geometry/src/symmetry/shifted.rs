@@ -21,6 +21,9 @@ use crate::angle::{ang_min, normalize_angle, signed_angle_diff};
 use crate::config::Configuration;
 use crate::point::Point;
 use crate::polar::PolarPoint;
+use crate::symmetry::consts::{
+    epsilon_cap, BIANGULAR_LOOSE_BAND_FRAC, EQUIANGULAR_LOOSE_GAP_FRAC, SHIFTED_RADIUS_BAND,
+};
 use crate::symmetry::regular::{
     check_regular_around, fit_slot_model, regular_set_of, slot_angle, RegularKind,
 };
@@ -119,7 +122,8 @@ fn find_shifted_whole(config: &Configuration, tol: &Tol) -> Option<ShiftedRegula
     let min_r = radii.iter().cloned().fold(f64::INFINITY, f64::min);
     // Generous band: the Weber point of the shifted configuration is only an
     // approximation of the true center.
-    let candidates: Vec<usize> = (0..n).filter(|&i| radii[i] <= min_r * 1.25 + tol.eps).collect();
+    let candidates: Vec<usize> =
+        (0..n).filter(|&i| radii[i] <= min_r * SHIFTED_RADIUS_BAND + tol.eps).collect();
 
     for &r_idx in &candidates {
         let members: Vec<usize> = (0..n).filter(|&i| i != r_idx).collect();
@@ -190,7 +194,7 @@ fn try_complete(
             let loose_ok = fit_center
                 && (0..k).all(|i| {
                     let target = if i == t { 2.0 * alpha_eq } else { alpha_eq };
-                    (gaps[i] - target).abs() < alpha_eq * 0.45
+                    (gaps[i] - target).abs() < alpha_eq * EQUIANGULAR_LOOSE_GAP_FRAC
                 });
             if ok || loose_ok {
                 insertions.push((normalize_angle(angle_t + alpha_eq), false));
@@ -281,7 +285,7 @@ fn biangular_insertion(
     }
     let a = a_est.iter().sum::<f64>() / a_est.len() as f64;
     let b = b_est.iter().sum::<f64>() / b_est.len() as f64;
-    let band = if loose { 0.2 * (a + b) } else { tol.angle_eps };
+    let band = if loose { BIANGULAR_LOOSE_BAND_FRAC * (a + b) } else { tol.angle_eps };
     if a_est.iter().any(|&g| (g - a).abs() > band) || b_est.iter().any(|&g| (g - b).abs() > band) {
         return None;
     }
@@ -373,7 +377,7 @@ fn verify_shifted(
     // ε = angmin(r, c, r') / α_min(P'), must be in (0, 1/4].
     let alpha_min = alpha_min_config(&p_prime, center, tol)?;
     let epsilon = shift_angle / alpha_min;
-    if epsilon <= 0.0 || epsilon > 0.25 + 16.0 * tol.angle_eps {
+    if epsilon <= 0.0 || epsilon > epsilon_cap(tol) {
         return None;
     }
     // Condition (b): the shift strictly decreased the robot's minimum angle.

@@ -36,6 +36,7 @@ use crate::job::{JobOutcome, JobSpec};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::shard::{split_trials, Shard};
+use crate::soak::{SoakOutcome, SoakSpec};
 use apf_bench::engine::{CancelToken, LiveStats, StreamingAggregate};
 use apf_bench::RunResult;
 use std::collections::VecDeque;
@@ -96,15 +97,29 @@ struct ShardResult {
     partial: bool,
 }
 
-struct Dispatch {
+/// Shared shard-dispatch state, generic over the per-shard result payload
+/// (campaign shards carry records and digests; soak shards carry counts).
+/// Exactly one result slot per shard — the no-double-count invariant for
+/// both job kinds.
+struct Dispatch<R> {
     queue: VecDeque<usize>,
     attempts: Vec<usize>,
-    results: Vec<Option<ShardResult>>,
+    results: Vec<Option<R>>,
     live_backends: usize,
     failure: Option<String>,
 }
 
-impl Dispatch {
+impl<R> Dispatch<R> {
+    fn new(shards: usize, backends: usize) -> Dispatch<R> {
+        Dispatch {
+            queue: (0..shards).collect(),
+            attempts: vec![0; shards],
+            results: (0..shards).map(|_| None).collect(),
+            live_backends: backends,
+            failure: None,
+        }
+    }
+
     fn abort(&mut self, why: String) {
         if self.failure.is_none() {
             self.failure = Some(why);
@@ -140,13 +155,7 @@ pub fn run_job(
         .map(|s| Shard { lo: lo + s.lo, hi: lo + s.hi })
         .collect::<Vec<_>>();
 
-    let dispatch = Mutex::new(Dispatch {
-        queue: (0..shards.len()).collect(),
-        attempts: vec![0; shards.len()],
-        results: (0..shards.len()).map(|_| None).collect(),
-        live_backends: cfg.backends.len(),
-        failure: None,
-    });
+    let dispatch = Mutex::new(Dispatch::new(shards.len(), cfg.backends.len()));
 
     std::thread::scope(|scope| {
         for backend in &cfg.backends {
@@ -212,7 +221,7 @@ pub fn run_job(
     Ok(CoordReport { outcome, cancelled })
 }
 
-fn lock(dispatch: &Mutex<Dispatch>) -> MutexGuard<'_, Dispatch> {
+fn lock<R>(dispatch: &Mutex<Dispatch<R>>) -> MutexGuard<'_, Dispatch<R>> {
     // apf-lint: allow(panic-policy) — poisoning means a dispatch thread panicked; propagate
     dispatch.lock().expect("dispatch lock poisoned")
 }
@@ -224,7 +233,7 @@ fn backend_loop(
     request_id: &str,
     backend: &str,
     shards: &[Shard],
-    dispatch: &Mutex<Dispatch>,
+    dispatch: &Mutex<Dispatch<ShardResult>>,
     cancel: &CancelToken,
     live: &LiveStats,
     metrics: &Metrics,
@@ -407,6 +416,281 @@ fn run_shard(
         )));
     }
     Ok(ShardResult { digests: outcome.digests, records, partial: executed < shard.len() as usize })
+}
+
+/// Runs a soak job by sharding its case range across `cfg.backends`. A
+/// timed soak (`seconds > 0`) dispatches successive case-range rounds
+/// until the deadline; a case-bounded soak dispatches one round covering
+/// `range` (or all cases). Returns whether cancellation cut it short, plus
+/// the summed outcome.
+///
+/// Re-execution cannot double-count cases: every shard has exactly one
+/// result slot, filled once, and each case is deterministic in
+/// `(seed, index)` — the same invariant the campaign path relies on.
+///
+/// # Errors
+///
+/// Returns the failure description when a shard exhausts its attempts, all
+/// backends are retired, or a backend reports a failed job.
+pub fn run_soak_job(
+    cfg: &CoordinatorConfig,
+    spec: &SoakSpec,
+    request_id: &str,
+    cancel: &CancelToken,
+    metrics: &Metrics,
+) -> Result<(bool, SoakOutcome), String> {
+    assert!(!cfg.backends.is_empty(), "coordinator mode needs at least one backend");
+    let t0 = Instant::now();
+    let mut total = SoakOutcome::default();
+    let mut cancelled = false;
+
+    if spec.seconds == 0 {
+        let (lo, hi) = spec.range.unwrap_or((0, spec.cases));
+        let (c, outcome) = run_soak_round(cfg, spec, request_id, lo, hi - lo, cancel, metrics)?;
+        total.absorb(&outcome);
+        cancelled = c;
+    } else {
+        let deadline = t0 + Duration::from_secs(spec.seconds);
+        let round = (cfg.backends.len() * cfg.shards_per_backend.max(1)) as u64 * 8;
+        let mut next = 0u64;
+        loop {
+            if cancel.is_cancelled() {
+                cancelled = true;
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            let (c, outcome) = run_soak_round(cfg, spec, request_id, next, round, cancel, metrics)?;
+            next += round;
+            total.absorb(&outcome);
+            if c {
+                cancelled = true;
+                break;
+            }
+        }
+    }
+    // The coordinator's own clock, not the sum of backend clocks: what the
+    // submitter actually waited for.
+    total.wall_secs = t0.elapsed().as_secs_f64();
+    Ok((cancelled, total))
+}
+
+/// Dispatches one round of soak shards covering cases `first..first+count`
+/// and sums the results.
+fn run_soak_round(
+    cfg: &CoordinatorConfig,
+    spec: &SoakSpec,
+    request_id: &str,
+    first: u64,
+    count: u64,
+    cancel: &CancelToken,
+    metrics: &Metrics,
+) -> Result<(bool, SoakOutcome), String> {
+    let shards = split_trials(count, cfg.backends.len() * cfg.shards_per_backend.max(1))
+        .into_iter()
+        .map(|s| Shard { lo: first + s.lo, hi: first + s.hi })
+        .collect::<Vec<_>>();
+    let dispatch = Mutex::new(Dispatch::new(shards.len(), cfg.backends.len()));
+
+    std::thread::scope(|scope| {
+        for backend in &cfg.backends {
+            let dispatch = &dispatch;
+            let shards = &shards;
+            scope.spawn(move || {
+                soak_backend_loop(cfg, spec, request_id, backend, shards, dispatch, cancel, metrics)
+            });
+        }
+    });
+
+    let mut d = lock(&dispatch);
+    let cancelled = cancel.is_cancelled();
+    if let Some(why) = d.failure.take() {
+        return Err(why);
+    }
+    if !cancelled {
+        if let Some(k) = d.results.iter().position(Option::is_none) {
+            return Err(format!("soak shard {k} never completed (all backends retired)"));
+        }
+    }
+    let mut total = SoakOutcome::default();
+    for outcome in d.results.iter_mut().filter_map(Option::take) {
+        total.absorb(&outcome);
+    }
+    Ok((cancelled, total))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn soak_backend_loop(
+    cfg: &CoordinatorConfig,
+    spec: &SoakSpec,
+    request_id: &str,
+    backend: &str,
+    shards: &[Shard],
+    dispatch: &Mutex<Dispatch<SoakOutcome>>,
+    cancel: &CancelToken,
+    metrics: &Metrics,
+) {
+    let mut strikes = 0;
+    loop {
+        if cancel.is_cancelled() {
+            return;
+        }
+        let popped = {
+            let mut d = lock(dispatch);
+            match d.queue.pop_front() {
+                Some(k) => {
+                    d.attempts[k] += 1;
+                    if d.attempts[k] > cfg.max_attempts {
+                        d.abort(format!(
+                            "soak shard {k} failed {} dispatch attempts",
+                            cfg.max_attempts
+                        ));
+                        return;
+                    }
+                    Some(k)
+                }
+                None => {
+                    if d.failure.is_some() || d.results.iter().all(Option::is_some) {
+                        return;
+                    }
+                    None
+                }
+            }
+        };
+        let Some(k) = popped else {
+            std::thread::sleep(cfg.poll_interval);
+            continue;
+        };
+        let shard = shards[k];
+        metrics.shards_dispatched.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let shard_t0 = Instant::now();
+        match run_soak_shard(cfg, spec, request_id, backend, shard, cancel) {
+            Ok(outcome) => {
+                metrics.shard_roundtrip_seconds.observe(shard_t0.elapsed());
+                strikes = 0;
+                metrics.soak_cases.fetch_add(outcome.cases, std::sync::atomic::Ordering::Relaxed);
+                metrics
+                    .soak_violations
+                    .fetch_add(outcome.violations, std::sync::atomic::Ordering::Relaxed);
+                metrics
+                    .soak_shrink_steps
+                    .fetch_add(outcome.shrink_steps, std::sync::atomic::Ordering::Relaxed);
+                lock(dispatch).results[k] = Some(outcome);
+            }
+            Err(ShardError::Cancelled) => {
+                return;
+            }
+            Err(ShardError::Fatal(why)) => {
+                lock(dispatch).abort(format!("soak shard {k} on {backend}: {why}"));
+                return;
+            }
+            Err(ShardError::Transient(why)) => {
+                metrics.shard_retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                strikes += 1;
+                let mut d = lock(dispatch);
+                d.queue.push_back(k);
+                if strikes >= BACKEND_STRIKES {
+                    d.live_backends -= 1;
+                    if d.live_backends == 0 {
+                        d.abort(format!("no live backends remain (last error: {why})"));
+                    }
+                    return;
+                }
+                drop(d);
+                std::thread::sleep(cfg.poll_interval);
+            }
+        }
+    }
+}
+
+/// Submits one soak shard to `backend`, polls it to completion, and
+/// fetches the result. Mirrors [`run_shard`]'s transient/fatal taxonomy.
+fn run_soak_shard(
+    cfg: &CoordinatorConfig,
+    spec: &SoakSpec,
+    request_id: &str,
+    backend: &str,
+    shard: Shard,
+    cancel: &CancelToken,
+) -> Result<SoakOutcome, ShardError> {
+    let shard_spec = SoakSpec {
+        seed: spec.seed,
+        cases: shard.hi,
+        seconds: 0,
+        robots: spec.robots,
+        range: Some((shard.lo, shard.hi)),
+    };
+    let body = shard_spec.to_json().render();
+
+    let transient = |why: String| ShardError::Transient(why);
+    let submit =
+        call(cfg, backend, request_id, "POST", "/v1/soak", body.as_bytes()).map_err(transient)?;
+    if submit.0 == 429 || submit.0 == 503 {
+        return Err(ShardError::Transient(format!("backend busy ({})", submit.0)));
+    }
+    if submit.0 != 202 {
+        return Err(ShardError::Fatal(format!("soak submit returned {}", submit.0)));
+    }
+    let id = submit
+        .1
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ShardError::Fatal("soak submit response missing id".to_string()))?;
+    let job_path = format!("/v1/jobs/{id}");
+
+    loop {
+        if cancel.is_cancelled() {
+            let headers = [(REQUEST_ID_HEADER, request_id)];
+            let _ =
+                client::request(backend, "DELETE", &job_path, &headers, b"", cfg.request_timeout);
+            return Err(ShardError::Cancelled);
+        }
+        let (status, v) =
+            call(cfg, backend, request_id, "GET", &job_path, b"").map_err(transient)?;
+        if status != 200 {
+            return Err(ShardError::Transient(format!("status poll returned {status}")));
+        }
+        match v.get("status").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("cancelled") => {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                // The backend cancelled unilaterally (it is shutting down):
+                // re-run the shard in full on a surviving backend. The
+                // partial counts are discarded, never merged — which is
+                // what keeps re-execution from double-counting.
+                return Err(ShardError::Transient(
+                    "backend cancelled the soak shard (backend shutting down?)".to_string(),
+                ));
+            }
+            Some("failed") => {
+                return Err(ShardError::Fatal("backend reports a failed soak job".to_string()))
+            }
+            Some(_) => std::thread::sleep(cfg.poll_interval),
+            None => return Err(ShardError::Transient("status poll missing status".to_string())),
+        }
+    }
+
+    let (status, v) = call(cfg, backend, request_id, "GET", &format!("{job_path}/result"), b"")
+        .map_err(transient)?;
+    if status != 200 {
+        return Err(ShardError::Transient(format!("result fetch returned {status}")));
+    }
+    let result = v
+        .get("result")
+        .ok_or_else(|| ShardError::Transient("result fetch missing result".to_string()))?;
+    let outcome = SoakOutcome::from_json(result).map_err(ShardError::Transient)?;
+    if outcome.cases > shard.len() || outcome.clean > outcome.cases {
+        return Err(ShardError::Transient(format!(
+            "soak shard payload inconsistent: {} cases of {}, {} clean",
+            outcome.cases,
+            shard.len(),
+            outcome.clean
+        )));
+    }
+    Ok(outcome)
 }
 
 /// One backend call returning the parsed JSON body, tagged with the

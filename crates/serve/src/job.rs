@@ -12,6 +12,7 @@
 //! asserted by the integration tests and the `check.sh` smoke step.
 
 use crate::json::{self, Json};
+use crate::soak::{SoakOutcome, SoakSpec};
 use apf_bench::engine::{Campaign, CancelToken, LiveStats};
 use apf_bench::spec::{scheduler_from_label, scheduler_label, CanonicalSpec, Generator};
 use apf_bench::RunResult;
@@ -372,6 +373,11 @@ pub struct Job {
     /// the worker compares its digests against the cached outcome for this
     /// canonical-spec digest instead of double-counting a user job.
     pub verify_against: Option<u64>,
+    /// When set, this is a soak job: the worker runs a geometry-fuzz sweep
+    /// ([`crate::soak::run_soak`]) instead of a campaign, `spec` is unused,
+    /// and the outcome lands in the soak slot. Soak results never enter
+    /// the result cache.
+    pub soak: Option<SoakSpec>,
     /// The request id this job was submitted under (client-supplied
     /// `X-Apf-Request-Id` or coordinator-generated). Empty for jobs created
     /// outside the HTTP path (tests, embedders).
@@ -386,6 +392,7 @@ pub struct Job {
 struct JobState {
     status: JobStatus,
     outcome: Option<JobOutcome>,
+    soak_outcome: Option<SoakOutcome>,
 }
 
 impl Job {
@@ -397,10 +404,22 @@ impl Job {
             cancel: CancelToken::new(),
             live: Arc::new(LiveStats::default()),
             verify_against: None,
+            soak: None,
             request_id: String::new(),
             submitted: Instant::now(),
-            state: Mutex::new(JobState { status: JobStatus::Queued, outcome: None }),
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                outcome: None,
+                soak_outcome: None,
+            }),
         }
+    }
+
+    /// A freshly queued soak job.
+    pub fn new_soak(id: u64, soak: SoakSpec) -> Job {
+        let mut job = Job::new(id, JobSpec::default());
+        job.soak = Some(soak);
+        job
     }
 
     /// Tags the job with the request id it was submitted under.
@@ -461,22 +480,39 @@ impl Job {
         s.status
     }
 
+    /// Records a soak job's terminal state and outcome.
+    pub fn finish_soak(&self, status: JobStatus, outcome: Option<SoakOutcome>) {
+        let mut s = self.lock();
+        s.status = status;
+        s.soak_outcome = outcome;
+    }
+
     /// A clone of the outcome, if terminal.
     pub fn outcome(&self) -> Option<JobOutcome> {
         self.lock().outcome.clone()
     }
 
-    /// Status JSON for `GET /v1/jobs/{id}`.
+    /// A clone of the soak outcome, if terminal (soak jobs only).
+    pub fn soak_outcome(&self) -> Option<SoakOutcome> {
+        self.lock().soak_outcome.clone()
+    }
+
+    /// Status JSON for `GET /v1/jobs/{id}`. Soak jobs echo their spec under
+    /// `"soak"` and their outcome under `"result"`, same shape as campaigns.
     pub fn status_json(&self) -> Json {
-        let (status, outcome) = {
+        let (status, outcome, soak_outcome) = {
             let s = self.lock();
-            (s.status, s.outcome.clone())
+            (s.status, s.outcome.clone(), s.soak_outcome.clone())
+        };
+        let spec_field = match &self.soak {
+            Some(soak) => ("soak", soak.to_json()),
+            None => ("spec", self.spec.to_json()),
         };
         let snap = self.live.snapshot();
         let mut obj = match Json::obj([
             ("id", Json::u64(self.id)),
             ("status", Json::str(status.label())),
-            ("spec", self.spec.to_json()),
+            spec_field,
             (
                 "live",
                 Json::obj([
@@ -493,6 +529,9 @@ impl Job {
             _ => unreachable!("Json::obj returns an object"),
         };
         if let Some(out) = outcome {
+            obj.insert("result".to_string(), out.to_json());
+        }
+        if let Some(out) = soak_outcome {
             obj.insert("result".to_string(), out.to_json());
         }
         Json::Obj(obj)

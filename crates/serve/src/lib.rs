@@ -27,6 +27,12 @@
 //! * **Backpressure** — the queue is bounded and submissions are quota'd
 //!   per client; rejection answers 429 with `Retry-After` instead of
 //!   buffering unboundedly.
+//! * **Soak campaigns** — `POST /v1/soak` (or `serve --soak SECS`, which
+//!   self-submits a timed run at startup) executes geometry-fuzz sweeps
+//!   from `apf-conformance` as background jobs ([`soak`]): case-bounded or
+//!   timed, cancellable, SIGTERM-drainable, with `apf_soak_*` counters and
+//!   case-range sharding across coordinator backends (deterministic per
+//!   `(seed, index)`, so retries never double-count).
 //! * **Metrics** — `GET /metrics` renders Prometheus text format 0.0.4:
 //!   queue/worker gauges, job/HTTP/cache/shard counters, trial/cycle/
 //!   random-bit totals, per-phase breakdowns, worker utilization.
@@ -53,6 +59,7 @@ pub mod metrics;
 pub mod server;
 pub mod shard;
 pub mod signal;
+pub mod soak;
 
 pub use cache::{CacheConfig, ClientQuotas, ResultCache};
 pub use coordinator::CoordinatorConfig;
@@ -60,3 +67,4 @@ pub use job::{Job, JobOutcome, JobSpec, JobStatus};
 pub use json::Json;
 pub use metrics::{LiveView, Metrics};
 pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use soak::{SoakOutcome, SoakSpec};

@@ -121,6 +121,14 @@ pub struct Metrics {
     pub shards_dispatched: AtomicU64,
     /// Shards requeued after a backend error (coordinator mode).
     pub shard_retries: AtomicU64,
+    /// Geometry-fuzz cases executed by soak jobs.
+    pub soak_cases: AtomicU64,
+    /// Minimized counterexamples soak jobs found (0 on a healthy stack).
+    pub soak_violations: AtomicU64,
+    /// Shrink candidates soak jobs evaluated while minimizing violations.
+    pub soak_shrink_steps: AtomicU64,
+    /// Soak wall time in microseconds (rendered as seconds).
+    pub soak_wall_micros: AtomicU64,
     /// HTTP responses by status class: 2xx, 4xx, 5xx.
     pub http_2xx: AtomicU64,
     /// 4xx responses.
@@ -216,6 +224,30 @@ impl Metrics {
                 ("event", "dispatched", self.shards_dispatched.load(Ordering::Relaxed) as f64),
                 ("event", "retried", self.shard_retries.load(Ordering::Relaxed) as f64),
             ],
+        );
+        simple_counter(
+            &mut out,
+            "apf_soak_cases_total",
+            "Geometry-fuzz cases executed by soak jobs.",
+            self.soak_cases.load(Ordering::Relaxed) as f64,
+        );
+        simple_counter(
+            &mut out,
+            "apf_soak_violations_total",
+            "Minimized soak counterexamples (0 on a healthy stack).",
+            self.soak_violations.load(Ordering::Relaxed) as f64,
+        );
+        simple_counter(
+            &mut out,
+            "apf_soak_shrink_steps_total",
+            "Shrink candidates evaluated while minimizing soak violations.",
+            self.soak_shrink_steps.load(Ordering::Relaxed) as f64,
+        );
+        simple_counter(
+            &mut out,
+            "apf_soak_wall_seconds_total",
+            "Wall time soak jobs spent fuzzing.",
+            self.soak_wall_micros.load(Ordering::Relaxed) as f64 / 1e6,
         );
         simple_counter(
             &mut out,
@@ -469,12 +501,20 @@ mod tests {
             utilization: 0.625,
             uptime_secs: 2.0,
         };
+        m.soak_cases.fetch_add(16, Ordering::Relaxed);
+        m.soak_wall_micros.fetch_add(2_500_000, Ordering::Relaxed);
         let text = m.render(&view);
         assert_valid_prometheus(&text);
         assert!(text.contains("apf_jobs_total{state=\"submitted\"} 3"), "{text}");
         assert!(text.contains("apf_queue_depth 1"));
         assert!(text.contains("apf_trials_total 40"));
         assert!(text.contains("apf_trials_per_second 20"));
+        // The soak counters are always announced, even before any soak job
+        // runs — check.sh's mini-soak gate greps for them.
+        assert!(text.contains("apf_soak_cases_total 16"), "{text}");
+        assert!(text.contains("apf_soak_violations_total 0"), "{text}");
+        assert!(text.contains("apf_soak_shrink_steps_total 0"), "{text}");
+        assert!(text.contains("apf_soak_wall_seconds_total 2.5"), "{text}");
     }
 
     #[test]

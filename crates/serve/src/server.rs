@@ -47,6 +47,7 @@ use crate::job::{Job, JobOutcome, JobSpec, JobStatus};
 use crate::json::Json;
 use crate::metrics::{LiveView, Metrics};
 use crate::signal;
+use crate::soak::SoakSpec;
 use apf_bench::engine::{CampaignReport, Engine};
 use apf_trace::escape_json_str;
 use std::collections::{BTreeMap, VecDeque};
@@ -80,6 +81,11 @@ pub struct ServerConfig {
     pub cache: CacheConfig,
     /// Per-client submissions per minute (0 = unlimited).
     pub quota_per_minute: u64,
+    /// Self-submit a timed soak job of this many seconds at startup
+    /// (`serve --soak SECS`; 0 = off). The job runs through the normal
+    /// queue, so it churns the same worker/cancellation/drain paths as an
+    /// HTTP-submitted soak.
+    pub soak_seconds: u64,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +100,7 @@ impl Default for ServerConfig {
             coordinator: CoordinatorConfig::default(),
             cache: CacheConfig::default(),
             quota_per_minute: 0,
+            soak_seconds: 0,
         }
     }
 }
@@ -236,6 +243,22 @@ impl Server {
                 scope.spawn(|| worker_loop(shared));
             }
 
+            // `--soak SECS`: self-submit a timed soak job through the normal
+            // queue (no HTTP round-trip to our own socket needed).
+            if shared.cfg.soak_seconds > 0 {
+                let spec = SoakSpec { seconds: shared.cfg.soak_seconds, ..SoakSpec::default() };
+                {
+                    let mut t = shared.lock_jobs();
+                    let id = t.next_id;
+                    t.next_id += 1;
+                    let job = Arc::new(Job::new_soak(id, spec));
+                    t.all.insert(id, Arc::clone(&job));
+                    t.queue.push_back(job);
+                }
+                shared.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                shared.queue_cv.notify_one();
+            }
+
             let result = loop {
                 if shared.is_shutdown() {
                     break Ok(());
@@ -294,6 +317,11 @@ fn worker_loop(shared: &Shared) {
         }
         shared.metrics.job_queue_wait_seconds.observe(job.submitted.elapsed());
 
+        if let Some(soak) = job.soak.clone() {
+            run_soak_worker(shared, &job, &soak);
+            continue;
+        }
+
         shared.running.fetch_add(1, Ordering::Relaxed);
         // The spec was fully validated at submission, so execution cannot
         // fail validation; catch_unwind turns any residual bug into a
@@ -327,6 +355,56 @@ fn worker_loop(shared: &Shared) {
                 shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 job.finish(JobStatus::Failed, None);
             }
+        }
+    }
+}
+
+/// Executes one soak job: locally ([`crate::soak::run_soak`]) or sharded
+/// across backends in coordinator mode. Mirrors the campaign path's
+/// metrics, catch_unwind, and terminal-state handling; soak outcomes never
+/// touch the result cache.
+fn run_soak_worker(shared: &Shared, job: &Job, soak: &SoakSpec) {
+    shared.running.fetch_add(1, Ordering::Relaxed);
+    let exec_t0 = Instant::now();
+    let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if shared.coordinating() {
+            coordinator::run_soak_job(
+                &shared.cfg.coordinator,
+                soak,
+                &job.request_id,
+                &job.cancel,
+                &shared.metrics,
+            )
+        } else {
+            Ok(crate::soak::run_soak(
+                soak,
+                shared.cfg.engine_jobs.max(1),
+                &job.cancel,
+                &shared.metrics,
+            ))
+        }
+    }));
+    shared.metrics.job_exec_seconds.observe(exec_t0.elapsed());
+    shared.running.fetch_sub(1, Ordering::Relaxed);
+
+    match executed {
+        Ok(Ok((cancelled, outcome))) => {
+            let (status, counter) = if cancelled {
+                (JobStatus::Cancelled, &shared.metrics.jobs_cancelled)
+            } else {
+                (JobStatus::Done, &shared.metrics.jobs_done)
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            job.finish_soak(status, Some(outcome));
+        }
+        Ok(Err(why)) => {
+            eprintln!("soak job {} failed: {why}", job.id);
+            shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            job.finish(JobStatus::Failed, None);
+        }
+        Err(_) => {
+            shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            job.finish(JobStatus::Failed, None);
         }
     }
 }
@@ -515,6 +593,7 @@ fn route(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
 
         // The versioned job API.
         ("POST", ["v1", "jobs"]) => submit_job(shared, req, peer),
+        ("POST", ["v1", "soak"]) => submit_soak(shared, req, peer),
         ("GET", ["v1", "jobs"]) => {
             let t = shared.lock_jobs();
             let list: Vec<Json> = t
@@ -531,6 +610,18 @@ fn route(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
         }
         ("GET", ["v1", "jobs", id, "result"]) => with_job(shared, id, |job| {
             let status = job.status();
+            if let Some(outcome) = job.soak_outcome() {
+                if status.is_terminal() {
+                    return Response::json(
+                        200,
+                        &Json::obj([
+                            ("id", Json::u64(job.id)),
+                            ("status", Json::str(status.label())),
+                            ("result", outcome.to_json()),
+                        ]),
+                    );
+                }
+            }
             match job.outcome() {
                 Some(outcome) if status.is_terminal() => Response::json(
                     200,
@@ -588,7 +679,7 @@ fn route(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
         (
             _,
             ["healthz" | "metrics"]
-            | ["v1", "healthz" | "metrics" | "jobs" | "spec-digest"]
+            | ["v1", "healthz" | "metrics" | "jobs" | "spec-digest" | "soak"]
             | ["v1", "jobs", _]
             | ["v1", "jobs", _, "result"],
         ) => Response::error(405, "method not allowed").header("Allow", "GET, POST, DELETE"),
@@ -736,4 +827,54 @@ fn submit_job(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
     shared.queue_cv.notify_one();
     Response::json(202, &Json::obj([("id", Json::u64(job.id)), ("status", Json::str("queued"))]))
         .header(coordinator::REQUEST_ID_HEADER, request_id)
+}
+
+/// `POST /v1/soak`: submit a geometry-fuzz soak job. Same admission
+/// control as campaign jobs (shutdown check, per-client quota, bounded
+/// queue) but never answered from the result cache — a soak is a sweep,
+/// not a content-addressed campaign.
+fn submit_soak(shared: &Shared, req: &Request, peer: SocketAddr) -> Response {
+    if shared.is_shutdown() {
+        return Response::error(503, "shutting down");
+    }
+    let spec = match SoakSpec::from_json_bytes(&req.body) {
+        Ok(spec) => spec,
+        Err(why) => return Response::error(400, &why),
+    };
+    let request_id = request_id_of(req);
+
+    let client = req.header("x-client-id").map_or_else(|| peer.ip().to_string(), str::to_string);
+    if !shared.quotas.admit(&client) {
+        shared.metrics.quota_rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::error(429, "client quota exceeded")
+            .header("Retry-After", "60")
+            .header(coordinator::REQUEST_ID_HEADER, request_id);
+    }
+
+    let job = {
+        let mut t = shared.lock_jobs();
+        if t.queue.len() >= shared.cfg.queue_depth || t.all.len() >= shared.cfg.max_jobs {
+            shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::error(429, "queue full")
+                .header("Retry-After", "1")
+                .header(coordinator::REQUEST_ID_HEADER, request_id);
+        }
+        let id = t.next_id;
+        t.next_id += 1;
+        let job = Arc::new(Job::new_soak(id, spec).with_request_id(request_id.clone()));
+        t.all.insert(id, Arc::clone(&job));
+        t.queue.push_back(Arc::clone(&job));
+        job
+    };
+    shared.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_one();
+    Response::json(
+        202,
+        &Json::obj([
+            ("id", Json::u64(job.id)),
+            ("status", Json::str("queued")),
+            ("kind", Json::str("soak")),
+        ]),
+    )
+    .header(coordinator::REQUEST_ID_HEADER, request_id)
 }

@@ -251,6 +251,67 @@ fn backend_shutdown_mid_job_moves_work_to_survivor() {
 }
 
 #[test]
+fn dead_backend_mid_soak_shards_are_retried_without_double_count() {
+    // A backend address that refuses connections: bind an ephemeral port,
+    // then drop the listener before anything connects.
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let live = start(backend_config());
+    let coord = start(ServerConfig {
+        workers: 1,
+        coordinator: CoordinatorConfig {
+            backends: vec![dead_addr, live.addr.to_string()],
+            poll_interval: Duration::from_millis(10),
+            request_timeout: Duration::from_secs(2),
+            ..CoordinatorConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    let (status, head, payload) =
+        request(coord.addr, "POST", "/v1/soak", r#"{"seed":5,"cases":12,"robots":8}"#);
+    assert_eq!(status, 202, "{head}\n{payload}");
+    let v = json::parse(&payload).expect("submit json");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("soak"));
+    let id = v.get("id").and_then(Json::as_u64).expect("id");
+    wait_done(coord.addr, id);
+
+    // Exactly the requested case count survives the dead backend's
+    // retries: shards moved to the survivor land once each, never twice.
+    let (status, _, body) = request(coord.addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+    assert_eq!(status, 200);
+    let v = json::parse(&body).expect("result json");
+    let outcome = apf_serve::SoakOutcome::from_json(v.get("result").expect("result member"))
+        .expect("parse soak outcome");
+    assert_eq!(outcome.cases, 12, "retries must not drop or double-count cases");
+    assert_eq!(outcome.violations, 0, "real classifiers must fuzz clean");
+    assert_eq!(outcome.clean, 12);
+    assert!(outcome.wall_secs > 0.0);
+
+    // The coordinator's own soak counter agrees (each shard is counted at
+    // most once, on acceptance), and the dead backend's connection
+    // failures are visible as shard retries.
+    let (_, _, metrics) = request(coord.addr, "GET", "/metrics", "");
+    let soaked = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("apf_soak_cases_total "))
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("soak case counter");
+    assert!((soaked - 12.0).abs() < f64::EPSILON, "coordinator counted {soaked} cases");
+    let retried = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("apf_shards_total{event=\"retried\"} "))
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("retry counter");
+    assert!(retried >= 1.0, "expected retries against the dead backend:\n{metrics}");
+
+    coord.stop();
+    live.stop();
+}
+
+#[test]
 fn repeated_spec_is_answered_from_cache_and_reverified() {
     let ts = start(ServerConfig {
         workers: 1,

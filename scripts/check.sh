@@ -35,6 +35,14 @@ trap 'rm -rf "$FUZZ_DIR" "${TRACE_DIR:-}" "${SERVE_DIR:-}";
 cargo run -q --release --bin apf-cli -- conformance fuzz \
     --schedules 16 --seed 12648430 --jobs 2 --dump-dir "$FUZZ_DIR"
 
+echo "==> conformance: geometry-space fuzzer (30s budget, zero violations)"
+# Seeded degenerate instance families (epsilon-perturbed symmetricity,
+# collinear, SEC-boundary, near-multiplicity) checked against the real
+# classifiers and the scheduler matrix until the wall-clock budget runs out.
+# Any violation is shrunk over geometry and schedules and dumped.
+cargo run -q --release --bin apf-cli -- conformance geo-fuzz \
+    --budget 30 --seed 48879 --jobs 2 --dump-dir "$FUZZ_DIR"
+
 echo "==> harness --quick --jobs 2 e1"
 cargo run -q --release -p apf-bench --bin harness -- --quick --jobs 2 e1
 
@@ -227,6 +235,35 @@ for p in "${SERVE_PIDS[@]}"; do kill -TERM "$p"; done
 for p in "${SERVE_PIDS[@]}"; do
     wait "$p" || { echo "a serve process did not exit 0 on SIGTERM"; exit 1; }
 done
+SERVE_PIDS=()
+
+echo "==> soak smoke: --soak self-submission, apf_soak_* metrics, SIGTERM drain"
+# `serve --soak 60` self-submits a timed geometry-fuzz soak through the
+# normal queue. The gate waits for the soak counters to move, then SIGTERMs
+# mid-campaign: the soak job must drain cooperatively and the process exit 0
+# long before the 60 s budget elapses.
+start_serve "$SERVE_DIR/soak.log" --jobs 1 --queue-depth 8 --soak 60
+SOAKED=""
+for _ in $(seq 1 600); do
+    curl -fsS "http://$ADDR/metrics" > "$SERVE_DIR/soak_metrics.txt" || true
+    if grep -q '^apf_soak_cases_total [1-9]' "$SERVE_DIR/soak_metrics.txt"; then
+        SOAKED=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$SOAKED" ] || { echo "soak campaign never counted a case"; exit 1; }
+grep -q '^apf_soak_violations_total 0$' "$SERVE_DIR/soak_metrics.txt" \
+    || { echo "soak campaign found violations:"; \
+         grep '^apf_soak' "$SERVE_DIR/soak_metrics.txt"; exit 1; }
+for m in apf_soak_cases_total apf_soak_violations_total \
+         apf_soak_shrink_steps_total apf_soak_wall_seconds_total; do
+    grep -q "^$m " "$SERVE_DIR/soak_metrics.txt" \
+        || { echo "/metrics missing $m"; exit 1; }
+done
+SOAK_PID="${SERVE_PIDS[0]}"
+kill -TERM "$SOAK_PID"
+wait "$SOAK_PID" || { echo "serve did not exit 0 on SIGTERM mid-soak"; exit 1; }
 SERVE_PIDS=()
 
 echo "==> profile smoke: collapsed stacks + digest identity with spans on"

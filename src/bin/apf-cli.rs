@@ -253,13 +253,23 @@ fn conformance_main(args: &[String]) -> ! {
     let usage = "apf-cli conformance corpus|regen [--dir DIR]\n\
                  apf-cli conformance fuzz [--schedules N] [--seed S] [--jobs J]\n\
                  \x20                        [--dump-dir DIR] [--no-formation-check]\n\
+                 apf-cli conformance geo-fuzz [--cases N | --budget SECS] [--seed S]\n\
+                 \x20                            [--jobs J] [--robots N] [--dump-dir DIR]\n\
                  \n\
                  The fuzzer checks the *dynamic* invariants: movement legality,\n\
                  phase-transition legality, the <= 1 random bit per election cycle\n\
                  budget, and (unless --no-formation-check) eventual formation.\n\
                  Freedom from ambient entropy and draws outside the psi_RSB module\n\
                  is guaranteed *statically* by `apf-cli lint` (rules D1/D2) and is\n\
-                 not re-checked here.";
+                 not re-checked here.\n\
+                 \n\
+                 geo-fuzz explores *geometry* space instead of schedule space:\n\
+                 seeded degenerate instance families (epsilon-perturbed symmetry,\n\
+                 collinear, SEC-boundary, near-multiplicity) are checked against\n\
+                 the symmetricity/SEC classifiers and then run under the\n\
+                 FSYNC/SSYNC/ASYNC matrix; violations shrink over both geometry\n\
+                 and schedules. --budget runs until the wall-clock budget expires\n\
+                 instead of a fixed case count.";
     let Some(mode) = args.first().map(String::as_str) else {
         eprintln!("error: conformance needs a mode\n{usage}");
         std::process::exit(2);
@@ -270,6 +280,9 @@ fn conformance_main(args: &[String]) -> ! {
     }
     let mut dir = apf_conformance::default_corpus_dir();
     let mut schedules: u64 = 16;
+    let mut cases: u64 = 64;
+    let mut budget: Option<u64> = None;
+    let mut robots: usize = 8;
     let mut seed: u64 = 0xC0FFEE;
     let mut jobs: usize = 1;
     let mut dump_dir: Option<String> = None;
@@ -291,6 +304,9 @@ fn conformance_main(args: &[String]) -> ! {
             "--schedules" => {
                 schedules = value().parse().unwrap_or_else(|e| parse_fail(&e));
             }
+            "--cases" => cases = value().parse().unwrap_or_else(|e| parse_fail(&e)),
+            "--budget" => budget = Some(value().parse().unwrap_or_else(|e| parse_fail(&e))),
+            "--robots" => robots = value().parse().unwrap_or_else(|e| parse_fail(&e)),
             "--seed" => seed = value().parse().unwrap_or_else(|e| parse_fail(&e)),
             "--jobs" => jobs = value().parse().unwrap_or_else(|e| parse_fail(&e)),
             "--dump-dir" => dump_dir = Some(value()),
@@ -382,6 +398,55 @@ fn conformance_main(args: &[String]) -> ! {
             }
             std::process::exit(if report.is_clean() { 0 } else { 1 });
         }
+        "geo-fuzz" => {
+            let cfg = apf_conformance::GeoFuzzConfig {
+                robots,
+                ..apf_conformance::GeoFuzzConfig::default()
+            };
+            let oracle = apf_conformance::GeoOracle::default();
+            let report = match budget {
+                Some(secs) => apf_conformance::geo_fuzz_timed(
+                    &cfg,
+                    &oracle,
+                    seed,
+                    std::time::Duration::from_secs(secs),
+                    jobs,
+                ),
+                None => apf_conformance::geo_fuzz_campaign(&cfg, &oracle, seed, cases, jobs),
+            };
+            println!(
+                "geo-fuzz: {} cases, {} clean, {} counterexamples, {} shrink steps (seed \
+                 {seed:#x})",
+                report.cases,
+                report.clean,
+                report.counterexamples.len(),
+                report.shrink_steps
+            );
+            for ce in &report.counterexamples {
+                println!(
+                    "  case {} [{}] under {}: {} ({} robots, shrunk from {})",
+                    ce.case_index,
+                    ce.family,
+                    ce.scheduler.map_or("geometry-oracle".to_string(), |s| s.to_string()),
+                    ce.violations.iter().map(|v| v.kind).collect::<Vec<_>>().join(","),
+                    ce.positions.len(),
+                    ce.original_robots
+                );
+                for v in &ce.violations {
+                    println!("    [{}] {}", v.kind, v.detail);
+                }
+                if let Some(dump) = &dump_dir {
+                    match apf_conformance::dump_geo_counterexample(std::path::Path::new(dump), ce) {
+                        Ok(p) => println!("    reproducer: {}", p.display()),
+                        Err(e) => {
+                            eprintln!("error: writing reproducer: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            std::process::exit(if report.is_clean() { 0 } else { 1 });
+        }
         other => {
             eprintln!("error: unknown conformance mode {other}\n{usage}");
             std::process::exit(2);
@@ -395,8 +460,11 @@ fn serve_main(args: &[String]) -> ! {
                  \x20             [--engine-jobs N] [--max-jobs N] [--quiet]\n\
                  \x20             [--backend HOST:PORT]... [--shards-per-backend N]\n\
                  \x20             [--cache-dir DIR] [--cache-entries N] [--cache-verify N]\n\
-                 \x20             [--quota N]\n\
+                 \x20             [--quota N] [--soak SECS]\n\
                  campaign service: versioned JSON job API + Prometheus /metrics\n\
+                 --soak self-submits a timed geometry-fuzz soak campaign at startup\n\
+                 (same job type as POST /v1/soak); progress appears as apf_soak_*\n\
+                 metrics and the job drains cleanly on SIGTERM\n\
                  --backend (repeatable) switches on coordinator mode: campaigns are\n\
                  sharded across the given backend apf-serve processes and merged\n\
                  bit-identically to a single-process run\n\
@@ -442,6 +510,7 @@ fn serve_main(args: &[String]) -> ! {
             "--quota" => {
                 cfg.quota_per_minute = value().parse().unwrap_or_else(|e| parse_fail(&e));
             }
+            "--soak" => cfg.soak_seconds = value().parse().unwrap_or_else(|e| parse_fail(&e)),
             "--quiet" => cfg.log_requests = false,
             "--help" | "-h" => {
                 println!("{usage}");
