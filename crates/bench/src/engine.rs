@@ -257,7 +257,7 @@ impl RunSpec {
     /// Panics if the instance is invalid (the experiment generators only
     /// emit valid ones).
     pub fn run(&self) -> RunResult {
-        // apf-lint: allow(panic-policy) — documented panic (# Panics): generators emit valid instances
+        // apf-lint: allow(panic-policy, panic-reachability) — documented panic (# Panics): generators emit valid instances, and a worker that does hit an invalid one must abort the campaign loudly
         self.try_run().expect("experiment instance must be valid")
     }
 
@@ -1126,7 +1126,7 @@ impl Engine {
                                     let probe = sink.probe();
                                     let r = spec
                                         .try_run_with_sink(Box::new(sink))
-                                        // apf-lint: allow(panic-policy) — generators emit valid instances (see run())
+                                        // apf-lint: allow(panic-policy, panic-reachability) — generators emit valid instances (see run()); an invalid one must abort the campaign, not be skipped
                                         .expect("experiment instance must be valid");
                                     digests.push(probe.digest());
                                     r
@@ -1152,7 +1152,7 @@ impl Engine {
                         }
                         let worker_profile = profile_handle.map(|handle| {
                             drop(span::take());
-                            // apf-lint: allow(panic-policy) — only this thread recorded into the handle, so the lock cannot be poisoned
+                            // apf-lint: allow(panic-policy, panic-reachability) — only this thread recorded into the handle, so the lock cannot be poisoned
                             handle.lock().expect("span profile lock").clone()
                         });
                         (out, stats, longest, worker_profile)
@@ -1184,7 +1184,7 @@ impl Engine {
             }
 
             for handle in handles {
-                // apf-lint: allow(panic-policy) — a worker panic must abort the campaign, not hang it
+                // apf-lint: allow(panic-policy, panic-reachability) — a worker panic must abort the campaign, not hang it; this join runs on the coordinating thread
                 let joined = handle.join().expect("engine worker panicked");
                 let (chunk_outs, stats, longest, worker_profile) = joined;
                 for (c, data) in chunk_outs {

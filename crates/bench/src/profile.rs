@@ -324,7 +324,6 @@ mod tests {
     fn span(stack: &[SpanLabel], total_ns: u64, self_ns: u64) -> Span {
         let stack = SpanStack::of(stack);
         Span {
-            // apf-lint: allow(panic-policy) — test helper, stacks are non-empty by construction
             label: stack.leaf().expect("non-empty stack"),
             stack,
             robot: None,

@@ -1,0 +1,171 @@
+//! The checked-in findings baseline (`lint-baseline.txt`).
+//!
+//! CI gates on *drift*, not on emptiness: legacy findings that were audited
+//! and accepted live in the baseline file where review can see them, while
+//! any finding not in the baseline — or any baseline entry that no longer
+//! fires — fails the gate. Both directions fail on purpose: a fixed finding
+//! must be removed from the baseline in the same change that fixes it, so
+//! the file never accretes dead entries.
+//!
+//! Format: one finding per line, `file<TAB>rule<TAB>message`, `#` comments
+//! and blank lines ignored. Line/column are deliberately *not* recorded —
+//! unrelated edits shift positions constantly, and a baseline that churns
+//! on every edit trains people to regenerate it blindly.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// One baseline entry: `(file, rule, message)`.
+pub type Entry = (String, String, String);
+
+/// Renders findings as baseline text (sorted, with a format header).
+#[must_use]
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# apf-lint findings baseline — one accepted finding per line.\n\
+         # Format: file<TAB>rule<TAB>message. Regenerate with:\n\
+         #   cargo run -q --release --bin apf-cli -- lint --write-baseline lint-baseline.txt\n\
+         # CI fails on drift in either direction; keep this file reviewed, not rubber-stamped.\n",
+    );
+    let mut lines: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}\t{}\t{}", f.file, f.rule, sanitize(&f.message)))
+        .collect();
+    lines.sort();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses baseline text into entries.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(file), Some(rule), Some(msg)) => {
+                out.push((file.to_string(), rule.to_string(), msg.to_string()));
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected `file<TAB>rule<TAB>message`, got `{line}`",
+                    idx + 1
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Baseline drift: findings not in the baseline, and baseline entries that
+/// no longer fire.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Drift {
+    /// Live findings with no matching baseline entry (fail: new issues).
+    pub new: Vec<Entry>,
+    /// Baseline entries with no matching live finding (fail: stale baseline).
+    pub fixed: Vec<Entry>,
+}
+
+impl Drift {
+    /// True when live findings and baseline agree exactly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.fixed.is_empty()
+    }
+}
+
+/// Compares live findings against baseline entries as multisets (two
+/// identical findings in one file need two baseline lines).
+#[must_use]
+pub fn diff(findings: &[Finding], accepted: &[Entry]) -> Drift {
+    let mut counts: BTreeMap<Entry, i64> = BTreeMap::new();
+    for f in findings {
+        *counts.entry((f.file.clone(), f.rule.clone(), sanitize(&f.message))).or_default() += 1;
+    }
+    for e in accepted {
+        *counts.entry(e.clone()).or_default() -= 1;
+    }
+    let mut drift = Drift::default();
+    for (entry, n) in counts {
+        if n > 0 {
+            for _ in 0..n {
+                drift.new.push(entry.clone());
+            }
+        } else if n < 0 {
+            for _ in 0..-n {
+                drift.fixed.push(entry.clone());
+            }
+        }
+    }
+    drift
+}
+
+/// Tabs and newlines would break the line format; squash to spaces.
+fn sanitize(message: &str) -> String {
+    message.replace(['\t', '\n'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &str, msg: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 3,
+            col: 7,
+            rule: rule.to_string(),
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_ignores_positions() {
+        let fs = [finding("a.rs", "panic-policy", "msg one"), finding("b.rs", "lock-order", "m")];
+        let text = render(&fs);
+        let entries = parse(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(diff(&fs, &entries).is_clean());
+        // Same findings at different positions still match.
+        let mut moved = fs.to_vec();
+        moved[0].line = 99;
+        moved[1].col = 1;
+        assert!(diff(&moved, &entries).is_clean());
+    }
+
+    #[test]
+    fn drift_both_directions() {
+        let fs = [finding("a.rs", "panic-policy", "msg")];
+        let d = diff(&fs, &[]);
+        assert_eq!(d.new.len(), 1);
+        assert!(d.fixed.is_empty());
+        let d = diff(&[], &parse("x.rs\tlock-order\tgone\n").unwrap());
+        assert_eq!(d.fixed.len(), 1);
+        assert!(d.new.is_empty());
+    }
+
+    #[test]
+    fn multiset_counts_duplicates() {
+        let fs = [finding("a.rs", "panic-policy", "msg"), finding("a.rs", "panic-policy", "msg")];
+        let one = parse("a.rs\tpanic-policy\tmsg\n").unwrap();
+        let d = diff(&fs, &one);
+        assert_eq!(d.new.len(), 1, "second occurrence needs a second baseline line");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("no-tabs-here\n").is_err());
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+}

@@ -26,6 +26,39 @@ pub struct RuleConfig {
     pub allow_files: Vec<String>,
 }
 
+/// Anchors for the inter-procedural analyses (`[analysis]` in lint.toml).
+///
+/// Patterns name functions either bare (`fnv1a_64`) or qualified
+/// (`HashSink::record`); a qualified pattern matches any function whose
+/// qualified name ends with it on a `::` boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// D10 roots: the digest/trace-hash computation functions whose
+    /// forward call cone must stay digest-pure.
+    pub digest_roots: Vec<String>,
+    /// D10 boundaries: audited sink functions the taint does not cross
+    /// (e.g. a quantizer reviewed for exact representability).
+    pub digest_sink_allow: Vec<String>,
+    /// D11 gateways: the sanctioned election entrypoints every call path
+    /// to a random draw must pass through.
+    pub rng_entrypoints: Vec<String>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            digest_roots: vec![
+                "HashSink::record".to_string(),
+                "HashSink::digest".to_string(),
+                "fnv1a_64".to_string(),
+                "CanonicalSpec::digest".to_string(),
+            ],
+            digest_sink_allow: Vec::new(),
+            rng_entrypoints: vec!["select_a_robot".to_string()],
+        }
+    }
+}
+
 /// The whole linter configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Config {
@@ -35,6 +68,8 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Per-rule overrides, keyed by rule name.
     pub rules: BTreeMap<String, RuleConfig>,
+    /// Anchors for the call-graph analyses (D10–D13).
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for Config {
@@ -111,10 +146,34 @@ impl Default for Config {
                 ..RuleConfig::default()
             },
         );
+        rules.insert(
+            "randomness-reachability".to_string(),
+            RuleConfig {
+                // The election module hosts the draws; D11 findings anchor
+                // at functions *outside* it that sneak past the entrypoint.
+                allow_files: vec!["crates/core/src/rsb.rs".to_string()],
+                ..RuleConfig::default()
+            },
+        );
+        rules.insert(
+            "lock-order".to_string(),
+            RuleConfig {
+                crates: Some(vec!["apf-serve".to_string(), "apf-bench".to_string()]),
+                ..RuleConfig::default()
+            },
+        );
+        rules.insert(
+            "panic-reachability".to_string(),
+            RuleConfig {
+                crates: Some(vec!["apf-serve".to_string(), "apf-bench".to_string()]),
+                ..RuleConfig::default()
+            },
+        );
         Config {
             crate_roots: vec!["crates".to_string()],
             exclude: vec!["vendor".to_string(), "target".to_string()],
             rules,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -262,6 +321,23 @@ fn apply(cfg: &mut Config, section: &str, key: &str, value: &str) -> Result<(), 
             other => Err(format!("unknown key `{other}` in [lint]")),
         };
     }
+    if section == "analysis" {
+        return match key {
+            "digest_roots" => {
+                cfg.analysis.digest_roots = parse_string_array(value)?;
+                Ok(())
+            }
+            "digest_sink_allow" => {
+                cfg.analysis.digest_sink_allow = parse_string_array(value)?;
+                Ok(())
+            }
+            "rng_entrypoints" => {
+                cfg.analysis.rng_entrypoints = parse_string_array(value)?;
+                Ok(())
+            }
+            other => Err(format!("unknown key `{other}` in [analysis]")),
+        };
+    }
     if let Some(rule) = section.strip_prefix("rules.") {
         if !crate::rules::is_known_rule(rule) {
             return Err(format!("unknown rule `{rule}` in section header"));
@@ -332,6 +408,19 @@ allow_files = ["crates/foo/src/gen.rs"]
         assert!(Config::from_toml("loose = \"x\"\n").is_err());
         let err = Config::from_toml("[lint]\ncrate_roots = [\"a\"\n").unwrap_err();
         assert!(err.to_string().contains("lint.toml:"), "{err}");
+    }
+
+    #[test]
+    fn parses_analysis_section() {
+        let cfg = Config::from_toml(
+            "[analysis]\ndigest_roots = [\"my_fold\"]\ndigest_sink_allow = [\"Q::quantize\"]\n\
+             rng_entrypoints = [\"gateway\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.analysis.digest_roots, ["my_fold".to_string()]);
+        assert_eq!(cfg.analysis.digest_sink_allow, ["Q::quantize".to_string()]);
+        assert_eq!(cfg.analysis.rng_entrypoints, ["gateway".to_string()]);
+        assert!(Config::from_toml("[analysis]\nbogus = [\"x\"]\n").is_err());
     }
 
     #[test]

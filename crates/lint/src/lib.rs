@@ -10,21 +10,34 @@
 //! trace digests — no wall clocks, hash-iteration order, exact float
 //! equality, unaudited float↔int `as` casts, or unstable sorts.
 //!
+//! Since PR 9 the pass is *inter-procedural*: a token-tree
+//! [`parser`] over the masking [`lexer`] extracts items and call sites, a
+//! workspace [symbol table](symbols) resolves callees best-effort, and a
+//! [call graph](callgraph) answers reachability queries for the taint
+//! rules D10–D13 (digest purity, randomness reachability, lock order,
+//! panic reachability — see [`taint`]).
+//!
 //! The pass is deliberately std-only and dependency-free: it is the first
 //! gate in `scripts/check.sh` and must build in the offline container
 //! before anything else compiles.
 //!
 //! Entry points: [`lint_workspace`] walks every workspace crate;
-//! [`lint_source`] lints one in-memory source (used by the fixture tests
-//! and usable for editor integration). Both return [`Finding`]s that render
+//! [`lint_files`] lints a set of in-memory sources as one workspace (the
+//! fixture tests build multi-crate scenarios this way); [`lint_source`] is
+//! the single-file convenience wrapper. All return [`Finding`]s that render
 //! as `file:line:col · rule · message` (see [`report`]).
 
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+mod taint;
 
-pub use config::{Config, ConfigError, RuleConfig};
+pub use config::{AnalysisConfig, Config, ConfigError, RuleConfig};
 pub use rules::{RuleDef, BAD_PRAGMA, RULES};
 
 use lexer::Scanned;
@@ -73,36 +86,152 @@ impl FileKind {
     }
 }
 
+/// One in-memory source file for [`lint_files`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Package name the file belongs to (`apf-core`, …).
+    pub crate_name: String,
+    /// The source text.
+    pub source: String,
+}
+
 /// Lints one source text as if it lived at `rel_path` inside `crate_name`.
 #[must_use]
 pub fn lint_source(rel_path: &str, crate_name: &str, source: &str, cfg: &Config) -> Vec<Finding> {
-    let scanned = lexer::scan(source);
-    let kind = FileKind::of(rel_path);
+    lint_files(
+        &[SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            source: source.to_string(),
+        }],
+        cfg,
+    )
+}
+
+/// Lints a set of sources as one workspace: per-line rules on each file,
+/// then the inter-procedural rules (D10–D13) over the combined call graph,
+/// then pragma hygiene — including *stale* pragmas (well-formed `allow`s
+/// that suppressed nothing anywhere in the run).
+#[must_use]
+pub fn lint_files(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
+    let entries: Vec<taint::FileEntry> = files
+        .iter()
+        .map(|f| taint::FileEntry {
+            rel_path: f.rel_path.clone(),
+            crate_name: f.crate_name.clone(),
+            kind: FileKind::of(&f.rel_path),
+            scanned: lexer::scan(&f.source),
+        })
+        .collect();
+    let parsed: Vec<parser::ParsedFile> =
+        entries.iter().map(|e| parser::parse(&e.scanned, &e.rel_path)).collect();
+    let name_pairs: Vec<(String, String)> =
+        entries.iter().map(|e| (e.rel_path.clone(), e.crate_name.clone())).collect();
+    let sym = symbols::Symbols::build(&name_pairs, &parsed);
+    let graph = callgraph::CallGraph::build(&parsed, &sym);
+
+    let mut pragma_used: Vec<Vec<bool>> =
+        entries.iter().map(|e| vec![false; e.scanned.pragmas.len()]).collect();
     let mut findings = Vec::new();
 
-    for rule in RULES {
-        let rc = cfg.rules.get(rule.name);
-        if rc.is_some_and(|rc| rc.disabled) {
-            continue;
+    for (fi, e) in entries.iter().enumerate() {
+        for rule in RULES {
+            if matches!(rule.matcher, Matcher::CallGraph) {
+                continue;
+            }
+            let rc = cfg.rules.get(rule.name);
+            if rc.is_some_and(|rc| rc.disabled) {
+                continue;
+            }
+            if !crate_in_scope(rule, rc, &e.crate_name) {
+                continue;
+            }
+            if rc.is_some_and(|rc| rc.allow_files.iter().any(|f| f == &e.rel_path)) {
+                continue;
+            }
+            if e.kind == FileKind::Test && !rule.applies_in_tests {
+                continue;
+            }
+            if e.kind == FileKind::Binary && !rule.applies_in_bins {
+                continue;
+            }
+            run_rule(rule, &e.scanned, &e.rel_path, &mut pragma_used[fi], &mut findings);
         }
-        if !crate_in_scope(rule, rc, crate_name) {
-            continue;
-        }
-        if rc.is_some_and(|rc| rc.allow_files.iter().any(|f| f == rel_path)) {
-            continue;
-        }
-        if kind == FileKind::Test && !rule.applies_in_tests {
-            continue;
-        }
-        if kind == FileKind::Binary && !rule.applies_in_bins {
-            continue;
-        }
-        run_rule(rule, &scanned, rel_path, &mut findings);
     }
 
-    pragma_diagnostics(&scanned, rel_path, &mut findings);
-    findings
-        .sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
+    {
+        let ws = taint::Ws { files: &entries, parsed: &parsed, sym: &sym, graph: &graph };
+        let mut emit =
+            |rule: &'static RuleDef, fi: usize, line: usize, col: usize, message: String| {
+                let e = &entries[fi];
+                let rc = cfg.rules.get(rule.name);
+                if rc.is_some_and(|rc| rc.disabled) {
+                    return;
+                }
+                if !crate_in_scope(rule, rc, &e.crate_name) {
+                    return;
+                }
+                if rc.is_some_and(|rc| rc.allow_files.iter().any(|f| f == &e.rel_path)) {
+                    return;
+                }
+                if e.kind == FileKind::Test && !rule.applies_in_tests {
+                    return;
+                }
+                if e.kind == FileKind::Binary && !rule.applies_in_bins {
+                    return;
+                }
+                if e.scanned.is_test_line(line) && !rule.applies_in_tests {
+                    return;
+                }
+                if let Some(pi) = find_suppressor(&e.scanned, rule.name, line) {
+                    pragma_used[fi][pi] = true;
+                    return;
+                }
+                findings.push(Finding {
+                    file: e.rel_path.clone(),
+                    line,
+                    col,
+                    rule: rule.name.to_string(),
+                    message,
+                });
+            };
+        taint::run(&ws, cfg, &mut emit);
+    }
+
+    for (fi, e) in entries.iter().enumerate() {
+        pragma_diagnostics(&e.scanned, &e.rel_path, &mut findings);
+        for (pi, p) in e.scanned.pragmas.iter().enumerate() {
+            let well_formed = p.error.is_none()
+                && p.has_reason
+                && p.rules.iter().all(|r| rules::is_known_rule(r));
+            if well_formed && !pragma_used[fi][pi] {
+                findings.push(Finding {
+                    file: e.rel_path.clone(),
+                    line: p.line,
+                    col: 1,
+                    rule: BAD_PRAGMA.to_string(),
+                    message: format!(
+                        "stale pragma: allow({}) suppresses no findings — the code it \
+                         excused changed or the rule no longer applies here; delete it \
+                         or re-justify",
+                        p.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+    findings.dedup();
     findings
 }
 
@@ -117,7 +246,13 @@ fn crate_in_scope(rule: &RuleDef, rc: Option<&RuleConfig>, crate_name: &str) -> 
     }
 }
 
-fn run_rule(rule: &RuleDef, scanned: &Scanned, rel_path: &str, findings: &mut Vec<Finding>) {
+fn run_rule(
+    rule: &RuleDef,
+    scanned: &Scanned,
+    rel_path: &str,
+    pragma_used: &mut [bool],
+    findings: &mut Vec<Finding>,
+) {
     for (idx, line_text) in scanned.masked.split('\n').enumerate() {
         let line_no = idx + 1;
         if scanned.is_test_line(line_no) && !rule.applies_in_tests {
@@ -138,9 +273,11 @@ fn run_rule(rule: &RuleDef, scanned: &Scanned, rel_path: &str, findings: &mut Ve
                 .into_iter()
                 .map(|at| (at, "float<->int `as` cast"))
                 .collect(),
+            Matcher::CallGraph => Vec::new(),
         };
         for (at, token) in hits {
-            if suppressed(scanned, rule.name, line_no) {
+            if let Some(pi) = find_suppressor(scanned, rule.name, line_no) {
+                pragma_used[pi] = true;
                 continue;
             }
             findings.push(Finding {
@@ -158,8 +295,10 @@ fn run_rule(rule: &RuleDef, scanned: &Scanned, rel_path: &str, findings: &mut Ve
 /// or by an own-line pragma on exactly the previous line. A pragma without a
 /// reason suppresses nothing — it is itself a [`BAD_PRAGMA`] finding, and
 /// honoring it would let an unauditable suppression ride on a failing run.
-fn suppressed(scanned: &Scanned, rule_name: &str, line: usize) -> bool {
-    scanned.pragmas.iter().any(|p| {
+/// Returns the index of the suppressing pragma so callers can track usage
+/// (an `allow` that never suppresses anything is *stale* and reported).
+fn find_suppressor(scanned: &Scanned, rule_name: &str, line: usize) -> Option<usize> {
+    scanned.pragmas.iter().position(|p| {
         p.error.is_none()
             && p.has_reason
             && p.rules.iter().any(|r| r == rule_name)
@@ -300,7 +439,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// Propagates I/O errors; unreadable files fail the run rather than being
 /// silently skipped (a gate that skips is not a gate).
 pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for pkg in discover_packages(root, cfg)? {
         let mut files = Vec::new();
         for sub in SOURCE_DIRS {
@@ -316,18 +455,10 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
                 .to_string_lossy()
                 .replace(std::path::MAIN_SEPARATOR, "/");
             let source = std::fs::read_to_string(&file)?;
-            findings.extend(lint_source(&rel, &pkg.name, &source, cfg));
+            sources.push(SourceFile { rel_path: rel, crate_name: pkg.name.clone(), source });
         }
     }
-    findings.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
-            b.file.as_str(),
-            b.line,
-            b.col,
-            b.rule.as_str(),
-        ))
-    });
-    Ok(findings)
+    Ok(lint_files(&sources, cfg))
 }
 
 /// Loads `lint.toml` from `root` (or defaults when absent) and lints.

@@ -1,5 +1,5 @@
 //! Rendering findings for humans (`file:line:col · rule · message`) and
-//! machines (`--json`).
+//! machines (`--json`, `--sarif`), plus the `--explain <rule>` pages.
 
 use crate::rules::RULES;
 use crate::Finding;
@@ -64,6 +64,74 @@ pub fn render_rules() -> String {
     out
 }
 
+/// SARIF 2.1.0 — the static-analysis interchange format CI dashboards and
+/// code hosts ingest. One run, one driver (`apf-lint`), the full rule
+/// table under `tool.driver.rules`, one `result` per finding with a
+/// physical location. Hand-rolled on the same escaper as [`render_json`].
+#[must_use]
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"version\":\"2.1.0\",");
+    out.push_str(
+        "\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",",
+    );
+    out.push_str("\"runs\":[{\"tool\":{\"driver\":{\"name\":\"apf-lint\",");
+    out.push_str("\"informationUri\":\"https://example.invalid/apf-lint\",\"rules\":[");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"fullDescription\":{{\"text\":{}}}}}",
+            json_string(r.name),
+            json_string(r.code),
+            json_string(r.summary),
+            json_string(r.explain)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_string(&f.rule),
+            json_string(&f.message),
+            json_string(&f.file),
+            f.line,
+            f.col
+        );
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+/// The `--explain <rule>` page: code, scope, and the long-form rationale.
+/// Returns `None` for an unknown rule name or code.
+#[must_use]
+pub fn render_explain(rule: &str) -> Option<String> {
+    let r = RULES.iter().find(|r| r.name == rule || r.code == rule)?;
+    let scope = match r.default_crates {
+        None => "all crates".to_string(),
+        Some(list) => list.join(", "),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{} · {}", r.code, r.name);
+    let _ = writeln!(out, "scope: {scope}");
+    let _ = writeln!(out, "in tests: {} · in bins: {}", r.applies_in_tests, r.applies_in_bins);
+    let _ = writeln!(out, "\n{}\n", r.summary);
+    let _ = writeln!(out, "{}", r.explain);
+    let _ = writeln!(out, "\nsuppress: // apf-lint: allow({}) — <why this site is sound>", r.name);
+    Some(out)
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -120,5 +188,28 @@ mod tests {
         for r in RULES {
             assert!(t.contains(r.name), "missing {}", r.name);
         }
+    }
+
+    #[test]
+    fn sarif_contains_rules_and_results() {
+        let s = render_sarif(&[finding()]);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"apf-lint\""));
+        assert!(s.contains("\"ruleId\":\"panic-policy\""));
+        assert!(s.contains("\"startLine\":3"));
+        for r in RULES {
+            assert!(s.contains(&format!("\"id\":\"{}\"", r.name)), "missing {}", r.name);
+        }
+    }
+
+    #[test]
+    fn explain_resolves_names_and_codes() {
+        for r in RULES {
+            let by_name = render_explain(r.name).unwrap();
+            assert!(by_name.contains(r.code), "{} page lacks its code", r.name);
+            assert!(by_name.contains(r.explain.split_whitespace().next().unwrap()));
+            assert!(render_explain(r.code).is_some(), "{} not found by code", r.code);
+        }
+        assert!(render_explain("no-such-rule").is_none());
     }
 }

@@ -15,10 +15,17 @@
 //! | `stable-sort-in-digest-paths` | D7 | digest-feeding crates sort stably |
 //! | `no-f32-in-geometry` | D8 | the geometric substrate computes in f64 only |
 //! | `zip-length-mismatch` | D9 | per-robot folds must not truncate via `Iterator::zip` |
+//! | `digest-purity-taint` | D10 | everything reachable from digest computation stays pure |
+//! | `randomness-reachability` | D11 | all paths to a draw pass the election entrypoint |
+//! | `lock-order` | D12 | the mutex-acquisition order graph is acyclic |
+//! | `panic-reachability` | D13 | worker threads cannot reach an unguarded panic |
 //! | `panic-policy` | P1 | library `unwrap`/`expect` needs a justified pragma |
 //!
-//! Rules match token needles over the [lexer's](crate::lexer) masked text,
-//! so comments, strings and char literals can never fire them.
+//! D1–D9 and P1 match token needles over the [lexer's](crate::lexer)
+//! masked text, so comments, strings and char literals can never fire
+//! them. D10–D13 are inter-procedural: they run in [`taint`](crate::taint)
+//! over the workspace [call graph](crate::callgraph) and use
+//! [`Matcher::CallGraph`] here only as a registration marker.
 
 /// How a needle anchors to the surrounding characters.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +62,9 @@ pub enum Matcher {
     /// (a float literal or a `.round()`/`.floor()`/`.ceil()`/`.trunc()`
     /// call).
     FloatIntCast,
+    /// Inter-procedural rule: findings come from the call-graph analyses
+    /// in [`taint`](crate::taint), not from per-line matching.
+    CallGraph,
 }
 
 /// A static-analysis rule.
@@ -78,6 +88,10 @@ pub struct RuleDef {
     pub matcher: Matcher,
     /// Finding message (the matched token is prepended).
     pub message: &'static str,
+    /// Long-form rationale printed by `apf-cli lint --explain <rule>`:
+    /// what the rule enforces, why the invariant matters for this
+    /// codebase, and how to fix or justify a finding.
+    pub explain: &'static str,
 }
 
 /// Diagnostics about the pragmas themselves (malformed, reasonless,
@@ -104,6 +118,13 @@ pub const RULES: &[RuleDef] = &[
         ]),
         message: "unseeded entropy source; derive randomness from a per-trial seed \
                   (see apf_bench::engine::trial_seed) so every run replays bit-identically",
+        explain: "Every random bit in this workspace must derive from a splitmix64 \
+                  per-trial seed, so that any run — a single trial, a campaign shard, a \
+                  fuzz case — replays bit-identically from its seed alone. Ambient \
+                  entropy (thread_rng, OsRng, getrandom, from_entropy) breaks replay, \
+                  cache keys and cross-shard digest agreement at once. Fix: thread a \
+                  seed in from the trial engine; there is no justified use of ambient \
+                  entropy anywhere, including tests.",
     },
     RuleDef {
         name: "randomness-budget",
@@ -124,6 +145,14 @@ pub const RULES: &[RuleDef] = &[
         ]),
         message: "random draw outside the ψ_RSB election module; the algorithm's whole \
                   randomness budget is one coin flip per election cycle (Theorem 1)",
+        explain: "Bramas & Tixeuil's Theorem 1 bounds the algorithm's randomness at one \
+                  fair coin flip per robot per election cycle, all of it inside the \
+                  ψ_RSB leader-election phase. This rule pins the *textual* budget: \
+                  draw primitives (.gen/.bit()/gen_bool/…) may appear only in the \
+                  election module (rsb.rs, via lint.toml allow_files). Its \
+                  inter-procedural upgrade is D11 randomness-reachability, which pins \
+                  the *call paths*. Fix: route the decision through the election \
+                  entrypoint instead of drawing locally.",
     },
     RuleDef {
         name: "no-wallclock-in-sim",
@@ -142,6 +171,13 @@ pub const RULES: &[RuleDef] = &[
         matcher: Matcher::Needles(&[Needle::Exact("Instant::now"), Needle::Ident("SystemTime")]),
         message: "wall-clock read in a simulation crate; simulated time is scheduler \
                   steps, and wall time here would leak host timing into results",
+        explain: "Inside the simulation crates, time exists only as scheduler steps — \
+                  the ASYNC adversary decides who moves, not the host clock. An \
+                  Instant::now()/SystemTime read in apf-core/sim/scheduler/geometry/\
+                  trace leaks host timing into supposedly deterministic results. \
+                  Wall-clock profiling belongs in apf-bench's span layer (span.rs is \
+                  allowlisted): it measures *around* the simulation, never inside it. \
+                  Fix: move the measurement to the bench harness or count steps.",
     },
     RuleDef {
         name: "no-hash-iteration-in-digest-paths",
@@ -161,6 +197,14 @@ pub const RULES: &[RuleDef] = &[
         matcher: Matcher::Needles(&[Needle::Ident("HashMap"), Needle::Ident("HashSet")]),
         message: "hash container in a digest-feeding crate; iteration order is \
                   nondeterministic across runs — use BTreeMap/BTreeSet or a sorted Vec",
+        explain: "Trace digests are FNV-1a folds over iteration order, so a \
+                  HashMap/HashSet anywhere the digested values flow makes the digest a \
+                  function of the hasher's random state. This rule scopes by *crate \
+                  list* (the digest-feeding crates in lint.toml); D10 \
+                  digest-purity-taint re-derives the same invariant by *reachability* \
+                  from the digest fold itself, which also covers helpers outside the \
+                  listed crates. Fix: BTreeMap/BTreeSet, or collect-and-sort before \
+                  iterating.",
     },
     RuleDef {
         name: "no-float-eq",
@@ -172,6 +216,12 @@ pub const RULES: &[RuleDef] = &[
         matcher: Matcher::FloatEq,
         message: "exact float comparison; use the Tol epsilon helpers (tol.eq / \
                   tol.is_zero) or pragma an intentional exact-zero singularity guard",
+        explain: "Geometry decisions (symmetricity, Weber points, view ordering) flip \
+                  on borderline comparisons, and exact float == / != makes the flip \
+                  depend on rounding noise. The Tol helpers compare under an explicit \
+                  epsilon so every borderline is decided the same way everywhere. \
+                  Exact comparison is legitimate only for singularity guards \
+                  (division-by-exact-zero) — pragma those with the argument.",
     },
     RuleDef {
         name: "no-float-int-casts-in-digest-paths",
@@ -193,6 +243,13 @@ pub const RULES: &[RuleDef] = &[
         message: "float↔int `as` cast in a digest-feeding crate; `as` silently truncates \
                   and saturates — quantize through an audited helper, or pragma the site \
                   with the argument for why the value is exactly representable",
+        explain: "`as` casts between float and int silently truncate, saturate, and (to \
+                  f32) halve precision — all representation hazards for values that \
+                  feed digests. The audited quantizer in views.rs is the one sanctioned \
+                  float→int path. This rule scopes by crate list; D10 \
+                  digest-purity-taint covers the same sink by reachability from the \
+                  digest fold. Fix: go through the quantizer, or pragma with the \
+                  exact-representability argument.",
     },
     RuleDef {
         name: "stable-sort-in-digest-paths",
@@ -214,6 +271,11 @@ pub const RULES: &[RuleDef] = &[
         message: "unstable sort on data that can feed trace/digest output; equal-key \
                   order is unspecified and may drift across std versions — use a stable \
                   sort, or pragma with the argument for why keys are total",
+        explain: "sort_unstable reorders equal keys in an implementation-defined way, so \
+                  two std versions (or two architectures) can produce different digests \
+                  from identical inputs. In digest-feeding crates use a stable sort, or \
+                  pragma with the proof that the sort key is total (no equal keys, so \
+                  stability is vacuous).",
     },
     RuleDef {
         name: "no-f32-in-geometry",
@@ -228,6 +290,11 @@ pub const RULES: &[RuleDef] = &[
         message: "`f32` in the geometric substrate; every tolerance, digest and \
                   symmetry decision assumes f64 — a single f32 round-trip quietly \
                   halves precision and can flip borderline classifications",
+        explain: "Every tolerance constant, quantizer step and symmetry threshold in \
+                  apf-geometry is calibrated for f64. One f32 round-trip quietly halves \
+                  the mantissa, which is enough to flip borderline symmetricity or \
+                  Weber-point classifications that the formation algorithm then acts \
+                  on. There is no sanctioned f32 use in the geometric substrate.",
     },
     RuleDef {
         name: "zip-length-mismatch",
@@ -243,6 +310,12 @@ pub const RULES: &[RuleDef] = &[
                   per-robot fold over mismatched lengths silently drops robots — use an \
                   indexed loop, or pragma the site with why the lengths are equal by \
                   construction",
+        explain: "Iterator::zip stops at the shorter input without complaint. In a \
+                  per-robot fold (positions against lights, views against targets) a \
+                  length mismatch then silently drops robots instead of failing loudly \
+                  — exactly the pattern-formation bug class that is hardest to see in \
+                  traces. Use an indexed loop with an explicit length assertion, or \
+                  pragma with why the lengths are equal by construction.",
     },
     RuleDef {
         name: "panic-policy",
@@ -254,6 +327,97 @@ pub const RULES: &[RuleDef] = &[
         matcher: Matcher::Needles(&[Needle::Exact(".unwrap()"), Needle::Exact(".expect(")]),
         message: "unwrap/expect in library code; return an error, restructure, or \
                   justify with `// apf-lint: allow(panic-policy) — <why this cannot fail>`",
+        explain: "Library code should return errors, not crash the process. Every \
+                  unwrap/expect in non-test library sources needs a pragma whose reason \
+                  states why the failure is impossible (or why crashing is the intended \
+                  semantics). Tests and binaries are exempt: panicking is their normal \
+                  failure mode. See also D13 panic-reachability, which tracks whether a \
+                  justified panic can still take down a worker thread.",
+    },
+    RuleDef {
+        name: "digest-purity-taint",
+        code: "D10",
+        summary: "functions reachable from digest/trace-hash computation must not reach \
+                  wall clocks, hash iteration, or float↔int casts",
+        default_crates: None,
+        applies_in_tests: false,
+        applies_in_bins: true,
+        matcher: Matcher::CallGraph,
+        message: "impure sink reachable from digest computation",
+        explain: "The digest roots ([analysis] digest_roots in lint.toml: the HashSink \
+                  fold, fnv1a_64, CanonicalSpec addressing) define a forward cone in \
+                  the call graph: everything those functions can transitively call. \
+                  Anything in that cone that reads a wall clock, iterates a hash \
+                  container, or does a float↔int `as` cast makes the digest a function \
+                  of host state instead of the trace — which breaks replay, the \
+                  content-addressed result cache and cross-shard agreement at once. \
+                  Unlike D4/D6/D7 this is not scoped by crate lists; reachability \
+                  follows the calls wherever they go. Escape hatches: add the function \
+                  to digest_sink_allow (audited boundary), or pragma the site with the \
+                  determinism argument.",
+    },
+    RuleDef {
+        name: "randomness-reachability",
+        code: "D11",
+        summary: "every call path to a random draw passes through the ψ_RSB election \
+                  entrypoint — the call-graph form of the Theorem 1 budget",
+        default_crates: None,
+        applies_in_tests: false,
+        applies_in_bins: true,
+        matcher: Matcher::CallGraph,
+        message: "reaches a random draw without passing through an election entrypoint",
+        explain: "Theorem 1's ≤ 1 bit per robot per election cycle budget holds only if \
+                  the election entrypoint ([analysis] rng_entrypoints in lint.toml: \
+                  select_a_robot) is the sole gateway to the draw sites. The check: \
+                  find every function whose body performs a draw (the D2 needles, in \
+                  the D2 crate scope), delete the entrypoints from the call graph, and \
+                  walk the reverse edges. Any function that still reaches a draw has a \
+                  path around the election — a static counterexample to the budget \
+                  argument. Fix: call through the entrypoint; if a new sanctioned \
+                  gateway is introduced, add it to rng_entrypoints.",
+    },
+    RuleDef {
+        name: "lock-order",
+        code: "D12",
+        summary: "the mutex-acquisition order graph across the service crates must be \
+                  acyclic; a cycle is a potential deadlock",
+        // Overridden by lint.toml; kept in sync with Config::default().
+        default_crates: Some(&["apf-serve", "apf-bench"]),
+        applies_in_tests: false,
+        applies_in_bins: false,
+        matcher: Matcher::CallGraph,
+        message: "lock-order cycle",
+        explain: "Each `x.lock()` taken while another guard is live adds the edge \
+                  held → x to a workspace-wide lock-order graph; held sets also \
+                  propagate through calls, so a callee's acquisitions are ordered \
+                  after everything its caller holds. If that graph has a cycle, two \
+                  threads can take the locks in opposite orders and block forever — \
+                  the classic AB/BA deadlock, which no amount of testing reliably \
+                  surfaces because it needs the losing interleaving. Fix: pick one \
+                  global acquisition order (document it), or merge the critical \
+                  sections so only one lock is held at a time.",
+    },
+    RuleDef {
+        name: "panic-reachability",
+        code: "D13",
+        summary: "panic sites (unwrap/expect/panic!) reachable from worker-thread \
+                  closures outside a catch_unwind boundary",
+        // Overridden by lint.toml; kept in sync with Config::default().
+        default_crates: Some(&["apf-serve", "apf-bench"]),
+        applies_in_tests: false,
+        applies_in_bins: false,
+        matcher: Matcher::CallGraph,
+        message: "panic site reachable from a worker thread without catch_unwind",
+        explain: "A panic on a spawned worker thread does not fail the request that \
+                  caused it — it kills the worker, poisons every mutex it held, and \
+                  degrades the service until restart. This rule takes each \
+                  `spawn(...)` closure as a root, walks the call graph, and reports \
+                  every unwrap/expect/panic! it can reach, unless a catch_unwind \
+                  boundary guards the path (functions containing catch_unwind are \
+                  traversal boundaries). P1 asks \"is this panic justified?\"; D13 asks \
+                  \"who dies if it fires?\". Fix: return errors across the thread \
+                  boundary, add a catch_unwind at the worker root, or pragma with why \
+                  crashing the worker is the intended semantics.",
     },
 ];
 

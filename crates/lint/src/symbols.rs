@@ -1,0 +1,343 @@
+//! A workspace symbol table with best-effort call resolution.
+//!
+//! Every parsed file contributes its `fn` items; the table indexes them by
+//! bare name and by `(owner, name)` so call sites can be resolved without a
+//! type system:
+//!
+//! * `self.m(...)` → methods named `m` on the **caller's own impl type**
+//!   when one exists, else any same-crate method of that name;
+//! * `x.m(...)` → same-crate methods named `m` when any exist, else every
+//!   workspace method of that name (an over-approximation — better a few
+//!   spurious edges than a silently incomplete graph);
+//! * `a::b::f(...)` → `use`-alias expansion on the first segment, crate
+//!   pinning for `apf_*`/`crate`/`Self` heads, then `Owner::name` and
+//!   qualified-suffix matching;
+//! * `f(...)` → `use`-alias expansion, then same-crate fns first.
+//!
+//! `std`/`core`/`alloc` paths resolve to nothing: the analyses treat the
+//! standard library as a leaf.
+
+use crate::parser::{Callee, ParsedFile};
+use std::collections::BTreeMap;
+
+/// One function known to the workspace.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index of the owning file in the workspace file list.
+    pub file: usize,
+    /// Index into that file's `ParsedFile::fns`.
+    pub fn_idx: usize,
+    /// Package name (`apf-core`, …).
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Bare name.
+    pub name: String,
+    /// Impl/trait owner type, if any.
+    pub owner: Option<String>,
+    /// `module::Owner::name` (no crate prefix).
+    pub qual: String,
+    /// Definition line.
+    pub line: usize,
+    /// Defined inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// All functions, in (file, item) order. Indices are call-graph nodes.
+    pub fns: Vec<FnSym>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Caller context for resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolveCtx<'a> {
+    /// Caller's crate.
+    pub crate_name: &'a str,
+    /// Caller's impl owner type, if the caller is a method.
+    pub owner: Option<&'a str>,
+    /// Caller file's `use` aliases.
+    pub uses: &'a BTreeMap<String, Vec<String>>,
+}
+
+impl Symbols {
+    /// Builds the table from parsed files (parallel to the caller's file
+    /// list; `files[i]` must describe `parsed[i]`).
+    #[must_use]
+    pub fn build(files: &[(String, String)], parsed: &[ParsedFile]) -> Symbols {
+        let mut sym = Symbols::default();
+        for (file, p) in parsed.iter().enumerate() {
+            let (rel_path, crate_name) = &files[file];
+            for (fn_idx, f) in p.fns.iter().enumerate() {
+                let id = sym.fns.len();
+                sym.by_name.entry(f.name.clone()).or_default().push(id);
+                sym.fns.push(FnSym {
+                    file,
+                    fn_idx,
+                    crate_name: crate_name.clone(),
+                    rel_path: rel_path.clone(),
+                    name: f.name.clone(),
+                    owner: f.owner.clone(),
+                    qual: f.qual.clone(),
+                    line: f.line,
+                    is_test: f.is_test,
+                });
+            }
+        }
+        sym
+    }
+
+    fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolves one call site to zero or more candidate definitions.
+    #[must_use]
+    pub fn resolve(&self, callee: &Callee, ctx: ResolveCtx<'_>) -> Vec<usize> {
+        match callee {
+            Callee::Method { name, on_self } => self.resolve_method(name, *on_self, ctx),
+            Callee::Path(segs) => self.resolve_path(segs, ctx),
+        }
+    }
+
+    fn resolve_method(&self, name: &str, on_self: bool, ctx: ResolveCtx<'_>) -> Vec<usize> {
+        let candidates: Vec<usize> =
+            self.named(name).iter().copied().filter(|&i| self.fns[i].owner.is_some()).collect();
+        if on_self {
+            if let Some(owner) = ctx.owner {
+                let own: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        self.fns[i].owner.as_deref() == Some(owner)
+                            && self.fns[i].crate_name == ctx.crate_name
+                    })
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+        }
+        let same_crate: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].crate_name == ctx.crate_name)
+            .collect();
+        if same_crate.is_empty() {
+            candidates
+        } else {
+            same_crate
+        }
+    }
+
+    fn resolve_path(&self, segs: &[String], ctx: ResolveCtx<'_>) -> Vec<usize> {
+        if segs.is_empty() {
+            return Vec::new();
+        }
+        // Expand a leading `use` alias: `HashSink::record` with
+        // `use apf_trace::sink::HashSink` becomes the full path.
+        let mut path: Vec<String> = segs.to_vec();
+        if let Some(expansion) = ctx.uses.get(&path[0]) {
+            let mut full = expansion.clone();
+            full.extend(path[1..].iter().cloned());
+            path = full;
+        }
+        // Crate pinning from the path head.
+        let mut want_crate: Option<String> = None;
+        match path[0].as_str() {
+            "std" | "core" | "alloc" => return Vec::new(),
+            "crate" | "self" | "super" => {
+                want_crate = Some(ctx.crate_name.to_string());
+                path.remove(0);
+            }
+            head if head.starts_with("apf_") => {
+                want_crate = Some(head.replace('_', "-"));
+                path.remove(0);
+            }
+            "Self" => {
+                if let Some(owner) = ctx.owner {
+                    path[0] = owner.to_string();
+                } else {
+                    path.remove(0);
+                }
+            }
+            _ => {}
+        }
+        if path.is_empty() {
+            return Vec::new();
+        }
+        let name = path[path.len() - 1].clone();
+        let in_crate = |i: &usize| match &want_crate {
+            Some(c) => &self.fns[*i].crate_name == c,
+            None => true,
+        };
+        let candidates: Vec<usize> = self.named(&name).iter().copied().filter(in_crate).collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        if path.len() >= 2 {
+            let qualifier = &path[path.len() - 2];
+            // `Owner::name` — the common `Type::method` shape.
+            let owned: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].owner.as_deref() == Some(qualifier.as_str()))
+                .collect();
+            if !owned.is_empty() {
+                return owned;
+            }
+            // Module-qualified suffix: `dpf::phase2::plan`.
+            let suffix = path.join("::");
+            let by_suffix: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| qual_ends_with(&self.fns[i].qual, &suffix))
+                .collect();
+            if !by_suffix.is_empty() {
+                return by_suffix;
+            }
+            // A qualifier we cannot place (external type, module the parser
+            // did not see): stay silent rather than guessing by bare name.
+            return Vec::new();
+        }
+        // Bare name: prefer same-crate free functions, then same-crate
+        // anything, then workspace free functions.
+        let same_crate_free: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].crate_name == ctx.crate_name && self.fns[i].owner.is_none())
+            .collect();
+        if !same_crate_free.is_empty() {
+            return same_crate_free;
+        }
+        let same_crate: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].crate_name == ctx.crate_name)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        if want_crate.is_some() {
+            return candidates;
+        }
+        candidates.into_iter().filter(|&i| self.fns[i].owner.is_none()).collect()
+    }
+
+    /// Node ids whose qualified name matches `pat` (see [`qual_matches`]).
+    #[must_use]
+    pub fn matching(&self, pat: &str) -> Vec<usize> {
+        (0..self.fns.len()).filter(|&i| qual_matches(&self.fns[i].qual, pat)).collect()
+    }
+}
+
+/// `qual` ends with `pat` on a `::` boundary (or equals it).
+#[must_use]
+pub fn qual_matches(qual: &str, pat: &str) -> bool {
+    qual == pat || qual.ends_with(pat) && qual[..qual.len() - pat.len()].ends_with("::")
+}
+
+fn qual_ends_with(qual: &str, suffix: &str) -> bool {
+    qual_matches(qual, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parser;
+
+    fn build(sources: &[(&str, &str, &str)]) -> (Symbols, Vec<ParsedFile>) {
+        let parsed: Vec<ParsedFile> =
+            sources.iter().map(|(rel, _, src)| parser::parse(&lexer::scan(src), rel)).collect();
+        let files: Vec<(String, String)> =
+            sources.iter().map(|(rel, krate, _)| (rel.to_string(), krate.to_string())).collect();
+        (Symbols::build(&files, &parsed), parsed)
+    }
+
+    #[test]
+    fn qual_matching() {
+        assert!(qual_matches("sink::HashSink::record", "HashSink::record"));
+        assert!(qual_matches("spec::fnv1a_64", "fnv1a_64"));
+        assert!(qual_matches("fnv1a_64", "fnv1a_64"));
+        assert!(!qual_matches("spec::xfnv1a_64", "fnv1a_64"));
+        assert!(!qual_matches("record", "HashSink::record"));
+    }
+
+    #[test]
+    fn self_method_resolves_to_own_impl_first() {
+        let (sym, parsed) = build(&[(
+            "crates/a/src/lib.rs",
+            "apf-a",
+            "struct A;\nimpl A { fn lock(&self) {}\n fn go(&self) { self.lock(); } }\n\
+                 struct B;\nimpl B { fn lock(&self) {} }\n",
+        )]);
+        let go = sym.fns.iter().position(|f| f.name == "go").unwrap();
+        let call = &parsed[0].fns[sym.fns[go].fn_idx].calls[0];
+        let ctx = ResolveCtx { crate_name: "apf-a", owner: Some("A"), uses: &parsed[0].uses };
+        let r = sym.resolve(&call.callee, ctx);
+        assert_eq!(r.len(), 1);
+        assert_eq!(sym.fns[r[0]].qual, "A::lock");
+    }
+
+    #[test]
+    fn cross_crate_path_resolution() {
+        let (sym, parsed) = build(&[
+            ("crates/a/src/spec.rs", "apf-a", "pub fn fnv1a_64(b: &[u8]) -> u64 { 0 }\n"),
+            (
+                "crates/b/src/lib.rs",
+                "apf-b",
+                "use apf_a::spec::fnv1a_64;\nfn digest() { fnv1a_64(&[]); }\n",
+            ),
+        ]);
+        let digest = sym.fns.iter().position(|f| f.name == "digest").unwrap();
+        let call = &parsed[1].fns[sym.fns[digest].fn_idx].calls[0];
+        let ctx = ResolveCtx { crate_name: "apf-b", owner: None, uses: &parsed[1].uses };
+        let r = sym.resolve(&call.callee, ctx);
+        assert_eq!(r.len(), 1);
+        assert_eq!(sym.fns[r[0]].crate_name, "apf-a");
+    }
+
+    #[test]
+    fn std_paths_resolve_to_nothing() {
+        let (sym, parsed) = build(&[(
+            "crates/a/src/lib.rs",
+            "apf-a",
+            "fn now() {}\nfn f() { std::time::Instant::now(); }\n",
+        )]);
+        let f = sym.fns.iter().position(|s| s.name == "f").unwrap();
+        let call = &parsed[0].fns[sym.fns[f].fn_idx].calls[0];
+        let ctx = ResolveCtx { crate_name: "apf-a", owner: None, uses: &parsed[0].uses };
+        assert!(sym.resolve(&call.callee, ctx).is_empty());
+    }
+
+    #[test]
+    fn owner_qualified_call() {
+        let (sym, parsed) = build(&[(
+            "crates/a/src/lib.rs",
+            "apf-a",
+            "struct S;\nimpl S { fn new() -> S { S } }\nfn f() { S::new(); }\n",
+        )]);
+        let f = sym.fns.iter().position(|s| s.name == "f").unwrap();
+        let call = &parsed[0].fns[sym.fns[f].fn_idx].calls[0];
+        let ctx = ResolveCtx { crate_name: "apf-a", owner: None, uses: &parsed[0].uses };
+        let r = sym.resolve(&call.callee, ctx);
+        assert_eq!(r.len(), 1);
+        assert_eq!(sym.fns[r[0]].qual, "S::new");
+    }
+
+    #[test]
+    fn unplaceable_qualifier_stays_silent() {
+        let (sym, parsed) = build(&[(
+            "crates/a/src/lib.rs",
+            "apf-a",
+            "fn parse() {}\nfn f() { ExternalType::parse(); }\n",
+        )]);
+        let f = sym.fns.iter().position(|s| s.name == "f").unwrap();
+        let call = &parsed[0].fns[sym.fns[f].fn_idx].calls[0];
+        let ctx = ResolveCtx { crate_name: "apf-a", owner: None, uses: &parsed[0].uses };
+        assert!(sym.resolve(&call.callee, ctx).is_empty());
+    }
+}

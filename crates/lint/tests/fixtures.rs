@@ -358,7 +358,12 @@ fn pragma_with_blank_line_between_does_not_reach() {
                \n\
                fn f(o: Option<u8>) -> u8 { o.unwrap() }\n";
     let f = lint("crates/sim/src/a.rs", "apf-sim", src);
-    assert_eq!(rules_fired(&f), vec!["panic-policy"], "blank line breaks the pragma scope");
+    // The out-of-reach pragma suppresses nothing, so it is also stale.
+    assert_eq!(
+        rules_fired(&f),
+        vec!["bad-pragma", "panic-policy"],
+        "blank line breaks the pragma scope"
+    );
 }
 
 #[test]
@@ -366,7 +371,8 @@ fn pragma_for_one_rule_does_not_suppress_another() {
     let src = "// apf-lint: allow(no-float-eq) — fixture reason\n\
                fn f(o: Option<u8>) -> u8 { o.unwrap() }\n";
     let f = lint("crates/sim/src/a.rs", "apf-sim", src);
-    assert_eq!(rules_fired(&f), vec!["panic-policy"]);
+    // The no-float-eq allowance never fires here, so the pragma is stale.
+    assert_eq!(rules_fired(&f), vec!["bad-pragma", "panic-policy"]);
 }
 
 #[test]

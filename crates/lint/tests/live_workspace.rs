@@ -35,6 +35,43 @@ fn committed_lint_toml_parses_and_matches_defaults() {
     );
 }
 
+/// Stale-pragma hygiene, stated on its own even though `workspace_lints_clean`
+/// subsumes it: every `// apf-lint: allow(...)` in the committed tree must
+/// still suppress at least one finding.
+#[test]
+fn workspace_has_no_stale_pragmas() {
+    let findings = lint_with_config_file(workspace_root(), None).expect("lint run succeeds");
+    let stale: Vec<_> = findings.iter().filter(|f| f.message.starts_with("stale pragma")).collect();
+    assert!(stale.is_empty(), "stale pragmas in the committed tree: {stale:?}");
+}
+
+/// The `[analysis]` anchors must resolve against the live sources — a root
+/// that matches nothing would silently turn D10/D11 into a no-op.
+#[test]
+fn analysis_anchors_resolve_in_live_sources() {
+    let root = workspace_root();
+    let sources = [
+        ("crates/trace/src/sink.rs", "apf-trace"),
+        ("crates/bench/src/spec.rs", "apf-bench"),
+        ("crates/core/src/rsb.rs", "apf-core"),
+    ];
+    let mut files = Vec::new();
+    let mut parsed = Vec::new();
+    for (rel, krate) in sources {
+        let text = std::fs::read_to_string(root.join(rel)).expect("anchor file exists");
+        parsed.push(apf_lint::parser::parse(&apf_lint::lexer::scan(&text), rel));
+        files.push((rel.to_string(), krate.to_string()));
+    }
+    let sym = apf_lint::symbols::Symbols::build(&files, &parsed);
+    let cfg = Config::default();
+    for pat in &cfg.analysis.digest_roots {
+        assert!(!sym.matching(pat).is_empty(), "digest root `{pat}` matches no function");
+    }
+    for pat in &cfg.analysis.rng_entrypoints {
+        assert!(!sym.matching(pat).is_empty(), "rng entrypoint `{pat}` matches no function");
+    }
+}
+
 #[test]
 fn workspace_discovers_every_crate() {
     let cfg = Config::default();

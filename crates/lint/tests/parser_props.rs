@@ -1,0 +1,193 @@
+//! Property tests for the token-tree parser: generated nested token trees
+//! must bracket-match consistently, generated generic types (including
+//! `Vec<Box<dyn Fn() -> u64>>` shapes) must never be mistaken for calls,
+//! and the method-call / path-call distinction must survive arbitrary
+//! receivers and path depths.
+
+use apf_lint::lexer;
+use apf_lint::parser::{self, Callee, TokKind, NO_MATCH};
+use proptest::prelude::*;
+
+fn parsed(src: &str) -> parser::ParsedFile {
+    parser::parse(&lexer::scan(src), "crates/x/src/lib.rs")
+}
+
+const TREE_LEAVES: &[&str] = &["x", "0", "a_b", "x + 0"];
+
+/// A nested token-tree fragment: balanced `()`/`[]`/`{}` with ident and
+/// punctuation filler, built by folding wrap choices over a leaf. The
+/// vendored proptest has no recursive combinator, so recursion is encoded
+/// as a vector of wrap operations.
+fn token_tree() -> impl Strategy<Value = String> {
+    (0..TREE_LEAVES.len(), prop::collection::vec(0..3usize, 0..6)).prop_map(|(leaf, wraps)| {
+        let mut t = TREE_LEAVES[leaf].to_string();
+        for (depth, w) in wraps.into_iter().enumerate() {
+            // Alternate one- and two-element bodies for sibling nesting.
+            let body = if depth % 2 == 0 { t.clone() } else { format!("{t}, x") };
+            t = match w {
+                0 => format!("({body})"),
+                1 => format!("[{body}]"),
+                _ => format!("{{ {body} }}"),
+            };
+        }
+        t
+    })
+}
+
+const TYPE_LEAVES: &[&str] = &["u64", "String", "T"];
+
+/// A nested generic type, biased toward the `dyn Fn` shapes that once
+/// confused the call extractor.
+fn generic_type() -> impl Strategy<Value = String> {
+    (0..TYPE_LEAVES.len(), prop::collection::vec(0..5usize, 0..4)).prop_map(|(leaf, wraps)| {
+        let mut t = TYPE_LEAVES[leaf].to_string();
+        for w in wraps {
+            t = match w {
+                0 => format!("Vec<{t}>"),
+                1 => format!("Box<{t}>"),
+                2 => format!("Option<{t}>"),
+                3 => format!("Box<dyn Fn() -> {t}>"),
+                _ => format!("Box<dyn FnMut({t}) -> {t}>"),
+            };
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bracket matching over arbitrary nesting: every open bracket matches
+    /// a close after it, the pairs are properly nested, and matching is an
+    /// involution.
+    #[test]
+    fn bracket_matching_is_consistent(tree in token_tree()) {
+        let src = format!("fn f() {{ g({tree}); }}\n");
+        let p = parsed(&src);
+        for (i, t) in p.toks.iter().enumerate() {
+            let m = p.match_idx[i];
+            match t.kind {
+                TokKind::Punct(b'(' | b'[' | b'{') => {
+                    prop_assert!(m != NO_MATCH && m > i, "unmatched open at {i} in {src:?}");
+                    prop_assert_eq!(p.match_idx[m], i, "matching is not an involution");
+                }
+                TokKind::Punct(b')' | b']' | b'}') => {
+                    prop_assert!(m != NO_MATCH && m < i, "unmatched close at {i} in {src:?}");
+                }
+                _ => prop_assert_eq!(m, NO_MATCH),
+            }
+        }
+        // Proper nesting: no two matched ranges partially overlap.
+        let ranges: Vec<(usize, usize)> = p
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.kind, TokKind::Punct(b'(' | b'[' | b'{')))
+            .map(|(i, _)| (i, p.match_idx[i]))
+            .collect();
+        for &(a, b) in &ranges {
+            for &(c, d) in &ranges {
+                let crossing = a < c && c < b && b < d;
+                prop_assert!(!crossing, "crossing pairs ({a},{b}) ({c},{d}) in {src:?}");
+            }
+        }
+        // The fn item spans the whole body regardless of nesting depth.
+        prop_assert_eq!(p.fns.len(), 1);
+    }
+
+    /// Generic types in returns, lets, and turbofish are types, not calls:
+    /// however deep the nesting, exactly the real calls are extracted.
+    #[test]
+    fn generic_types_are_not_calls(ty in generic_type()) {
+        let src = format!(
+            "fn f(v: {ty}) -> {ty} {{\n\
+                 let out: {ty} = v.iter().map(step).collect::<{ty}>();\n\
+                 out\n\
+             }}\n"
+        );
+        let p = parsed(&src);
+        prop_assert_eq!(p.fns.len(), 1, "{src:?}");
+        let names: Vec<String> = p.fns[0]
+            .calls
+            .iter()
+            .map(|c| match &c.callee {
+                Callee::Method { name, .. } => name.clone(),
+                Callee::Path(segs) => segs.join("::"),
+            })
+            .collect();
+        prop_assert_eq!(
+            names,
+            vec!["iter".to_string(), "map".to_string(), "collect".to_string()],
+            "{src:?}"
+        );
+    }
+
+    /// `recv.m(...)` is a method call, `a::b::m(...)` is a path call, and
+    /// a bare `m(...)` is a one-segment path — across receiver chains and
+    /// path depths.
+    #[test]
+    fn method_vs_path_shape(depth in 1..4usize, chain in 1..4usize) {
+        let path = vec!["seg"; depth].join("::");
+        let recv = vec!["r"; chain].join(".");
+        let src = format!("fn f() {{ {path}::target(); {recv}.target(); target(); }}\n");
+        let p = parsed(&src);
+        let calls = &p.fns[0].calls;
+        prop_assert_eq!(calls.len(), 3, "{src:?} -> {calls:?}");
+        match &calls[0].callee {
+            Callee::Path(segs) => {
+                prop_assert_eq!(segs.len(), depth + 1);
+                prop_assert_eq!(segs.last().map(String::as_str), Some("target"));
+            }
+            other => prop_assert!(false, "expected path call, got {other:?}"),
+        }
+        match &calls[1].callee {
+            Callee::Method { name, on_self } => {
+                prop_assert_eq!(name.as_str(), "target");
+                prop_assert!(!on_self, "receiver is not self");
+            }
+            other => prop_assert!(false, "expected method call, got {other:?}"),
+        }
+        match &calls[2].callee {
+            Callee::Path(segs) => prop_assert_eq!(segs.as_slice(), ["target".to_string()]),
+            other => prop_assert!(false, "expected bare path call, got {other:?}"),
+        }
+    }
+
+    /// `self.m(...)` sets `on_self`; a field chain starting at self does
+    /// not (the receiver is the field, not the object itself).
+    #[test]
+    fn self_receiver_detection(fields in 0..3usize) {
+        let recv = if fields == 0 {
+            "self".to_string()
+        } else {
+            format!("self.{}", vec!["f"; fields].join("."))
+        };
+        let src = format!("impl S {{ fn m(&self) {{ {recv}.target(); }} }}\n");
+        let p = parsed(&src);
+        let calls = &p.fns[0].calls;
+        prop_assert_eq!(calls.len(), 1, "{src:?} -> {calls:?}");
+        match &calls[0].callee {
+            Callee::Method { on_self, .. } => prop_assert_eq!(*on_self, fields == 0, "{src:?}"),
+            other => prop_assert!(false, "expected method call, got {other:?}"),
+        }
+    }
+
+    /// Fn items keep their identity under arbitrary body nesting: the body
+    /// token range brackets every call the fn owns.
+    #[test]
+    fn calls_sit_inside_their_fn_body(tree in token_tree()) {
+        let src = format!("fn outer() {{ inner({tree}); }}\nfn inner(x: u64) {{ leaf(); }}\n");
+        let p = parsed(&src);
+        prop_assert_eq!(p.fns.len(), 2);
+        for f in &p.fns {
+            for c in &f.calls {
+                prop_assert!(
+                    c.tok >= f.body.0 && c.tok < f.body.1,
+                    "call at {} escapes body {:?} of `{}` in {src:?}", c.tok, f.body, f.name
+                );
+            }
+        }
+        prop_assert_eq!(p.fns[0].calls.len(), 1, "{:?}", p.fns[0].calls);
+        prop_assert_eq!(p.fns[1].calls.len(), 1, "{:?}", p.fns[1].calls);
+    }
+}

@@ -222,7 +222,7 @@ pub fn run_job(
 }
 
 fn lock<R>(dispatch: &Mutex<Dispatch<R>>) -> MutexGuard<'_, Dispatch<R>> {
-    // apf-lint: allow(panic-policy) — poisoning means a dispatch thread panicked; propagate
+    // apf-lint: allow(panic-policy, panic-reachability) — poisoning means a dispatch thread already panicked; propagating the crash is the intended semantics
     dispatch.lock().expect("dispatch lock poisoned")
 }
 

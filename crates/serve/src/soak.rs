@@ -144,7 +144,7 @@ impl SoakSpec {
             ("robots", Json::usize(self.robots)),
         ]) {
             Json::Obj(m) => m,
-            // apf-lint: allow(panic-policy) — Json::obj always returns Json::Obj
+            // apf-lint: allow(panic-reachability) — Json::obj always returns Json::Obj; the arm is statically dead
             _ => unreachable!("Json::obj returns an object"),
         };
         if let Some((lo, hi)) = self.range {

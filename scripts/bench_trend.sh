@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Per-metric perf trajectory across every committed BENCH_*.json snapshot.
+#
+# Prints one row per metric (campaign throughput in trials/s, kernel
+# latencies in µs) with one column per snapshot in version order, plus the
+# oldest→newest ratio so drift that stays inside the check.sh band on every
+# single hop is still visible when it compounds across PRs.
+#
+# Usage: scripts/bench_trend.sh [BENCH_a.json BENCH_b.json ...]
+#   With no arguments, all BENCH_*.json at the repo root, sorted -V.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    SNAPS=("$@")
+else
+    mapfile -t SNAPS < <(ls BENCH_*.json 2>/dev/null | sort -V)
+fi
+[ "${#SNAPS[@]}" -ge 1 ] || { echo "no BENCH_*.json snapshots found"; exit 1; }
+for s in "${SNAPS[@]}"; do
+    [ -r "$s" ] || { echo "cannot read snapshot $s"; exit 1; }
+done
+
+# Campaign throughput: higher is better.
+tps() {
+    sed -n "s/.*\"$2\":{\"trials\":[0-9]*,\"trials_per_sec\":\([0-9.eE+-]*\),.*/\1/p" "$1"
+}
+# Kernel latency: lower is better. $2 = n32|n128, $3 = metric key.
+kus() {
+    sed -n "s/.*\"$2\":{\([^}]*\)}.*/\1/p" "$1" \
+        | sed -n "s/.*\"$3\":\([0-9.eE+-]*\).*/\1/p"
+}
+
+# Header.
+printf '%-22s' "metric"
+for s in "${SNAPS[@]}"; do
+    name="${s#BENCH_}"
+    printf ' %12s' "${name%.json}"
+done
+printf ' %10s %s\n' "old->new" "direction"
+
+row() {
+    local label="$1" direction="$2"; shift 2
+    local first="" last="" v
+    printf '%-22s' "$label"
+    for v in "$@"; do
+        if [ -n "$v" ]; then
+            printf ' %12.3f' "$v"
+            [ -n "$first" ] || first="$v"
+            last="$v"
+        else
+            printf ' %12s' "-"
+        fi
+    done
+    if [ -n "$first" ] && [ -n "$last" ]; then
+        awk -v a="$first" -v b="$last" -v d="$direction" 'BEGIN {
+            printf "    x%.2f    %s\n", b / a, d
+        }'
+    else
+        printf ' %10s %s\n' "-" "$direction"
+    fi
+}
+
+for c in e2_ours e2_yy; do
+    vals=()
+    for s in "${SNAPS[@]}"; do vals+=("$(tps "$s" "$c")"); done
+    row "campaign.$c" "trials/s, higher better" "${vals[@]}"
+done
+for nk in n32 n128; do
+    for k in sec_us rho_us views_us regular_us shifted_us; do
+        vals=()
+        for s in "${SNAPS[@]}"; do vals+=("$(kus "$s" "$nk" "$k")"); done
+        row "kernel.$nk.$k" "us, lower better" "${vals[@]}"
+    done
+done

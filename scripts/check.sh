@@ -9,9 +9,22 @@ cargo fmt --check
 
 echo "==> apf-lint (determinism & randomness-budget static analysis)"
 # Rules and per-crate scopes live in lint.toml at the repo root; suppress a
-# single line with `// apf-lint: allow(<rule>) — <reason>`. Nonzero exit on
-# any finding, so this gates before clippy.
-cargo run -q --release --bin apf-cli -- lint --json
+# single line with `// apf-lint: allow(<rule>) — <reason>`. The run gates on
+# drift against the checked-in baseline (both directions: new findings AND
+# findings the baseline still lists but the tree no longer produces), so
+# this fails before clippy. Exit 1 = findings/drift, 2 = config error.
+cargo run -q --release --bin apf-cli -- lint --json --baseline lint-baseline.txt
+# Publish the same run as a SARIF 2.1.0 artifact for code-scanning UIs.
+mkdir -p target
+./target/release/apf-cli lint --sarif > target/apf-lint.sarif
+echo "    SARIF artifact: target/apf-lint.sarif"
+# --explain smoke: every registered rule must resolve to a rationale page.
+./target/release/apf-cli lint --list-rules \
+    | awk '$1 ~ /^[A-Z][0-9]+$/ { print $2 }' \
+    | while read -r rule; do
+        ./target/release/apf-cli lint --explain "$rule" > /dev/null \
+            || { echo "lint --explain $rule failed"; exit 1; }
+    done
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -295,25 +308,33 @@ TOP_STACK="$(sort -t' ' -k2 -rn "$SERVE_DIR/kern.folded" | head -1 \
 echo "==> perf snapshot vs committed BENCH_*.json (tolerance band)"
 # Regenerate the fixed perf workload and compare campaign throughput against
 # the newest committed snapshot. Wall-clock numbers are machine- and
-# load-dependent, so the band is deliberately wide: only a >2.5x slowdown
-# fails the gate. Regenerate the committed snapshot via
+# load-dependent, so the band stays loose — but several PRs of history (see
+# scripts/bench_trend.sh) show run-to-run noise well under 40%, so the gate
+# is tightened from the original 2.5x to 1.8x: only a >1.8x slowdown fails.
+# Regenerate the committed snapshot via
 # `apf-cli perf-snapshot --out BENCH_<PR>.json` when the workload changes.
 PREV="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
-if [ -n "$PREV" ]; then
-    ./target/release/apf-cli perf-snapshot --out "$SERVE_DIR/perf.json"
-    tps() {
-        sed -n "s/.*\"$2\":{\"trials\":[0-9]*,\"trials_per_sec\":\([0-9.eE+-]*\),.*/\1/p" "$1"
-    }
+tps() {
+    sed -n "s/.*\"$2\":{\"trials\":[0-9]*,\"trials_per_sec\":\([0-9.eE+-]*\),.*/\1/p" "$1"
+}
+kus() {
+    sed -n "s/.*\"$2\":{\([^}]*\)}.*/\1/p" "$1" \
+        | sed -n "s/.*\"$3\":\([0-9.eE+-]*\).*/\1/p"
+}
+# Compares one snapshot against $PREV; subshell body, so `exit 1` only
+# fails this attempt, not the whole script.
+perf_band_check() (
+    snap="$1"
     for c in e2_ours e2_yy; do
         OLD="$(tps "$PREV" "$c")"
-        NEW="$(tps "$SERVE_DIR/perf.json" "$c")"
+        NEW="$(tps "$snap" "$c")"
         [ -n "$OLD" ] && [ -n "$NEW" ] \
             || { echo "perf snapshot missing campaign $c"; exit 1; }
         awk -v old="$OLD" -v new="$NEW" -v c="$c" -v snap="$PREV" 'BEGIN {
             ratio = new / old;
             printf "    %-8s %8.2f -> %8.2f trials/s (x%.2f vs %s)\n",
                    c, old, new, ratio, snap;
-            if (ratio < 0.4) {
+            if (ratio < 0.555) {
                 printf "perf regression: %s dropped to x%.2f of %s\n",
                        c, ratio, snap;
                 exit 1;
@@ -321,15 +342,11 @@ if [ -n "$PREV" ]; then
         }' || exit 1
     done
     # Kernel-level latencies (µs — LOWER is better, so the band flips):
-    # only a >2.5x slowdown on an instrumented kernel fails the gate.
-    kus() {
-        sed -n "s/.*\"$2\":{\([^}]*\)}.*/\1/p" "$1" \
-            | sed -n "s/.*\"$3\":\([0-9.eE+-]*\).*/\1/p"
-    }
+    # only a >1.8x slowdown on an instrumented kernel fails the gate.
     for nk in n32 n128; do
         for k in sec_us rho_us views_us regular_us shifted_us; do
             OLD="$(kus "$PREV" "$nk" "$k")"
-            NEW="$(kus "$SERVE_DIR/perf.json" "$nk" "$k")"
+            NEW="$(kus "$snap" "$nk" "$k")"
             [ -n "$OLD" ] && [ -n "$NEW" ] \
                 || { echo "perf snapshot missing kernels.$nk.$k"; exit 1; }
             awk -v old="$OLD" -v new="$NEW" -v k="$nk.$k" -v snap="$PREV" \
@@ -337,13 +354,27 @@ if [ -n "$PREV" ]; then
                 ratio = new / old;
                 printf "    %-20s %10.2f -> %10.2f us (x%.2f vs %s)\n",
                        k, old, new, ratio, snap;
-                if (ratio > 2.5) {
+                if (ratio > 1.8) {
                     printf "perf regression: kernel %s slowed to x%.2f of %s\n",
                            k, ratio, snap;
                     exit 1;
                 }
             }' || exit 1
         done
+    done
+)
+if [ -n "$PREV" ]; then
+    # The sub-10µs kernels can catch a bad scheduling slice right after the
+    # heavy soak stages; a genuine regression reproduces, noise does not.
+    # Best-of-3: each attempt takes a fresh snapshot, any in-band run passes.
+    ATTEMPT=1
+    while :; do
+        ./target/release/apf-cli perf-snapshot --out "$SERVE_DIR/perf.json"
+        perf_band_check "$SERVE_DIR/perf.json" && break
+        [ "$ATTEMPT" -lt 3 ] \
+            || { echo "perf regression persisted across $ATTEMPT snapshots"; exit 1; }
+        ATTEMPT=$((ATTEMPT + 1))
+        echo "    out-of-band sample; re-measuring (attempt $ATTEMPT/3)"
     done
 else
     echo "    no committed BENCH_*.json yet; skipping the diff"

@@ -194,13 +194,22 @@ fn trace_main(args: &[String]) -> ! {
 /// The `lint` subcommand: the apf-lint determinism & randomness-budget
 /// static-analysis pass over the workspace sources.
 fn lint_main(args: &[String]) -> ! {
-    let usage = "apf-cli lint [--json] [--root DIR] [--config PATH] [--list-rules]\n\
-                 static analysis: determinism & randomness-budget rules (D1-D9, P1)\n\
-                 exit codes: 0 clean, 1 findings, 2 config or I/O errors";
+    let usage = "apf-cli lint [--json|--sarif] [--root DIR] [--config PATH] [--list-rules]\n\
+                 \x20            [--explain RULE] [--baseline PATH] [--write-baseline PATH]\n\
+                 static analysis: determinism & randomness-budget rules (D1-D13, P1);\n\
+                 D10-D13 are inter-procedural (workspace call graph)\n\
+                 --explain RULE         print the long-form rationale for one rule\n\
+                 --baseline PATH        gate on drift against a checked-in baseline\n\
+                 --write-baseline PATH  write current findings as the new baseline\n\
+                 exit codes: 0 clean, 1 findings/drift, 2 config or I/O errors";
     let mut json = false;
+    let mut sarif = false;
     let mut root = String::from(".");
     let mut config: Option<String> = None;
     let mut list_rules = false;
+    let mut explain: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -211,11 +220,15 @@ fn lint_main(args: &[String]) -> ! {
         };
         match flag.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--root" => root = value(),
             "--config" => config = Some(value()),
             // Deferred until the whole command line has parsed, so trailing
             // garbage after --list-rules still exits 2 instead of 0.
             "--list-rules" => list_rules = true,
+            "--explain" => explain = Some(value()),
+            "--baseline" => baseline_path = Some(value()),
+            "--write-baseline" => write_baseline = Some(value()),
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -226,9 +239,25 @@ fn lint_main(args: &[String]) -> ! {
             }
         }
     }
+    if json && sarif {
+        eprintln!("error: --json and --sarif are mutually exclusive");
+        std::process::exit(2);
+    }
     if list_rules {
         print!("{}", apf_lint::report::render_rules());
         std::process::exit(0);
+    }
+    if let Some(rule) = explain {
+        match apf_lint::report::render_explain(&rule) {
+            Some(page) => {
+                print!("{page}");
+                std::process::exit(0);
+            }
+            None => {
+                eprintln!("error: unknown rule `{rule}` (try --list-rules)");
+                std::process::exit(2);
+            }
+        }
     }
     let root = std::path::PathBuf::from(root);
     let findings =
@@ -239,10 +268,44 @@ fn lint_main(args: &[String]) -> ! {
                 std::process::exit(2);
             }
         };
-    if json {
+    if let Some(path) = write_baseline {
+        if let Err(e) = std::fs::write(&path, apf_lint::baseline::render(&findings)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("apf-lint: wrote {} finding(s) to {path}", findings.len());
+        std::process::exit(0);
+    }
+    if sarif {
+        print!("{}", apf_lint::report::render_sarif(&findings));
+    } else if json {
         print!("{}", apf_lint::report::render_json(&findings));
     } else {
         print!("{}", apf_lint::report::render_text(&findings));
+    }
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let accepted = match apf_lint::baseline::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let drift = apf_lint::baseline::diff(&findings, &accepted);
+        for (file, rule, msg) in &drift.new {
+            eprintln!("baseline drift (new): {file} · {rule} · {msg}");
+        }
+        for (file, rule, msg) in &drift.fixed {
+            eprintln!("baseline drift (fixed, remove from baseline): {file} · {rule} · {msg}");
+        }
+        std::process::exit(i32::from(!drift.is_clean()));
     }
     std::process::exit(if findings.is_empty() { 0 } else { 1 });
 }

@@ -75,7 +75,13 @@ fn malformed_invocations_exit_nonzero_with_usage() {
     // lint
     assert_usage_error(&["lint", "--bogus"]);
     assert_usage_error(&["lint", "--root"]); // missing value
-                                             // serve
+    assert_usage_error(&["lint", "--explain"]); // missing value
+    assert_usage_error(&["lint", "--baseline"]); // missing value
+    assert_usage_error(&["lint", "--write-baseline"]); // missing value
+    assert_usage_error(&["lint", "--json", "--sarif"]); // mutually exclusive
+    assert_usage_error(&["lint", "--explain", "no-such-rule"]);
+    assert_usage_error(&["lint", "--baseline", "/nonexistent/baseline.txt"]);
+    // serve
     assert_usage_error(&["serve", "--bogus"]);
     assert_usage_error(&["serve", "--jobs"]); // missing value
     assert_usage_error(&["serve", "--jobs", "many"]); // not a number
@@ -101,6 +107,45 @@ fn help_short_circuits_with_exit_zero() {
         assert_eq!(out.status.code(), Some(0), "apf-cli {args:?}: {}", stderr_of(&out));
         assert!(!stdout_of(&out).is_empty(), "apf-cli {args:?} printed no usage");
     }
+}
+
+#[test]
+fn lint_explain_resolves_rules_by_name_and_code() {
+    // By name and by D-code, both exit 0 with the rationale page.
+    let by_name = apf_cli(&["lint", "--explain", "panic-reachability"]);
+    assert_eq!(by_name.status.code(), Some(0), "stderr: {}", stderr_of(&by_name));
+    assert!(stdout_of(&by_name).contains("D13"), "{}", stdout_of(&by_name));
+
+    let by_code = apf_cli(&["lint", "--explain", "D10"]);
+    assert_eq!(by_code.status.code(), Some(0), "stderr: {}", stderr_of(&by_code));
+    assert!(stdout_of(&by_code).contains("digest-purity-taint"), "{}", stdout_of(&by_code));
+}
+
+#[test]
+fn lint_sarif_emits_a_2_1_0_log_on_the_clean_tree() {
+    let out = apf_cli(&["lint", "--sarif"]);
+    assert_eq!(out.status.code(), Some(0), "clean tree exits 0; stderr: {}", stderr_of(&out));
+    let log = stdout_of(&out);
+    assert!(log.contains("\"version\":\"2.1.0\""), "{log}");
+    assert!(log.contains("\"name\":\"apf-lint\""), "{log}");
+}
+
+#[test]
+fn lint_baseline_gates_drift_in_both_directions() {
+    // Against the checked-in (empty) baseline the clean tree passes.
+    let clean = apf_cli(&["lint", "--baseline", "lint-baseline.txt"]);
+    assert_eq!(clean.status.code(), Some(0), "stderr: {}", stderr_of(&clean));
+
+    // A baseline accepting a finding the tree no longer produces is drift
+    // too: exit 1 and a "fixed" line telling the reviewer to prune it.
+    let dir = std::env::temp_dir().join(format!("apf-cli-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stale = dir.join("stale-baseline.txt");
+    std::fs::write(&stale, "src/lib.rs\tpanic-policy\tphantom accepted finding\n").unwrap();
+    let out = apf_cli(&["lint", "--baseline", stale.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("baseline drift (fixed"), "{}", stderr_of(&out));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
